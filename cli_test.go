@@ -1,0 +1,165 @@
+package cryptonn
+
+// CLI integration test: builds the real binaries and runs the full
+// distributed pipeline of Fig. 1 — authority, training server, data-owner
+// client, prediction client — as separate processes over loopback TCP.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cryptonn/internal/nn"
+)
+
+// buildBinaries compiles every cmd into dir and returns their paths.
+func buildBinaries(t *testing.T, dir string, names ...string) map[string]string {
+	t.Helper()
+	bins := make(map[string]string, len(names))
+	for _, name := range names {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+// freePort reserves and releases a loopback port. A racing process could
+// steal it between release and reuse, but on a CI loopback this is
+// reliable, and the test fails loudly if not.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s after %s", addr, timeout)
+}
+
+func TestCLIPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir,
+		"cryptonn-authority", "cryptonn-server", "cryptonn-client", "cryptonn-predict")
+
+	authAddr := freePort(t)
+	trainAddr := freePort(t)
+	predictAddr := freePort(t)
+	modelPath := filepath.Join(dir, "model.gob")
+
+	// --- Authority. ---
+	authority := exec.Command(bins["cryptonn-authority"],
+		"-listen", authAddr, "-bits", "64")
+	var authLog bytes.Buffer
+	authority.Stderr = &authLog
+	if err := authority.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = authority.Process.Signal(syscall.SIGINT)
+		_ = authority.Wait()
+	}()
+	waitListening(t, authAddr, 30*time.Second)
+
+	// --- Training server (trains, saves, then serves predictions). ---
+	server := exec.Command(bins["cryptonn-server"],
+		"-listen", trainAddr,
+		"-authority", authAddr,
+		"-features", "784", "-classes", "10", "-hidden", "2",
+		"-epochs", "1", "-expect", "1", "-par", "1", "-seed", "3",
+		"-save", modelPath,
+		"-predict-listen", predictAddr,
+	)
+	var serverLog bytes.Buffer
+	server.Stderr = &serverLog
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- server.Wait() }()
+	defer func() {
+		_ = server.Process.Signal(syscall.SIGINT)
+		<-serverDone
+	}()
+	waitListening(t, trainAddr, 30*time.Second)
+
+	// --- Data-owner client submits one encrypted batch. ---
+	client := exec.Command(bins["cryptonn-client"],
+		"-authority", authAddr,
+		"-server", trainAddr,
+		"-samples", "16", "-batch", "16", "-seed", "5",
+	)
+	if msg, err := client.CombinedOutput(); err != nil {
+		t.Fatalf("client: %v\n%s", err, msg)
+	}
+
+	// --- Server trains, then the prediction endpoint comes up. ---
+	waitListening(t, predictAddr, 5*time.Minute)
+
+	// --- Prediction client asks for encrypted predictions. ---
+	predict := exec.Command(bins["cryptonn-predict"],
+		"-authority", authAddr,
+		"-server", predictAddr,
+		"-features", "784", "-classes", "10", "-samples", "3", "-seed", "11",
+	)
+	predOut, err := predict.CombinedOutput()
+	if err != nil {
+		t.Fatalf("predict: %v\n%s\nserver log:\n%s", err, predOut, serverLog.String())
+	}
+	if !strings.Contains(string(predOut), "3 encrypted samples predicted") {
+		t.Errorf("unexpected predict output:\n%s", predOut)
+	}
+
+	// --- The checkpoint the server saved loads and has the right shape. ---
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatalf("server did not save a model: %v", err)
+	}
+	defer f.Close()
+	model, err := nn.Load(f)
+	if err != nil {
+		t.Fatalf("loading saved model: %v", err)
+	}
+	first, ok := model.Layers[0].(*nn.DenseLayer)
+	if !ok || first.In != 784 || first.Out != 2 {
+		t.Errorf("saved model first layer = %s", model.Layers[0].Name())
+	}
+
+	// --- Server log shows the training actually happened. ---
+	if !strings.Contains(serverLog.String(), "trained on 1 batches") {
+		t.Errorf("server log missing training line:\n%s", serverLog.String())
+	}
+	_ = fmt.Sprintf("auth log: %s", authLog.String()) // kept for failure diagnosis
+}

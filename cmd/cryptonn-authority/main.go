@@ -1,0 +1,88 @@
+// Command cryptonn-authority runs the trusted key authority of the
+// CryptoNN architecture (Fig. 1) as a TCP service: it generates and holds
+// the master secret keys, distributes public keys, and issues
+// function-derived keys for the permitted function set.
+//
+// Usage:
+//
+//	cryptonn-authority -listen :7001 -bits 256
+//
+// The permitted set defaults to everything CryptoNN training needs
+// (dot-product and the four basic operations); -deny-div etc. narrow it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/group"
+	"cryptonn/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil && !errors.Is(err, net.ErrClosed) {
+		fmt.Fprintln(os.Stderr, "cryptonn-authority:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cryptonn-authority", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7001", "listen address")
+	bits := fs.Int("bits", group.PaperBits, "group modulus bits (embedded sizes: 64,128,192,256,512)")
+	generate := fs.Bool("generate", false, "generate a fresh group instead of the embedded one")
+	denyDot := fs.Bool("deny-dot", false, "refuse dot-product keys")
+	denyDiv := fs.Bool("deny-div", false, "refuse division keys")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var params *group.Params
+	var err error
+	if *generate {
+		log.Printf("generating %d-bit safe-prime group (this can take a while)...", *bits)
+		params, err = group.Generate(*bits, nil)
+	} else {
+		params, err = group.Embedded(*bits)
+	}
+	if err != nil {
+		return err
+	}
+
+	policy := authority.AllowAll()
+	policy.DotProduct = !*denyDot
+	if *denyDiv {
+		policy.BasicOps[febo.OpDiv] = false
+	}
+	auth, err := authority.New(params, policy)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "authority: ", log.LstdFlags)
+	srv, err := wire.NewAuthorityServer(auth, logger)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %s keys on %s", params, l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Printf("shutting down: issued %+v", auth.Stats())
+	}()
+	return srv.Serve(ctx, l)
+}

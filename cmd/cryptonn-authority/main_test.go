@@ -1,0 +1,30 @@
+package main
+
+import (
+	"net"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRejectsUnknownGroupSize(t *testing.T) {
+	if err := run([]string{"-bits", "99"}); err == nil {
+		t.Error("non-embedded group size accepted")
+	}
+}
+
+func TestRunRejectsBusyAddress(t *testing.T) {
+	// Occupy a port so the authority's listen fails immediately.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := run([]string{"-listen", l.Addr().String(), "-bits", "64"}); err == nil {
+		t.Error("listen on an occupied port succeeded")
+	}
+}

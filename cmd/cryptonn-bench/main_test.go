@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunCommExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "comm"}); err != nil {
+		t.Fatalf("run -exp comm: %v", err)
+	}
+}
+
+func TestRunAblationExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "ablation", "-par", "2"}); err != nil {
+		t.Fatalf("run -exp ablation: %v", err)
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// An unmatched -exp name selects nothing; the harness runs cleanly.
+	if err := run([]string{"-exp", "does-not-exist"}); err != nil {
+		t.Fatalf("run with unmatched experiment: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBadArchFails(t *testing.T) {
+	if err := run([]string{"-exp", "fig6", "-arch", "transformer", "-pool", "4", "-hidden", "4"}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFailsWithoutAuthority(t *testing.T) {
+	if err := run([]string{"-authority", "127.0.0.1:1", "-server", "127.0.0.1:1"}); err == nil {
+		t.Error("run succeeded with no authority listening")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"cryptonn/internal/mnist"
+)
+
+func TestRunFailsWithoutAuthority(t *testing.T) {
+	// Nothing listens on this address; the dial must fail cleanly.
+	err := run([]string{"-authority", "127.0.0.1:1", "-server", "127.0.0.1:1"})
+	if err == nil {
+		t.Error("run succeeded with no authority")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSyntheticInputsDigitPath(t *testing.T) {
+	x, truth, err := syntheticInputs(49, 5, 3) // 7×7 pools from 28×28
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 49 || x.Cols != 5 {
+		t.Fatalf("shape %dx%d, want 49x5", x.Rows, x.Cols)
+	}
+	for i, c := range truth {
+		if c < 0 || c >= mnist.Classes {
+			t.Errorf("truth[%d] = %d out of range", i, c)
+		}
+	}
+}
+
+func TestSyntheticInputsGenericFallback(t *testing.T) {
+	x, truth, err := syntheticInputs(13, 3, 1) // 13 is not a square
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 13 || x.Cols != 3 {
+		t.Fatalf("shape %dx%d, want 13x3", x.Rows, x.Cols)
+	}
+	for i, c := range truth {
+		if c != -1 {
+			t.Errorf("truth[%d] = %d, want -1 (no ground truth)", i, c)
+		}
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	cases := map[int]int{1: 1, 4: 2, 49: 7, 196: 14, 784: 28, 13: 0, 0: 0}
+	for v, want := range cases {
+		if got := intSqrt(v); got != want {
+			t.Errorf("intSqrt(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunTinyTrainingComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure training run; skipped in -short")
+	}
+	err := run([]string{
+		"-samples", "20", "-test", "20", "-batch", "10", "-epochs", "1",
+		"-pool", "4", "-hidden", "4", "-tick", "1", "-par", "1",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRejectsUnknownArch(t *testing.T) {
+	if err := run([]string{"-arch", "gpt", "-samples", "20", "-batch", "10"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}

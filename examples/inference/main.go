@@ -1,0 +1,321 @@
+// Inference: FE-based prediction over encrypted inputs (§III-D).
+//
+// CryptoNN's trained model is plaintext on the server, so the prediction
+// phase is a sub-process of training: the client encrypts its input, the
+// server runs the *secure feed-forward* step (function-derived keys on
+// the first layer) and the normal forward pass for the rest. Three
+// privacy settings fall out, and this example demonstrates all of them:
+//
+//   - FE-based prediction: the server learns the predicted (masked)
+//     class — cheap, and the paper's default;
+//   - label-confidential prediction: combine the label map (§III-A) so
+//     the class the server sees is a keyed permutation only the client
+//     can invert;
+//   - HE-based prediction: the "existing HE-based solutions at the
+//     prediction phase" integration the paper describes — a linear model
+//     evaluated under exponential-ElGamal, so the server learns neither
+//     scores nor label (internal/elgamal).
+//
+// The model here is a digit classifier trained in the ordinary plaintext
+// way (any trained CryptoNN model works the same); the point of the
+// example is the prediction path.
+//
+// Run with:
+//
+//	go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/elgamal"
+	"cryptonn/internal/fixedpoint"
+	"cryptonn/internal/group"
+	"cryptonn/internal/mnist"
+	"cryptonn/internal/nn"
+	"cryptonn/internal/tensor"
+)
+
+const (
+	pool     = 4 // 28×28 → 7×7 inputs keep the demo quick
+	features = (mnist.Side / pool) * (mnist.Side / pool)
+	hidden   = 16
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- One-off setup: authority, solver, and a trained model. ---
+	params := group.TestParams()
+	auth, err := authority.New(params, authority.AllowAll())
+	if err != nil {
+		return err
+	}
+	codec := fixedpoint.Default()
+	bound := core.SolverBound(codec, features, 1, 4, 1)
+	solver, err := dlog.NewSolver(params, bound)
+	if err != nil {
+		return err
+	}
+
+	model, testSet, err := trainPlainModel()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained a %d→%d→10 digit classifier (plaintext, as the server would after CryptoNN training)\n\n",
+		features, hidden)
+
+	// --- Setting 1: FE-based prediction, server learns the class. ---
+	trainer, err := core.NewTrainer(model, auth, solver, core.Config{
+		Codec: codec, Parallelism: 1, MaxWeight: 4,
+	})
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(auth, codec, nil)
+	if err != nil {
+		return err
+	}
+	const n = 8
+	x, y, err := testBatch(testSet, n)
+	if err != nil {
+		return err
+	}
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		return err
+	}
+	res, err := trainer.Predict(enc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("FE-based prediction (server learns the class):")
+	correct := 0
+	for j := 0; j < n; j++ {
+		truth := testSet.Labels[j]
+		mark := "✗"
+		if res.MaskedPreds[j] == truth {
+			mark = "✓"
+			correct++
+		}
+		fmt.Printf("  encrypted digit #%d → server predicts %d (truth %d) %s\n",
+			j, res.MaskedPreds[j], truth, mark)
+	}
+	fmt.Printf("  %d/%d correct; the server never saw a pixel.\n\n", correct, n)
+
+	// --- Setting 2: label-confidential prediction via the label map. ---
+	// The client masks its one-hot labels with a keyed permutation, and
+	// would train the model against masked classes. Here we apply the
+	// same permutation to the trained model's output layer to simulate a
+	// model trained under the mask, then show the server's view.
+	labels, err := core.NewLabelMap(mnist.Classes, []byte("client-only-key"))
+	if err != nil {
+		return err
+	}
+	fmt.Println("label-confidential prediction (server sees a masked class):")
+	for j := 0; j < 4; j++ {
+		truth := testSet.Labels[j]
+		masked, err := labels.Apply(res.MaskedPreds[j])
+		if err != nil {
+			return err
+		}
+		decoded, err := labels.Invert(masked)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  server reports masked class %d → client inverts to %d (truth %d)\n",
+			masked, decoded, truth)
+	}
+	fmt.Println("\nThe masked class is a keyed permutation: without the client's key,")
+	fmt.Println("the server's view of the predicted label is a uniformly shuffled id.")
+
+	// --- Setting 3: HE-based prediction (§III-D): the server never
+	// learns the scores or the predicted label at all. A linear model
+	// (multinomial logistic regression — one dense layer) is evaluated
+	// entirely under exponential-ElGamal homomorphic encryption: the
+	// client encrypts its pixels, the server computes Enc(W·x + b)
+	// from plaintext weights and ciphertexts, and only the client
+	// decrypts the scores. ---
+	if err := hePrediction(testSet); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hePrediction trains a linear digit classifier and runs the paper's
+// HE-integration prediction path on it.
+func hePrediction(testSet *mnist.Dataset) error {
+	linear, err := trainLinearModel()
+	if err != nil {
+		return err
+	}
+	dense, ok := linear.Layers[0].(*nn.DenseLayer)
+	if !ok {
+		return fmt.Errorf("linear model has unexpected first layer %s", linear.Layers[0].Name())
+	}
+	codec := fixedpoint.Default()
+	wInt, err := codec.EncodeMat(dense.W.Rows2D())
+	if err != nil {
+		return err
+	}
+	bInt := make([]int64, dense.Out)
+	for i := 0; i < dense.Out; i++ {
+		// Bias enters at the product scale (weights ×f, inputs ×f).
+		bInt[i] = int64(dense.B.At(i, 0) * float64(codec.Factor()) * float64(codec.Factor()))
+	}
+
+	params := group.TestParams()
+	pk, sk, err := elgamal.Setup(params, nil)
+	if err != nil {
+		return err
+	}
+	// Score bound: features × maxW × maxX at product scale.
+	bound := core.SolverBound(codec, features, 1, 8, 1)
+	solver, err := dlog.NewSolver(params, bound)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nHE-based prediction (server never learns scores or label):")
+	correct := 0
+	const n = 4
+	for j := 0; j < n; j++ {
+		xs, err := codec.EncodeVec(poolCols(colSlice(testSet, j)).Col(0))
+		if err != nil {
+			return err
+		}
+		cts, err := elgamal.EncryptVec(pk, xs, nil) // client side
+		if err != nil {
+			return err
+		}
+		scores, err := elgamal.LinearPredict(pk, wInt, bInt, cts) // server side
+		if err != nil {
+			return err
+		}
+		cls, _, err := elgamal.DecryptArgMax(sk, params, scores, solver) // client side
+		if err != nil {
+			return err
+		}
+		truth := testSet.Labels[j]
+		mark := "✗"
+		if cls == truth {
+			mark = "✓"
+			correct++
+		}
+		fmt.Printf("  encrypted digit #%d → client decrypts class %d (truth %d) %s\n", j, cls, truth, mark)
+	}
+	fmt.Printf("  %d/%d correct; the server saw only ciphertexts in AND out.\n", correct, n)
+	return nil
+}
+
+// trainLinearModel trains a one-layer (fully linear) digit classifier so
+// the whole decision function is HE-evaluable.
+func trainLinearModel() (*nn.Model, error) {
+	train, _, err := mnist.Load(true, 300, 11)
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.NewMLP(features, mnist.Classes, nil, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(0.5, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 20
+	for epoch := 0; epoch < 30; epoch++ {
+		for from := 0; from+batch <= train.N(); from += batch {
+			x, y, err := train.Batch(from, from+batch)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := model.TrainBatch(poolCols(x), y, opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return model, nil
+}
+
+// colSlice extracts sample j as a single-column matrix.
+func colSlice(d *mnist.Dataset, j int) *tensor.Dense {
+	out := tensor.NewDense(mnist.Pixels, 1)
+	for i := 0; i < mnist.Pixels; i++ {
+		out.Set(i, 0, d.Images.At(i, j))
+	}
+	return out
+}
+
+// trainPlainModel trains a small digit classifier on pooled synthetic
+// MNIST; this plays the role of "the model CryptoNN training produced".
+func trainPlainModel() (*nn.Model, *mnist.Dataset, error) {
+	train, _, err := mnist.Load(true, 300, 11)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, _, err := mnist.Load(false, 60, 12)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := nn.NewMLP(features, mnist.Classes, []int{hidden}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := nn.NewSGD(0.5, 0.9)
+	if err != nil {
+		return nil, nil, err
+	}
+	const batch = 20
+	for epoch := 0; epoch < 30; epoch++ {
+		for from := 0; from+batch <= train.N(); from += batch {
+			x, y, err := train.Batch(from, from+batch)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := model.TrainBatch(poolCols(x), y, opt); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return model, test, nil
+}
+
+// testBatch pools the first n test images.
+func testBatch(d *mnist.Dataset, n int) (*tensor.Dense, *tensor.Dense, error) {
+	x, y, err := d.Batch(0, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return poolCols(x), y, nil
+}
+
+// poolCols average-pools flattened 28×28 columns down to 7×7.
+func poolCols(x *tensor.Dense) *tensor.Dense {
+	side := mnist.Side / pool
+	out := tensor.NewDense(side*side, x.Cols)
+	inv := 1 / float64(pool*pool)
+	for c := 0; c < x.Cols; c++ {
+		for oy := 0; oy < side; oy++ {
+			for ox := 0; ox < side; ox++ {
+				var sum float64
+				for dy := 0; dy < pool; dy++ {
+					for dx := 0; dx < pool; dx++ {
+						sum += x.At((oy*pool+dy)*mnist.Side+(ox*pool+dx), c)
+					}
+				}
+				out.Set(oy*side+ox, c, sum*inv)
+			}
+		}
+	}
+	return out
+}

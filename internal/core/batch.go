@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cryptonn/internal/feip"
+	"cryptonn/internal/fixedpoint"
+	"cryptonn/internal/securemat"
+	"cryptonn/internal/tensor"
+)
+
+// Client is the data-owner side of Fig. 1: it holds the fixed-point codec,
+// the label map and a key service handle (public keys only) and produces
+// encrypted batches for the server.
+type Client struct {
+	Keys   securemat.KeyService
+	Codec  *fixedpoint.Codec
+	Labels *LabelMap
+}
+
+// NewClient assembles a client; a nil codec selects the paper's
+// two-decimal default and a nil label map selects identity masking.
+func NewClient(keys securemat.KeyService, codec *fixedpoint.Codec, labels *LabelMap) (*Client, error) {
+	if keys == nil {
+		return nil, errors.New("core: nil key service")
+	}
+	if codec == nil {
+		codec = fixedpoint.Default()
+	}
+	return &Client{Keys: keys, Codec: codec, Labels: labels}, nil
+}
+
+// EncryptedBatch is one training batch as the server receives it: inputs
+// encrypted column- and row-wise under FEIP (forward dot and gradient
+// dot), labels encrypted element-wise under FEBO (for P − Y) and
+// column-wise under FEIP (for the cross-entropy inner product).
+type EncryptedBatch struct {
+	// X holds the encrypted input matrix (features × batch).
+	X *securemat.EncryptedMatrix
+	// Y holds the encrypted one-hot label matrix (classes × batch),
+	// already label-mapped.
+	Y *securemat.EncryptedMatrix
+	// Features, Classes and N record the plaintext dimensions.
+	Features, Classes, N int
+}
+
+// EncryptBatch encrypts a (features × batch) input matrix and a
+// (classes × batch) one-hot label matrix for dense-first-layer training.
+//
+// The input is encrypted in both orientations (DESIGN.md §4) but without
+// FEBO element ciphertexts (only dot-products touch X); the label is
+// encrypted element-wise and column-wise (both secure back-propagation
+// paths touch Y).
+func (c *Client) EncryptBatch(x, y *tensor.Dense) (*EncryptedBatch, error) {
+	if x.Cols != y.Cols {
+		return nil, fmt.Errorf("core: %d samples but %d label columns", x.Cols, y.Cols)
+	}
+	xi, err := c.Codec.EncodeMat(x.Rows2D())
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding inputs: %w", err)
+	}
+	encX, err := securemat.Encrypt(c.Keys, xi, securemat.EncryptOptions{SkipElems: true, WithRows: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypting inputs: %w", err)
+	}
+	yMasked, err := c.maskOneHot(y)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := c.Codec.EncodeMat(yMasked.Rows2D())
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding labels: %w", err)
+	}
+	encY, err := securemat.Encrypt(c.Keys, yi, securemat.EncryptOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypting labels: %w", err)
+	}
+	return &EncryptedBatch{
+		X: encX, Y: encY,
+		Features: x.Rows, Classes: y.Rows, N: x.Cols,
+	}, nil
+}
+
+// maskOneHot permutes the rows of a one-hot label matrix by the label map.
+func (c *Client) maskOneHot(y *tensor.Dense) (*tensor.Dense, error) {
+	if c.Labels == nil {
+		return y, nil
+	}
+	if c.Labels.Classes() != y.Rows {
+		return nil, fmt.Errorf("core: label map over %d classes, labels have %d rows", c.Labels.Classes(), y.Rows)
+	}
+	out := tensor.NewDense(y.Rows, y.Cols)
+	for i := 0; i < y.Rows; i++ {
+		masked, err := c.Labels.Apply(i)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < y.Cols; j++ {
+			out.Set(masked, j, y.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// EncryptedConvBatch is one training batch for a convolutional first
+// layer, pre-processed per Algorithm 3: for every sample, the im2col
+// window matrix is encrypted column-wise (one FEIP ciphertext per sliding
+// window, for the forward convolution) and row-wise (one ciphertext per
+// kernel position, for the filter gradient).
+type EncryptedConvBatch struct {
+	// Windows[s][w] encrypts window w of sample s (vector length
+	// C·K·K).
+	Windows [][]*feip.Ciphertext
+	// Positions[s][a] encrypts kernel-position row a of sample s (vector
+	// length = number of windows).
+	Positions [][]*feip.Ciphertext
+	// Y is the encrypted label matrix, as in EncryptedBatch.
+	Y *securemat.EncryptedMatrix
+	// Geometry of the pre-processing.
+	C, H, W, K, Stride, Pad int
+	OutH, OutW              int
+	Classes, N              int
+}
+
+// WindowLen returns the length of each window vector.
+func (b *EncryptedConvBatch) WindowLen() int { return b.C * b.K * b.K }
+
+// NumWindows returns the number of sliding windows per sample.
+func (b *EncryptedConvBatch) NumWindows() int { return b.OutH * b.OutW }
+
+// EncryptConvBatch pre-processes a batch for secure convolution
+// (Algorithm 3 lines 9–16): the client learns the padding strategy and
+// filter size from the server's architecture and encrypts each sliding
+// window as a vector.
+func (c *Client) EncryptConvBatch(x, y *tensor.Dense, inC, inH, inW, k, stride, pad int) (*EncryptedConvBatch, error) {
+	if x.Cols != y.Cols {
+		return nil, fmt.Errorf("core: %d samples but %d label columns", x.Cols, y.Cols)
+	}
+	if x.Rows != inC*inH*inW {
+		return nil, fmt.Errorf("core: %d input features for %dx%dx%d geometry", x.Rows, inC, inH, inW)
+	}
+	outH, err := tensor.ConvOutSize(inH, k, stride, pad)
+	if err != nil {
+		return nil, fmt.Errorf("core: conv geometry: %w", err)
+	}
+	outW, err := tensor.ConvOutSize(inW, k, stride, pad)
+	if err != nil {
+		return nil, fmt.Errorf("core: conv geometry: %w", err)
+	}
+	numWindows := outH * outW
+	windowLen := inC * k * k
+	winMPK, err := c.Keys.FEIPPublic(windowLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching FEIP key: %w", err)
+	}
+	posMPK, err := c.Keys.FEIPPublic(numWindows)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching FEIP key: %w", err)
+	}
+
+	batch := &EncryptedConvBatch{
+		Windows:   make([][]*feip.Ciphertext, x.Cols),
+		Positions: make([][]*feip.Ciphertext, x.Cols),
+		C:         inC, H: inH, W: inW, K: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		Classes: y.Rows, N: x.Cols,
+	}
+	for s := 0; s < x.Cols; s++ {
+		vol, err := tensor.VolumeFromFlat(x.Col(s), inC, inH, inW)
+		if err != nil {
+			return nil, err
+		}
+		col, err := tensor.Im2Col(vol, k, k, stride, pad)
+		if err != nil {
+			return nil, fmt.Errorf("core: im2col sample %d: %w", s, err)
+		}
+		// Encrypt each window (column of col).
+		batch.Windows[s] = make([]*feip.Ciphertext, numWindows)
+		for w := 0; w < numWindows; w++ {
+			vec, err := c.Codec.EncodeVec(col.Col(w))
+			if err != nil {
+				return nil, fmt.Errorf("core: encoding window: %w", err)
+			}
+			ct, err := feip.Encrypt(winMPK, vec, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: encrypting window: %w", err)
+			}
+			batch.Windows[s][w] = ct
+		}
+		// Encrypt each kernel-position row (row of col).
+		batch.Positions[s] = make([]*feip.Ciphertext, windowLen)
+		for a := 0; a < windowLen; a++ {
+			vec, err := c.Codec.EncodeVec(col.Row(a))
+			if err != nil {
+				return nil, fmt.Errorf("core: encoding position row: %w", err)
+			}
+			ct, err := feip.Encrypt(posMPK, vec, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: encrypting position row: %w", err)
+			}
+			batch.Positions[s][a] = ct
+		}
+	}
+
+	yMasked, err := c.maskOneHot(y)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := c.Codec.EncodeMat(yMasked.Rows2D())
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding labels: %w", err)
+	}
+	batch.Y, err = securemat.Encrypt(c.Keys, yi, securemat.EncryptOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypting labels: %w", err)
+	}
+	return batch, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cryptonn/internal/feip"
+	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
+	"cryptonn/internal/tensor"
+)
+
+// Secure convolution (Algorithm 3) and the CryptoCNN training step
+// (§III-E): the first convolutional layer's forward pass and filter
+// gradient are computed over the encrypted sliding windows; everything
+// downstream is the ordinary plaintext network.
+
+// checkConvGeometry verifies the encrypted batch was pre-processed for the
+// model's first convolutional layer (the client must learn the padding
+// strategy and filter size from the server, Algorithm 3 line 11).
+func checkConvGeometry(l *nn.ConvLayer, enc *EncryptedConvBatch) error {
+	if l.InC != enc.C || l.InH != enc.H || l.InW != enc.W ||
+		l.K != enc.K || l.Stride != enc.Stride || l.Pad != enc.Pad {
+		return fmt.Errorf("core: conv geometry mismatch: layer %s vs batch %dx%dx%d k%d s%d p%d",
+			l.Name(), enc.C, enc.H, enc.W, enc.K, enc.Stride, enc.Pad)
+	}
+	return nil
+}
+
+// secureConvForward computes the first layer's output over encrypted
+// windows: Z[f][w] = ⟨filter_f, window_w⟩ + b_f for every sample
+// (Algorithm 3 lines 2–8).
+func (t *Trainer) secureConvForward(layer0 *nn.ConvLayer, enc *EncryptedConvBatch) (*tensor.Dense, error) {
+	// Algorithm 3 lines 17–20: one key per filter.
+	wInt, err := t.clampEncode(layer0.W, t.cfg.MaxWeight)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding filters: %w", err)
+	}
+	keys, err := securemat.DotKeys(t.Keys, wInt)
+	if err != nil {
+		return nil, fmt.Errorf("core: secure convolution keys: %w", err)
+	}
+	mpk, err := t.Keys.FEIPPublic(enc.WindowLen())
+	if err != nil {
+		return nil, err
+	}
+	numWindows := enc.NumWindows()
+	out := tensor.NewDense(layer0.OutSize(), enc.N)
+	// One decryption per (sample, filter, window) cell, parallelized.
+	total := enc.N * layer0.Filters * numWindows
+	err = securemat.ParallelFor(total, t.cfg.Parallelism, func(idx int) error {
+		s := idx / (layer0.Filters * numWindows)
+		rem := idx % (layer0.Filters * numWindows)
+		f := rem / numWindows
+		w := rem % numWindows
+		ip, err := feip.Decrypt(mpk, enc.Windows[s][w], keys[f], wInt[f], t.Solver)
+		if err != nil {
+			return fmt.Errorf("core: secure conv cell (s=%d,f=%d,w=%d): %w", s, f, w, err)
+		}
+		out.Set(f*numWindows+w, s, t.cfg.Codec.DecodeProduct(ip)+layer0.B.Data[f])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// secureConvGradAccum accumulates the filter gradient dW[f][a] =
+// Σ_s ⟨dZ_{s,f}, positions_{s,a}⟩ over the row-oriented window
+// ciphertexts. Each (sample, filter, window-position) decryption lands in
+// a per-sample scratch matrix — distinct goroutines never share a cell —
+// and the scratches are summed into GradW sequentially afterwards.
+func (t *Trainer) secureConvGradAccum(layer0 *nn.ConvLayer, enc *EncryptedConvBatch, dZ *tensor.Dense) error {
+	numWindows := enc.NumWindows()
+	windowLen := enc.WindowLen()
+	mpk, err := t.Keys.FEIPPublic(numWindows)
+	if err != nil {
+		return err
+	}
+	// Per (sample, filter): one inner-product key over that sample's dZ row.
+	type skey struct {
+		vec []int64
+		fk  *feip.FunctionKey
+	}
+	skeys := make([][]skey, enc.N)
+	for s := 0; s < enc.N; s++ {
+		skeys[s] = make([]skey, layer0.Filters)
+		for f := 0; f < layer0.Filters; f++ {
+			row := make([]float64, numWindows)
+			for w := 0; w < numWindows; w++ {
+				row[w] = dZ.At(f*numWindows+w, s) * t.cfg.GradScale
+			}
+			vec, err := t.cfg.Codec.EncodeVec(row)
+			if err != nil {
+				return fmt.Errorf("core: encoding dZ (s=%d,f=%d): %w", s, f, err)
+			}
+			fk, err := t.Keys.IPKey(vec)
+			if err != nil {
+				return fmt.Errorf("core: conv gradient key (s=%d,f=%d): %w", s, f, err)
+			}
+			skeys[s][f] = skey{vec: vec, fk: fk}
+		}
+	}
+	scratch := make([]*tensor.Dense, enc.N)
+	for s := range scratch {
+		scratch[s] = tensor.NewDense(layer0.Filters, windowLen)
+	}
+	total := enc.N * layer0.Filters * windowLen
+	err = securemat.ParallelFor(total, t.cfg.Parallelism, func(idx int) error {
+		s := idx / (layer0.Filters * windowLen)
+		rem := idx % (layer0.Filters * windowLen)
+		f := rem / windowLen
+		a := rem % windowLen
+		ip, err := feip.Decrypt(mpk, enc.Positions[s][a], skeys[s][f].fk, skeys[s][f].vec, t.Solver)
+		if err != nil {
+			return fmt.Errorf("core: secure conv grad (s=%d,f=%d,a=%d): %w", s, f, a, err)
+		}
+		scratch[s].Set(f, a, t.cfg.Codec.DecodeProduct(ip)/t.cfg.GradScale)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for s := range scratch {
+		if err := layer0.GradW.AddInPlace(scratch[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// db for conv: Σ over windows and samples of dZ.
+func convBiasGrad(layer0 *nn.ConvLayer, enc *EncryptedConvBatch, dZ *tensor.Dense) {
+	numWindows := enc.NumWindows()
+	for s := 0; s < enc.N; s++ {
+		for f := 0; f < layer0.Filters; f++ {
+			var acc float64
+			for w := 0; w < numWindows; w++ {
+				acc += dZ.At(f*numWindows+w, s)
+			}
+			layer0.GradB.Data[f] += acc
+		}
+	}
+}
+
+// TrainConvBatch runs one CryptoCNN iteration: secure convolution forward,
+// plaintext middle, secure label evaluation, plaintext back-propagation to
+// the first layer, secure filter gradient.
+func (t *Trainer) TrainConvBatch(enc *EncryptedConvBatch, opt nn.Optimizer) (*Result, error) {
+	layer0, ok := t.Model.Layers[0].(*nn.ConvLayer)
+	if !ok {
+		return nil, fmt.Errorf("core: first layer is %s; use TrainBatch for dense models", t.Model.Layers[0].Name())
+	}
+	if err := checkConvGeometry(layer0, enc); err != nil {
+		return nil, err
+	}
+	t.Model.ZeroGrad()
+
+	z, err := t.secureConvForward(layer0, enc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := t.Model.ForwardFrom(1, z)
+	if err != nil {
+		return nil, err
+	}
+
+	ebatch := &EncryptedBatch{Y: enc.Y, Classes: enc.Classes, N: enc.N}
+	loss, gradOut, probs, err := t.headGradient(ebatch, out)
+	if err != nil {
+		return nil, err
+	}
+
+	dZ0, err := t.Model.BackwardTo(1, gradOut)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.secureConvGradAccum(layer0, enc, dZ0); err != nil {
+		return nil, err
+	}
+	convBiasGrad(layer0, enc, dZ0)
+
+	if err := t.Model.ApplyStep(opt); err != nil {
+		return nil, err
+	}
+	return &Result{Loss: loss, MaskedPreds: argmaxCols(probs), Output: out}, nil
+}
+
+// PredictConv runs only the secure convolution plus the normal forward
+// pass over an encrypted batch.
+func (t *Trainer) PredictConv(enc *EncryptedConvBatch) (*Result, error) {
+	layer0, ok := t.Model.Layers[0].(*nn.ConvLayer)
+	if !ok {
+		return nil, fmt.Errorf("core: first layer is %s; use Predict for dense models", t.Model.Layers[0].Name())
+	}
+	if err := checkConvGeometry(layer0, enc); err != nil {
+		return nil, err
+	}
+	z, err := t.secureConvForward(layer0, enc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := t.Model.ForwardFrom(1, z)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Loss: math.NaN(), MaskedPreds: argmaxCols(out), Output: out}, nil
+}

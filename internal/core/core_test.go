@@ -1,0 +1,539 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/fixedpoint"
+	"cryptonn/internal/group"
+	"cryptonn/internal/nn"
+	"cryptonn/internal/tensor"
+)
+
+func newFixture(t testing.TB, bound int64) (*authority.Authority, *dlog.Solver) {
+	t.Helper()
+	auth, err := authority.New(group.TestParams(), authority.AllowAll())
+	if err != nil {
+		t.Fatalf("authority.New: %v", err)
+	}
+	solver, err := dlog.NewSolver(group.TestParams(), bound)
+	if err != nil {
+		t.Fatalf("dlog.NewSolver: %v", err)
+	}
+	return auth, solver
+}
+
+// blobData builds a linearly separable-ish 3-class toy problem.
+func blobData(rng *rand.Rand, features, n int) (*tensor.Dense, *tensor.Dense, []int) {
+	x := tensor.NewDense(features, n)
+	y := tensor.NewDense(3, n)
+	labels := make([]int, n)
+	centers := [][]float64{{0.8, 0.1}, {0.1, 0.8}, {0.8, 0.8}}
+	for j := 0; j < n; j++ {
+		c := j % 3
+		labels[j] = c
+		for i := 0; i < features; i++ {
+			base := centers[c][i%2]
+			x.Set(i, j, base+rng.NormFloat64()*0.08)
+		}
+		y.Set(c, j, 1)
+	}
+	return x, y, labels
+}
+
+func TestLabelMap(t *testing.T) {
+	m, err := core.NewLabelMap(10, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for l := 0; l < 10; l++ {
+		masked, err := m.Apply(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[masked] {
+			t.Fatal("not a permutation")
+		}
+		seen[masked] = true
+		back, err := m.Invert(masked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != l {
+			t.Fatalf("Invert(Apply(%d)) = %d", l, back)
+		}
+	}
+	// Deterministic from the key.
+	m2, err := core.NewLabelMap(10, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 10; l++ {
+		a, _ := m.Apply(l)
+		b, _ := m2.Apply(l)
+		if a != b {
+			t.Fatal("same key must derive the same permutation")
+		}
+	}
+	// Different keys almost surely differ somewhere.
+	m3, err := core.NewLabelMap(10, []byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for l := 0; l < 10; l++ {
+		a, _ := m.Apply(l)
+		b, _ := m3.Apply(l)
+		if a != b {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different keys produced identical permutations")
+	}
+	if _, err := m.Apply(-1); !errors.Is(err, core.ErrLabelRange) {
+		t.Error("negative label should fail")
+	}
+	if _, err := m.Invert(10); !errors.Is(err, core.ErrLabelRange) {
+		t.Error("out-of-range inversion should fail")
+	}
+	if _, err := core.NewLabelMap(0, []byte("k")); err == nil {
+		t.Error("zero classes should fail")
+	}
+	if _, err := core.NewLabelMap(3, nil); err == nil {
+		t.Error("empty key should fail")
+	}
+	all, err := m.ApplyAll([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := m.InvertAll(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range back {
+		if v != i {
+			t.Fatal("ApplyAll/InvertAll round trip broken")
+		}
+	}
+	id := core.Identity(5)
+	if v, _ := id.Apply(3); v != 3 {
+		t.Error("Identity must not permute")
+	}
+}
+
+func TestEncryptBatchShapes(t *testing.T) {
+	auth, _ := newFixture(t, 1000)
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, y, _ := blobData(rng, 4, 6)
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Features != 4 || enc.Classes != 3 || enc.N != 6 {
+		t.Errorf("dims %d/%d/%d", enc.Features, enc.Classes, enc.N)
+	}
+	if !enc.X.HasRows() {
+		t.Error("X must be dual-encrypted")
+	}
+	if enc.X.HasElems() {
+		t.Error("X should not carry FEBO elements")
+	}
+	if !enc.Y.HasElems() {
+		t.Error("Y must carry FEBO elements")
+	}
+	// Mismatched columns.
+	if _, err := client.EncryptBatch(x, tensor.NewDense(3, 2)); err == nil {
+		t.Error("mismatched batch should fail")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := core.NewClient(nil, nil, nil); err == nil {
+		t.Error("nil key service should fail")
+	}
+}
+
+func TestSecurePredictMatchesPlaintextForward(t *testing.T) {
+	auth, solver := newFixture(t, 50_000_000)
+	rng := rand.New(rand.NewSource(2))
+	model, err := nn.NewMLP(4, 3, []int{5}, nn.SoftmaxCrossEntropy{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, _ := blobData(rng, 4, 5)
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.Predict(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := model.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization at 2 decimals: outputs agree to ~1e-2.
+	if !tensor.AlmostEqual(res.Output, plain, 0.05) {
+		t.Error("secure forward diverges from plaintext forward beyond quantization")
+	}
+	plainPreds := make([]int, plain.Cols)
+	for j := range plainPreds {
+		plainPreds[j] = plain.ArgMaxCol(j)
+	}
+	for j := range plainPreds {
+		if res.MaskedPreds[j] != plainPreds[j] {
+			t.Errorf("prediction %d differs", j)
+		}
+	}
+}
+
+func TestCryptoNNTrainingParityWithPlaintext(t *testing.T) {
+	// The paper's core claim (Fig. 6 / Table III): a model trained through
+	// the secure steps reaches accuracy similar to the same model trained
+	// on plaintext. Train twin models from identical initialisation.
+	auth, solver := newFixture(t, 100_000_000)
+	const seed = 42
+	secureModel, err := nn.NewMLP(4, 3, []int{6}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainModel, err := nn.NewMLP(4, 3, []int{6}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainer, err := core.NewTrainer(secureModel, auth, solver, core.Config{ComputeLoss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	x, y, labels := blobData(rng, 4, 12)
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optSecure, _ := nn.NewSGD(0.5, 0)
+	optPlain, _ := nn.NewSGD(0.5, 0)
+	var secureLoss, plainLoss float64
+	for it := 0; it < 15; it++ {
+		res, err := trainer.TrainBatch(enc, optSecure)
+		if err != nil {
+			t.Fatalf("secure iteration %d: %v", it, err)
+		}
+		secureLoss = res.Loss
+		plainLoss, err = plainModel.TrainBatch(x, y, optPlain)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.IsNaN(secureLoss) {
+		t.Fatal("secure loss not computed")
+	}
+	// Loss trajectories must be close (quantization-level drift only).
+	if math.Abs(secureLoss-plainLoss) > 0.15*(1+plainLoss) {
+		t.Errorf("loss diverged: secure %v vs plain %v", secureLoss, plainLoss)
+	}
+	// Both models should classify the toy data correctly.
+	res, err := trainer.Predict(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for j, p := range res.MaskedPreds {
+		if p == labels[j] {
+			correct++
+		}
+	}
+	secureAcc := float64(correct) / float64(len(labels))
+	plainAcc, err := plainModel.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(secureAcc-plainAcc) > 0.2 {
+		t.Errorf("accuracy gap: secure %v vs plain %v", secureAcc, plainAcc)
+	}
+	if secureAcc < 0.8 {
+		t.Errorf("secure accuracy %v too low", secureAcc)
+	}
+}
+
+func TestTrainingWithLabelMapLearnsPermutedClasses(t *testing.T) {
+	auth, solver := newFixture(t, 100_000_000)
+	lm, err := core.NewLabelMap(3, []byte("clinic-shared-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := nn.NewMLP(4, 3, []int{6}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(auth, nil, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	x, y, labels := blobData(rng, 4, 12)
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := nn.NewSGD(0.5, 0)
+	for it := 0; it < 15; it++ {
+		if _, err := trainer.TrainBatch(enc, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := trainer.Predict(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masked predictions must match the *mapped* labels; inverted ones the
+	// true labels.
+	inverted, err := lm.InvertAll(res.MaskedPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for j := range labels {
+		if inverted[j] == labels[j] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(labels)); acc < 0.8 {
+		t.Errorf("accuracy after unmasking = %v", acc)
+	}
+}
+
+func TestMSEHeadBinaryClassifier(t *testing.T) {
+	// The §III-D walkthrough: sigmoid output, half squared error.
+	auth, solver := newFixture(t, 100_000_000)
+	model, err := nn.NewBinaryClassifier(2, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR-ish separable data.
+	x, _ := tensor.FromRows([][]float64{{0.1, 0.9, 0.1, 0.9}, {0.1, 0.1, 0.9, 0.9}})
+	y, _ := tensor.FromRows([][]float64{{0, 1, 1, 1}}) // OR function
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := nn.NewSGD(2.0, 0.9)
+	var first, last float64
+	for it := 0; it < 60; it++ {
+		res, err := trainer.TrainBatch(enc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it == 0 {
+			first = res.Loss
+		}
+		last = res.Loss
+	}
+	if math.IsNaN(last) {
+		t.Fatal("MSE head must always report loss")
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestCryptoCNNTrainsTinyConvNet(t *testing.T) {
+	auth, solver := newFixture(t, 100_000_000)
+	rng := rand.New(rand.NewSource(6))
+	conv, err := nn.NewConv(1, 6, 6, 2, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := nn.NewAvgPool(2, 6, 6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := nn.NewModel(36, nn.SoftmaxCrossEntropy{},
+		conv, nn.NewTanh(), pool, nn.NewDense(2*3*3, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twin plaintext model, identical init.
+	rng2 := rand.New(rand.NewSource(6))
+	conv2, err := nn.NewConv(1, 6, 6, 2, 3, 1, 1, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := nn.NewAvgPool(2, 6, 6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := nn.NewModel(36, nn.SoftmaxCrossEntropy{},
+		conv2, nn.NewTanh(), pool2, nn.NewDense(2*3*3, 3, rng2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng3 := rand.New(rand.NewSource(9))
+	x, y, _ := blobData(rng3, 36, 3)
+	enc, err := client.EncryptConvBatch(x, y, 1, 6, 6, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optS, _ := nn.NewSGD(0.3, 0)
+	optP, _ := nn.NewSGD(0.3, 0)
+	for it := 0; it < 4; it++ {
+		if _, err := trainer.TrainConvBatch(enc, optS); err != nil {
+			t.Fatalf("secure conv iteration %d: %v", it, err)
+		}
+		if _, err := plain.TrainBatch(x, y, optP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After identical training, conv filters must stay close to the
+	// plaintext twin (quantization drift only).
+	if !tensor.AlmostEqual(conv.W, conv2.W, 0.05) {
+		t.Error("secure conv filters diverged from plaintext twin")
+	}
+	res, err := trainer.PredictConv(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOut, err := plain.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AlmostEqual(res.Output, plainOut, 0.15) {
+		t.Error("secure conv forward diverged from plaintext")
+	}
+}
+
+func TestTrainerRejectsWrongLayerKinds(t *testing.T) {
+	auth, solver := newFixture(t, 1000)
+	rng := rand.New(rand.NewSource(1))
+	mlp, err := nn.NewMLP(4, 3, nil, nn.SoftmaxCrossEntropy{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := core.NewTrainer(mlp, auth, solver, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.TrainConvBatch(&core.EncryptedConvBatch{}, nil); err == nil {
+		t.Error("conv batch on dense model should fail")
+	}
+	if _, err := trainer.PredictConv(&core.EncryptedConvBatch{}); err == nil {
+		t.Error("conv predict on dense model should fail")
+	}
+	// Feature mismatch.
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(5, 2)
+	y := tensor.NewDense(3, 2)
+	y.Set(0, 0, 1)
+	y.Set(1, 1, 1)
+	enc, err := client.EncryptBatch(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.TrainBatch(enc, nil); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+	if _, err := trainer.Predict(enc); err == nil {
+		t.Error("feature mismatch on predict should fail")
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	auth, solver := newFixture(t, 1000)
+	rng := rand.New(rand.NewSource(1))
+	m, err := nn.NewMLP(2, 2, nil, nn.SoftmaxCrossEntropy{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewTrainer(nil, auth, solver, core.Config{}); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := core.NewTrainer(m, nil, solver, core.Config{}); err == nil {
+		t.Error("nil keys should fail")
+	}
+	if _, err := core.NewTrainer(m, auth, nil, core.Config{}); err == nil {
+		t.Error("nil solver should fail")
+	}
+}
+
+func TestSolverBound(t *testing.T) {
+	codec := fixedpoint.Default()
+	b := core.SolverBound(codec, 784, 1, 8, 100)
+	// 784 * (1*100) * (8*100) * 100 + 1
+	want := int64(784)*100*800*100 + 1
+	if b != want {
+		t.Errorf("SolverBound = %d, want %d", b, want)
+	}
+	if core.SolverBound(nil, 10, 1, 1, 0) <= 0 {
+		t.Error("defaults must yield a positive bound")
+	}
+}
+
+func TestEncryptConvBatchGeometryValidation(t *testing.T) {
+	auth, _ := newFixture(t, 1000)
+	client, err := core.NewClient(auth, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(36, 2)
+	y := tensor.NewDense(3, 2)
+	if _, err := client.EncryptConvBatch(x, y, 1, 7, 7, 3, 1, 1); err == nil {
+		t.Error("feature/geometry mismatch should fail")
+	}
+	if _, err := client.EncryptConvBatch(x, y, 1, 6, 6, 4, 3, 0); err == nil {
+		t.Error("non-tiling conv should fail")
+	}
+	if _, err := client.EncryptConvBatch(x, tensor.NewDense(3, 5), 1, 6, 6, 3, 1, 1); err == nil {
+		t.Error("label column mismatch should fail")
+	}
+}

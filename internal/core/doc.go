@@ -1,0 +1,32 @@
+// Package core implements the CryptoNN framework (the paper's primary
+// contribution, Algorithm 2): training a neural network over functionally
+// encrypted data.
+//
+// Per training iteration the framework inserts two secure computations
+// into an otherwise ordinary training step:
+//
+//   - secure feed-forward: the first layer's W·X (dense) or convolution
+//     (Algorithm 3) is evaluated over the encrypted inputs via the secure
+//     matrix computation scheme — the server obtains the plaintext
+//     pre-activations without ever seeing X;
+//   - secure back-propagation / evaluation: the output-layer computations
+//     involving the encrypted label Y — the gradient P − Y (element-wise
+//     subtraction under FEBO) and the cross-entropy loss −⟨y, log p⟩
+//     (inner product under FEIP) — are likewise evaluated over ciphertexts.
+//
+// Everything in between — the hidden layers, the optimizer — is the
+// untouched plaintext machinery of internal/nn, which is precisely the
+// paper's point: CryptoNN adapts to any model whose boundary computations
+// reduce to the permitted function set F.
+//
+// One gap in the paper is filled explicitly here (see DESIGN.md §4): the
+// first layer's weight gradient dW = dZ·Xᵀ also involves the encrypted X.
+// We realize it with the same FEIP machinery over a second, row-oriented
+// encryption of X (securemat.SecureDotRows), so training truly never
+// touches plaintext inputs.
+//
+// Division of roles follows Fig. 1: clients produce EncryptedBatch values
+// (EncryptBatch / EncryptConvBatch) and hold the LabelMap; the server runs
+// the Trainer, which talks to the authority only through
+// securemat.KeyService.
+package core

@@ -1,0 +1,109 @@
+// Package dlog recovers bounded discrete logarithms in the CryptoNN group.
+//
+// Both FEIP and FEBO decryption end with a group element of the form
+// g^z where z is a "small" signed integer — an inner product or an
+// element-wise arithmetic result over fixed-point-encoded data. The paper
+// (§II-B) points at Shanks' baby-step giant-step algorithm (and Terr's
+// variant [26]) for this final step; this package implements a signed,
+// bounded baby-step giant-step solver with a precomputed, reusable
+// baby-step table so the expensive part is paid once per (group, bound)
+// pair rather than once per decryption.
+//
+// A Solver is safe for concurrent use after construction, which is what
+// makes the paper's parallelized secure-computation curves (Fig. 3d, 4d,
+// 5d) possible: many goroutines share one table.
+package dlog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"cryptonn/internal/group"
+)
+
+// ErrNotFound reports that the discrete log of the queried element does not
+// lie within the solver's bound. Callers typically treat it as a fixed-point
+// overflow: the plaintext result grew beyond the configured range.
+var ErrNotFound = errors.New("dlog: value outside search bound")
+
+// Solver recovers x from g^x for x in [-Bound, Bound] using baby-step
+// giant-step with a table of about sqrt(2*Bound+1) entries.
+type Solver struct {
+	params *group.Params
+	bound  int64
+	m      int64            // baby-step table size
+	steps  int64            // number of giant steps
+	table  map[string]int64 // g^j -> j, 0 <= j < m
+	giant  *big.Int         // g^{-m}
+	shift  *big.Int         // g^{Bound}: maps signed range onto [0, 2*Bound]
+}
+
+// NewSolver builds a solver for logs in [-bound, bound]. Table construction
+// costs O(sqrt(bound)) group operations and memory; subsequent lookups cost
+// O(sqrt(bound)) multiplications in the worst case.
+func NewSolver(params *group.Params, bound int64) (*Solver, error) {
+	if params == nil {
+		return nil, errors.New("dlog: nil group parameters")
+	}
+	if bound <= 0 {
+		return nil, fmt.Errorf("dlog: bound must be positive, got %d", bound)
+	}
+	n := 2*bound + 1 // size of the shifted search range [0, 2*bound]
+	m := int64(math.Ceil(math.Sqrt(float64(n))))
+	table := make(map[string]int64, m)
+	cur := big.NewInt(1)
+	for j := int64(0); j < m; j++ {
+		table[string(cur.Bytes())] = j
+		cur = params.Mul(cur, params.G)
+	}
+	// cur is now g^m; its inverse is the giant step.
+	giant := params.Inv(cur)
+	return &Solver{
+		params: params,
+		bound:  bound,
+		m:      m,
+		steps:  (n + m - 1) / m,
+		table:  table,
+		giant:  giant,
+		shift:  params.PowG(big.NewInt(bound)),
+	}, nil
+}
+
+// Bound returns the solver's symmetric search bound.
+func (s *Solver) Bound() int64 { return s.bound }
+
+// TableSize returns the number of precomputed baby steps (diagnostics and
+// benchmark reporting).
+func (s *Solver) TableSize() int { return len(s.table) }
+
+// Lookup returns x such that h = g^x and |x| <= Bound, or ErrNotFound.
+func (s *Solver) Lookup(h *big.Int) (int64, error) {
+	if h == nil {
+		return 0, errors.New("dlog: nil element")
+	}
+	// Shift the signed range onto [0, 2*bound]: h' = h * g^bound = g^{x+bound}.
+	gamma := s.params.Mul(h, s.shift)
+	for i := int64(0); i <= s.steps; i++ {
+		if j, ok := s.table[string(gamma.Bytes())]; ok {
+			x := i*s.m + j - s.bound
+			if x < -s.bound || x > s.bound {
+				break // matched only past the end of the range
+			}
+			return x, nil
+		}
+		gamma = s.params.Mul(gamma, s.giant)
+	}
+	return 0, fmt.Errorf("%w (bound %d)", ErrNotFound, s.bound)
+}
+
+// MustLookup is Lookup for callers that have already guaranteed the value
+// is in range (e.g. tests); it panics on failure.
+func (s *Solver) MustLookup(h *big.Int) int64 {
+	x, err := s.Lookup(h)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}

@@ -1,0 +1,171 @@
+package dlog
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cryptonn/internal/group"
+)
+
+func newTestSolver(t testing.TB, bound int64) *Solver {
+	t.Helper()
+	s, err := NewSolver(group.TestParams(), bound)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	return s
+}
+
+func TestLookupExhaustiveSmall(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 50)
+	for x := int64(-50); x <= 50; x++ {
+		got, err := s.Lookup(p.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(g^%d) = %d", x, got)
+		}
+	}
+}
+
+func TestLookupBoundaryValues(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 1000)
+	for _, x := range []int64{-1000, -999, -1, 0, 1, 999, 1000} {
+		got, err := s.Lookup(p.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Errorf("Lookup(g^%d) = %d", x, got)
+		}
+	}
+}
+
+func TestLookupOutOfRange(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 100)
+	for _, x := range []int64{101, -101, 5000, -99999} {
+		if _, err := s.Lookup(p.PowGInt64(x)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Lookup(g^%d) err = %v, want ErrNotFound", x, err)
+		}
+	}
+}
+
+func TestLookupLargeBoundRandom(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 1_000_000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x := rng.Int63n(2_000_001) - 1_000_000
+		got, err := s.Lookup(p.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(g^%d) = %d", x, got)
+		}
+	}
+}
+
+func TestNewSolverRejectsBadInputs(t *testing.T) {
+	if _, err := NewSolver(nil, 10); err == nil {
+		t.Error("nil params should fail")
+	}
+	if _, err := NewSolver(group.TestParams(), 0); err == nil {
+		t.Error("zero bound should fail")
+	}
+	if _, err := NewSolver(group.TestParams(), -5); err == nil {
+		t.Error("negative bound should fail")
+	}
+}
+
+func TestLookupNil(t *testing.T) {
+	s := newTestSolver(t, 10)
+	if _, err := s.Lookup(nil); err == nil {
+		t.Error("nil element should fail")
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 10_000)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				x := rng.Int63n(20_001) - 10_000
+				got, err := s.Lookup(p.PowGInt64(x))
+				if err != nil || got != x {
+					errCh <- errors.New("concurrent lookup mismatch")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lookup inverts exponentiation on the whole signed range.
+func TestQuickLookupInvertsPowG(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 1<<20)
+	f := func(x int32) bool {
+		v := int64(x) % (1 << 20)
+		got, err := s.Lookup(p.PowGInt64(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustLookupPanicsOutOfRange(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic for out-of-range value")
+		}
+	}()
+	s.MustLookup(p.PowGInt64(11))
+}
+
+func TestTableSizeScalesWithSqrtBound(t *testing.T) {
+	small := newTestSolver(t, 100)
+	large := newTestSolver(t, 10_000)
+	if small.TableSize() >= large.TableSize() {
+		t.Errorf("table sizes: small=%d large=%d", small.TableSize(), large.TableSize())
+	}
+	if small.Bound() != 100 || large.Bound() != 10_000 {
+		t.Error("Bound accessor mismatch")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	p := group.TestParams()
+	s, err := NewSolver(p, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := p.PowGInt64(987_654)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

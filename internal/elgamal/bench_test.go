@@ -1,0 +1,96 @@
+package elgamal_test
+
+import (
+	"testing"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/elgamal"
+	"cryptonn/internal/group"
+)
+
+func benchSetup(b *testing.B) (*elgamal.PublicKey, *elgamal.SecretKey, *dlog.Solver) {
+	b.Helper()
+	params := group.TestParams()
+	pk, sk, err := elgamal.Setup(params, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := dlog.NewSolver(params, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pk, sk, solver
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	pk, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elgamal.Encrypt(pk, 1234, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	pk, sk, solver := benchSetup(b)
+	ct, err := elgamal.Encrypt(pk, 1234, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elgamal.Decrypt(sk, pk.Params, ct, solver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomomorphicAdd(b *testing.B) {
+	pk, _, _ := benchSetup(b)
+	x, err := elgamal.Encrypt(pk, 10, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := elgamal.Encrypt(pk, 20, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elgamal.Add(pk.Params, x, y)
+	}
+}
+
+// BenchmarkLinearPredict is the server-side cost of one HE prediction on
+// a 10-class, 49-feature linear model (the §III-D HE path unit).
+func BenchmarkLinearPredict(b *testing.B) {
+	pk, _, _ := benchSetup(b)
+	const (
+		features = 49
+		classes  = 10
+	)
+	x := make([]int64, features)
+	w := make([][]int64, classes)
+	bias := make([]int64, classes)
+	for i := range x {
+		x[i] = int64(i % 90)
+	}
+	for c := range w {
+		w[c] = make([]int64, features)
+		for i := range w[c] {
+			w[c][i] = int64((c*7+i*3)%40 - 20)
+		}
+		bias[c] = int64(c * 5)
+	}
+	cts, err := elgamal.EncryptVec(pk, x, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elgamal.LinearPredict(pk, w, bias, cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

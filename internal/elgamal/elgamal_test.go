@@ -1,0 +1,179 @@
+package elgamal_test
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/elgamal"
+	"cryptonn/internal/group"
+)
+
+func setup(t *testing.T, bound int64) (*elgamal.PublicKey, *elgamal.SecretKey, *dlog.Solver) {
+	t.Helper()
+	params := group.TestParams()
+	pk, sk, err := elgamal.Setup(params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := dlog.NewSolver(params, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, sk, solver
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	pk, sk, solver := setup(t, 10_000)
+	for _, m := range []int64{0, 1, -1, 42, -9999, 10_000} {
+		ct, err := elgamal.Encrypt(pk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := elgamal.Decrypt(sk, pk.Params, ct, solver)
+		if err != nil {
+			t.Fatalf("decrypt %d: %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip %d → %d", m, got)
+		}
+	}
+}
+
+func TestQuickHomomorphicProperties(t *testing.T) {
+	pk, sk, solver := setup(t, 1_000_000)
+	prop := func(a16, b16 int16, k8 int8) bool {
+		a, b, k := int64(a16%1000), int64(b16%1000), int64(k8%10)
+		ca, err := elgamal.Encrypt(pk, a, nil)
+		if err != nil {
+			return false
+		}
+		cb, err := elgamal.Encrypt(pk, b, nil)
+		if err != nil {
+			return false
+		}
+		sum, err := elgamal.Decrypt(sk, pk.Params, elgamal.Add(pk.Params, ca, cb), solver)
+		if err != nil || sum != a+b {
+			t.Logf("Add: %d+%d → %d (%v)", a, b, sum, err)
+			return false
+		}
+		scaled, err := elgamal.Decrypt(sk, pk.Params, elgamal.ScalarMul(pk.Params, ca, k), solver)
+		if err != nil || scaled != k*a {
+			t.Logf("ScalarMul: %d·%d → %d (%v)", k, a, scaled, err)
+			return false
+		}
+		shifted, err := elgamal.Decrypt(sk, pk.Params, elgamal.AddPlain(pk.Params, ca, b), solver)
+		if err != nil || shifted != a+b {
+			t.Logf("AddPlain: %d+%d → %d (%v)", a, b, shifted, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearPredictMatchesPlaintext(t *testing.T) {
+	pk, sk, solver := setup(t, 1_000_000)
+	x := []int64{3, -1, 4, 2}
+	w := [][]int64{
+		{1, 2, 3, 4},
+		{-5, 0, 2, 1},
+		{10, -10, 1, 0},
+	}
+	b := []int64{7, -3, 0}
+	cts, err := elgamal.EncryptVec(pk, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := elgamal.LinearPredict(pk, w, b, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, vals, err := elgamal.DecryptArgMax(sk, pk.Params, scores, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBest := 0
+	for i, row := range w {
+		var want int64 = b[i]
+		for j := range x {
+			want += row[j] * x[j]
+		}
+		if vals[i] != want {
+			t.Errorf("score %d = %d, want %d", i, vals[i], want)
+		}
+		if i > 0 {
+			var prevBest int64 = b[wantBest]
+			for j := range x {
+				prevBest += w[wantBest][j] * x[j]
+			}
+			if want > prevBest {
+				wantBest = i
+			}
+		}
+	}
+	if cls != wantBest {
+		t.Errorf("argmax class %d, want %d", cls, wantBest)
+	}
+}
+
+func TestLinearPredictValidation(t *testing.T) {
+	pk, _, _ := setup(t, 100)
+	cts, err := elgamal.EncryptVec(pk, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := elgamal.LinearPredict(pk, nil, nil, cts); err == nil {
+		t.Error("empty W accepted")
+	}
+	if _, err := elgamal.LinearPredict(pk, [][]int64{{1, 2}}, []int64{1, 2}, cts); err == nil {
+		t.Error("bias/row mismatch accepted")
+	}
+	if _, err := elgamal.LinearPredict(pk, [][]int64{{1}}, []int64{0}, cts); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestDecryptRejectsTamperedCiphertext(t *testing.T) {
+	pk, sk, solver := setup(t, 1000)
+	ct, err := elgamal.Encrypt(pk, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.C2 = big.NewInt(0) // not a group element
+	if _, err := elgamal.Decrypt(sk, pk.Params, ct, solver); err == nil {
+		t.Error("zero component accepted")
+	}
+}
+
+func TestCiphertextsAreRandomized(t *testing.T) {
+	pk, _, _ := setup(t, 100)
+	a, err := elgamal.Encrypt(pk, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := elgamal.Encrypt(pk, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C1.Cmp(b.C1) == 0 && a.C2.Cmp(b.C2) == 0 {
+		t.Error("two encryptions of the same message are identical")
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, _, err := elgamal.Setup(nil, nil); err == nil {
+		t.Error("nil params accepted")
+	}
+	pk, _, _ := setup(t, 10)
+	if err := pk.Validate(); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+	bad := &elgamal.PublicKey{Params: pk.Params, H: big.NewInt(0)}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid key accepted")
+	}
+}

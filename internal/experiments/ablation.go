@@ -1,0 +1,369 @@
+package experiments
+
+// Ablations: measurements of the design choices the paper makes in
+// passing but never quantifies.
+//
+//   - AblationDotComposition — §III-C: "even though the secure dot-product
+//     computation can also be achieved using secure element-wise
+//     multiplication ... we still separate it as an independent function
+//     here due to efficiency considerations." This ablation measures both
+//     paths and quantifies those considerations.
+//   - AblationParallelism — §III-C's parallelization claim, as a worker
+//     sweep instead of the single seq/par pair of Fig. 3–5.
+//   - AblationGroupBits — the security-parameter cost curve (the paper
+//     fixes 256 bits; this shows what that choice buys and costs).
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
+)
+
+// DotCompositionConfig parameterizes AblationDotComposition.
+type DotCompositionConfig struct {
+	// Bits selects the group (zero: 64).
+	Bits int
+	// Rows is the weight-matrix row count (hidden units).
+	Rows int
+	// Inner is the shared dimension (features).
+	Inner int
+	// Cols is the batch size.
+	Cols int
+	// MaxVal bounds the sampled values.
+	MaxVal int64
+	// Seed fixes the inputs.
+	Seed int64
+}
+
+func (c *DotCompositionConfig) fillDefaults() {
+	if c.Bits == 0 {
+		c.Bits = group.TestBits
+	}
+	if c.Rows == 0 {
+		c.Rows = 4
+	}
+	if c.Inner == 0 {
+		c.Inner = 16
+	}
+	if c.Cols == 0 {
+		c.Cols = 8
+	}
+	if c.MaxVal == 0 {
+		c.MaxVal = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// DotCompositionResult compares the two ways to compute W·X securely.
+type DotCompositionResult struct {
+	// FEIPTime is the native secure dot-product path (one FEIP
+	// decryption per output cell).
+	FEIPTime time.Duration
+	// FEIPKeys is the number of function keys the FEIP path needs
+	// (one per row of W).
+	FEIPKeys int
+	// FEBOTime is the element-wise composition: every product X[k][j] ·
+	// W[i][k] via FEBO multiplication, summed in plaintext.
+	FEBOTime time.Duration
+	// FEBOKeys is the number of function keys the FEBO path needs (one
+	// per ciphertext × weight pairing — the per-commitment binding).
+	FEBOKeys int
+	// Speedup is FEBOTime / FEIPTime.
+	Speedup float64
+}
+
+// AblationDotComposition measures W·X by the native FEIP dot-product and
+// by composing FEBO element-wise multiplications, verifying both against
+// plaintext and timing them.
+func AblationDotComposition(cfg DotCompositionConfig) (*DotCompositionResult, error) {
+	cfg.fillDefaults()
+	params, err := group.Embedded(cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	auth, err := authority.New(params, authority.AllowAll())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := randMatrix(rng, cfg.Rows, cfg.Inner, ValueRange{-cfg.MaxVal, cfg.MaxVal})
+	x := randMatrix(rng, cfg.Inner, cfg.Cols, ValueRange{-cfg.MaxVal, cfg.MaxVal})
+
+	want := make([][]int64, cfg.Rows)
+	for i := range want {
+		want[i] = make([]int64, cfg.Cols)
+		for j := 0; j < cfg.Cols; j++ {
+			var acc int64
+			for k := 0; k < cfg.Inner; k++ {
+				acc += w[i][k] * x[k][j]
+			}
+			want[i][j] = acc
+		}
+	}
+
+	ipSolver, err := dlog.NewSolver(params, int64(cfg.Inner)*cfg.MaxVal*cfg.MaxVal+1)
+	if err != nil {
+		return nil, err
+	}
+	mulSolver, err := dlog.NewSolver(params, cfg.MaxVal*cfg.MaxVal+1)
+	if err != nil {
+		return nil, err
+	}
+
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res := &DotCompositionResult{
+		FEIPKeys: cfg.Rows,
+		FEBOKeys: cfg.Rows * cfg.Inner * cfg.Cols,
+	}
+
+	// Path 1: native FEIP dot-product (Algorithm 1's dedicated branch).
+	start := time.Now()
+	ipKeys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		return nil, err
+	}
+	z, err := securemat.SecureDot(auth, enc, ipKeys, w, ipSolver, securemat.ComputeOptions{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	res.FEIPTime = time.Since(start)
+	for i := range want {
+		for j := range want[i] {
+			if z[i][j] != want[i][j] {
+				return nil, fmt.Errorf("experiments: FEIP path mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Path 2: FEBO element-wise multiplication composition. For each
+	// output cell (i,j): decrypt X[k][j]·W[i][k] for every k, then sum
+	// the plaintext products. Each decryption needs its own key bound to
+	// that element's commitment — the cost the paper's remark is about.
+	start = time.Now()
+	for i := 0; i < cfg.Rows; i++ {
+		// The weight row as the element-wise multiplier against every
+		// column of X: Y[k][j] = w[i][k].
+		y := make([][]int64, cfg.Inner)
+		for k := range y {
+			y[k] = make([]int64, cfg.Cols)
+			for j := 0; j < cfg.Cols; j++ {
+				y[k][j] = w[i][k]
+			}
+		}
+		keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseMul, y)
+		if err != nil {
+			return nil, err
+		}
+		prods, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseMul, y, mulSolver,
+			securemat.ComputeOptions{Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < cfg.Cols; j++ {
+			var acc int64
+			for k := 0; k < cfg.Inner; k++ {
+				acc += prods[k][j]
+			}
+			if acc != want[i][j] {
+				return nil, fmt.Errorf("experiments: FEBO path mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	res.FEBOTime = time.Since(start)
+	if res.FEIPTime > 0 {
+		res.Speedup = float64(res.FEBOTime) / float64(res.FEIPTime)
+	}
+	return res, nil
+}
+
+// ParallelismConfig parameterizes AblationParallelism.
+type ParallelismConfig struct {
+	// Bits selects the group (zero: 64).
+	Bits int
+	// Workers lists the worker counts to sweep.
+	Workers []int
+	// Count and Length shape the dot-product workload.
+	Count, Length int
+	// MaxVal bounds values.
+	MaxVal int64
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (c *ParallelismConfig) fillDefaults() {
+	if c.Bits == 0 {
+		c.Bits = group.TestBits
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if c.Count == 0 {
+		c.Count = 200
+	}
+	if c.Length == 0 {
+		c.Length = 50
+	}
+	if c.MaxVal == 0 {
+		c.MaxVal = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ParallelismPoint is one measured worker count.
+type ParallelismPoint struct {
+	Workers int
+	Time    time.Duration
+	// Speedup is time(1 worker) / Time.
+	Speedup float64
+}
+
+// AblationParallelism sweeps the decryption worker count over a fixed
+// secure dot-product workload (the generalization of the seq/"P" pairs
+// of Fig. 3–5).
+func AblationParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
+	cfg.fillDefaults()
+	params, err := group.Embedded(cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	auth, err := authority.New(params, authority.AllowAll())
+	if err != nil {
+		return nil, err
+	}
+	solver, err := dlog.NewSolver(params, int64(cfg.Length)*cfg.MaxVal*cfg.MaxVal+1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := randMatrix(rng, cfg.Length, cfg.Count, ValueRange{1, cfg.MaxVal})
+	w := randMatrix(rng, 1, cfg.Length, ValueRange{1, cfg.MaxVal})
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		return nil, err
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []ParallelismPoint
+	var base time.Duration
+	for _, workers := range cfg.Workers {
+		start := time.Now()
+		if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+			securemat.ComputeOptions{Parallelism: workers}); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if len(points) == 0 {
+			base = d
+		}
+		p := ParallelismPoint{Workers: workers, Time: d}
+		if d > 0 {
+			p.Speedup = float64(base) / float64(d)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// GroupBitsConfig parameterizes AblationGroupBits.
+type GroupBitsConfig struct {
+	// Sizes lists the moduli to sweep; zero selects every embedded group.
+	Sizes []int
+	// Elements is the element-wise addition workload size.
+	Elements int
+	// MaxVal bounds values.
+	MaxVal int64
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (c *GroupBitsConfig) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = group.EmbeddedSizes()
+	}
+	if c.Elements == 0 {
+		c.Elements = 100
+	}
+	if c.MaxVal == 0 {
+		c.MaxVal = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// GroupBitsPoint is one measured security parameter.
+type GroupBitsPoint struct {
+	Bits      int
+	Encrypt   time.Duration
+	KeyDerive time.Duration
+	Compute   time.Duration
+}
+
+// AblationGroupBits runs a fixed secure element-wise addition workload
+// at every embedded group size, exposing the cost of the security
+// parameter the paper fixes at 256.
+func AblationGroupBits(cfg GroupBitsConfig) ([]GroupBitsPoint, error) {
+	cfg.fillDefaults()
+	var points []GroupBitsPoint
+	for _, bits := range cfg.Sizes {
+		params, err := group.Embedded(bits)
+		if err != nil {
+			return nil, err
+		}
+		auth, err := authority.New(params, authority.AllowAll())
+		if err != nil {
+			return nil, err
+		}
+		solver, err := dlog.NewSolver(params, 2*cfg.MaxVal+1)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		x := randMatrix(rng, 1, cfg.Elements, ValueRange{-cfg.MaxVal, cfg.MaxVal})
+		y := randMatrix(rng, 1, cfg.Elements, ValueRange{-cfg.MaxVal, cfg.MaxVal})
+
+		start := time.Now()
+		enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+		if err != nil {
+			return nil, err
+		}
+		encDur := time.Since(start)
+
+		start = time.Now()
+		keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+		if err != nil {
+			return nil, err
+		}
+		keyDur := time.Since(start)
+
+		start = time.Now()
+		z, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+			securemat.ComputeOptions{Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		compDur := time.Since(start)
+		for j := 0; j < cfg.Elements; j++ {
+			if z[0][j] != x[0][j]+y[0][j] {
+				return nil, fmt.Errorf("experiments: %d-bit addition mismatch at %d", bits, j)
+			}
+		}
+		points = append(points, GroupBitsPoint{Bits: bits, Encrypt: encDur, KeyDerive: keyDur, Compute: compDur})
+	}
+	return points, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+func TestAblationDotCompositionFEIPWins(t *testing.T) {
+	// Large enough that the ~100× decryption-count asymmetry dominates
+	// scheduler noise: FEIP decrypts rows×cols = 16 cells, the FEBO
+	// composition decrypts rows×inner×cols = 1024.
+	res, err := AblationDotComposition(DotCompositionConfig{
+		Rows: 2, Inner: 64, Cols: 8, MaxVal: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's "efficiency considerations": the dedicated dot-product
+	// path must beat the element-wise composition.
+	if res.FEIPTime >= res.FEBOTime {
+		t.Errorf("FEIP path %v not faster than FEBO composition %v", res.FEIPTime, res.FEBOTime)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("speedup = %.2f, want > 1", res.Speedup)
+	}
+	// Key-count asymmetry: FEIP needs one key per W row; FEBO needs one
+	// per (cell, k) pairing.
+	if res.FEIPKeys != 2 {
+		t.Errorf("FEIP keys = %d, want 2", res.FEIPKeys)
+	}
+	if res.FEBOKeys != 2*64*8 {
+		t.Errorf("FEBO keys = %d, want %d", res.FEBOKeys, 2*64*8)
+	}
+}
+
+func TestAblationParallelismSweep(t *testing.T) {
+	points, err := AblationParallelism(ParallelismConfig{
+		Workers: []int{1, 2}, Count: 40, Length: 10, MaxVal: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	if points[0].Workers != 1 || points[1].Workers != 2 {
+		t.Errorf("worker labels %d,%d", points[0].Workers, points[1].Workers)
+	}
+	for _, p := range points {
+		if p.Time <= 0 {
+			t.Errorf("workers=%d: no time measured", p.Workers)
+		}
+	}
+	if points[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %.2f, want 1", points[0].Speedup)
+	}
+}
+
+func TestAblationGroupBitsMonotone(t *testing.T) {
+	points, err := AblationGroupBits(GroupBitsConfig{
+		Sizes: []int{64, 256}, Elements: 30, MaxVal: 50, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	// Bigger modulus ⇒ more expensive exponentiations, at least for the
+	// encryption column (two exponentiations per element both sizes).
+	if points[1].Encrypt <= points[0].Encrypt {
+		t.Errorf("256-bit encryption %v not slower than 64-bit %v",
+			points[1].Encrypt, points[0].Encrypt)
+	}
+}
+
+func TestAblationGroupBitsDefaultsCoverEmbedded(t *testing.T) {
+	cfg := GroupBitsConfig{}
+	cfg.fillDefaults()
+	if len(cfg.Sizes) != len(group.EmbeddedSizes()) {
+		t.Errorf("default sizes %v, want the embedded set %v", cfg.Sizes, group.EmbeddedSizes())
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestAblationPredictionPathsRunAndAgree(t *testing.T) {
+	res, err := AblationPredictionPaths(PredictPathsConfig{
+		Features: 20, Classes: 4, Samples: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 6 {
+		t.Fatalf("got %d predictions, want 6", len(res.Classes))
+	}
+	if res.Plain <= 0 || res.FE <= 0 || res.HE <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	// Both crypto paths run the same fixed-point-quantized linear map;
+	// with well-separated random scores they must agree with plaintext.
+	if !res.Agree {
+		t.Errorf("prediction paths disagree: %+v", res)
+	}
+	// The crypto paths cannot beat the plaintext forward pass.
+	if res.FE < res.Plain || res.HE < res.Plain {
+		t.Errorf("crypto path faster than plaintext: plain %v, FE %v, HE %v",
+			res.Plain, res.FE, res.HE)
+	}
+}
+
+func TestAblationPredictionPathsDefaults(t *testing.T) {
+	cfg := PredictPathsConfig{}
+	cfg.fillDefaults()
+	if cfg.Features != 49 || cfg.Classes != 10 || cfg.Samples != 8 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,77 @@
+package febo_test
+
+import (
+	"testing"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/group"
+)
+
+// FEBO primitive costs: these dominate the paper's Fig. 3/4 panels (one
+// Encrypt + one KeyDerive + one Decrypt per matrix element). The per-op
+// decrypt benchmarks show multiplication's larger dlog window.
+
+func benchSetup(b *testing.B) (*febo.PublicKey, *febo.SecretKey, *group.Params) {
+	b.Helper()
+	params := group.TestParams()
+	pk, sk, err := febo.Setup(params, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pk, sk, params
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	pk, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := febo.Encrypt(pk, 123, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyDerive(b *testing.B) {
+	pk, sk, params := benchSetup(b)
+	ct, err := febo.Encrypt(pk, 123, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, op := range []febo.Op{febo.OpAdd, febo.OpSub, febo.OpMul, febo.OpDiv} {
+		b.Run(op.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := febo.KeyDerive(params, sk, ct.Cmt, op, 45); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	pk, sk, params := benchSetup(b)
+	ct, err := febo.Encrypt(pk, 120, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Multiplication needs the larger window (|x·y| ≤ 120×45); the same
+	// solver serves all ops so the benchmark isolates the algebra.
+	solver, err := dlog.NewSolver(params, 120*45+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, op := range []febo.Op{febo.OpAdd, febo.OpSub, febo.OpMul} {
+		fk, err := febo.KeyDerive(params, sk, ct.Cmt, op, 45)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(op.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := febo.Decrypt(pk, fk, ct, op, 45, solver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

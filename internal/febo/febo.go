@@ -1,0 +1,273 @@
+// Package febo implements the paper's functional encryption scheme for
+// basic arithmetic operations (§III-B): FEBO = (Setup, KeyDerive, Encrypt,
+// Decrypt) for f_Δ(x, y) = x Δ y with Δ ∈ {+, −, ×, ÷}.
+//
+// The construction is derived from ElGamal encryption:
+//
+//	Setup:      s ←$ Z_q, msk = s, mpk = (g, h = g^s)
+//	Encrypt:    r ←$ Z_q, cmt = g^r, ct = h^r · g^x
+//	KeyDerive:  sk_{f_Δ} =  cmt^s·g^{−y}   (Δ = +)
+//	                        cmt^s·g^{y}    (Δ = −)
+//	                        (cmt^s)^y      (Δ = ×)
+//	                        (cmt^s)^{y⁻¹}  (Δ = ÷)
+//	Decrypt:    g^{x Δ y} = ct/sk  |  ct^y/sk  |  ct^{y⁻¹}/sk
+//
+// Note the per-ciphertext commitment: unlike FEIP, the function key is
+// bound to one specific ciphertext via cmt = g^r, so the authority issues
+// one key per (ciphertext, op, y) triple. That design choice is faithful to
+// the paper and is exactly why the paper's Fig. 3b/4b key-derivation curves
+// grow linearly with matrix size.
+//
+// Division recovers x·y⁻¹ in the exponent ring Z_q, which equals the
+// integer quotient only when y divides x exactly; see DecryptDiv.
+package febo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/group"
+)
+
+// Op enumerates the four arithmetic functionalities of FEBO.
+type Op int
+
+// The four basic operations, in the paper's Δ ∈ [+, −, ∗, /] order.
+const (
+	OpAdd Op = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Valid reports whether o is one of the four defined operations.
+func (o Op) Valid() bool { return o >= OpAdd && o <= OpDiv }
+
+// Apply computes the plaintext functionality x Δ y; the reference
+// implementation used by tests. Division follows the scheme's semantics:
+// exact integer division only.
+func (o Op) Apply(x, y int64) (int64, error) {
+	switch o {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		if y == 0 {
+			return 0, errors.New("febo: division by zero")
+		}
+		if x%y != 0 {
+			return 0, fmt.Errorf("febo: %d/%d is not an exact integer division", x, y)
+		}
+		return x / y, nil
+	default:
+		return 0, fmt.Errorf("febo: invalid op %d", int(o))
+	}
+}
+
+var (
+	// ErrMalformed reports a structurally invalid key or ciphertext.
+	ErrMalformed = errors.New("febo: malformed input")
+	// ErrInvalidOp reports an operation outside {+, −, ×, ÷}.
+	ErrInvalidOp = errors.New("febo: invalid operation")
+)
+
+// PublicKey is mpk = (group, h = g^s).
+type PublicKey struct {
+	Params *group.Params
+	H      *big.Int
+}
+
+// Validate checks that h is a group element; applied to keys received over
+// the network.
+func (k *PublicKey) Validate() error {
+	if k == nil || k.Params == nil || k.H == nil {
+		return fmt.Errorf("%w: empty public key", ErrMalformed)
+	}
+	if err := k.Params.Validate(); err != nil {
+		return err
+	}
+	if !k.Params.IsElement(k.H) {
+		return fmt.Errorf("%w: h not a group element", ErrMalformed)
+	}
+	return nil
+}
+
+// SecretKey is msk = s; held only by the authority.
+type SecretKey struct {
+	S *big.Int
+}
+
+// Ciphertext is the pair (cmt = g^r, ct = h^r·g^x). The commitment travels
+// with the ciphertext because KeyDerive needs it.
+type Ciphertext struct {
+	Cmt *big.Int
+	Ct  *big.Int
+}
+
+// Validate checks group membership of both components.
+func (c *Ciphertext) Validate(params *group.Params) error {
+	if c == nil || c.Cmt == nil || c.Ct == nil {
+		return fmt.Errorf("%w: empty ciphertext", ErrMalformed)
+	}
+	if !params.IsElement(c.Cmt) || !params.IsElement(c.Ct) {
+		return fmt.Errorf("%w: component not a group element", ErrMalformed)
+	}
+	return nil
+}
+
+// FunctionKey is sk_{f_Δ} for one (ciphertext, Δ, y) triple.
+type FunctionKey struct {
+	K *big.Int
+}
+
+// Setup generates (mpk, msk) over the given group, drawing randomness from
+// r (crypto/rand when nil).
+func Setup(params *group.Params, r io.Reader) (*PublicKey, *SecretKey, error) {
+	if params == nil {
+		return nil, nil, errors.New("febo: nil group parameters")
+	}
+	s, err := params.RandScalar(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("febo: setup: %w", err)
+	}
+	return &PublicKey{Params: params, H: params.PowG(s)}, &SecretKey{S: s}, nil
+}
+
+// Encrypt encrypts the signed integer x, returning (cmt, ct).
+func Encrypt(pk *PublicKey, x int64, r io.Reader) (*Ciphertext, error) {
+	if pk == nil || pk.H == nil {
+		return nil, fmt.Errorf("%w: empty public key", ErrMalformed)
+	}
+	p := pk.Params
+	nonce, err := p.RandScalar(r)
+	if err != nil {
+		return nil, fmt.Errorf("febo: encrypt: %w", err)
+	}
+	hr := p.Exp(pk.H, nonce)
+	return &Ciphertext{
+		Cmt: p.PowG(nonce),
+		Ct:  p.Mul(hr, p.PowG(big.NewInt(x))),
+	}, nil
+}
+
+// KeyDerive issues the function key for computing x Δ y against the
+// ciphertext whose commitment is cmt. Division requires y to be invertible
+// mod q (in particular y ≠ 0).
+func KeyDerive(params *group.Params, sk *SecretKey, cmt *big.Int, op Op, y int64) (*FunctionKey, error) {
+	if sk == nil || sk.S == nil {
+		return nil, fmt.Errorf("%w: empty secret key", ErrMalformed)
+	}
+	if cmt == nil || !params.IsElement(cmt) {
+		return nil, fmt.Errorf("%w: commitment not a group element", ErrMalformed)
+	}
+	cmtS := params.Exp(cmt, sk.S) // g^{rs}
+	yb := big.NewInt(y)
+	switch op {
+	case OpAdd:
+		return &FunctionKey{K: params.Mul(cmtS, params.PowG(new(big.Int).Neg(yb)))}, nil
+	case OpSub:
+		return &FunctionKey{K: params.Mul(cmtS, params.PowG(yb))}, nil
+	case OpMul:
+		return &FunctionKey{K: params.Exp(cmtS, yb)}, nil
+	case OpDiv:
+		yInv, err := params.InvScalar(yb)
+		if err != nil {
+			return nil, fmt.Errorf("febo: division key: %w", err)
+		}
+		return &FunctionKey{K: params.Exp(cmtS, yInv)}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
+	}
+}
+
+// Decrypt recovers x Δ y from the ciphertext and the matching function key,
+// using solver for the final bounded discrete log.
+//
+// For Δ = ÷, the recovered exponent is x·y⁻¹ mod q, which equals the
+// integer x/y only for exact divisions; otherwise the exponent is a
+// pseudo-random ring element and Decrypt reports the solver's ErrNotFound.
+func Decrypt(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64, solver *dlog.Solver) (int64, error) {
+	g, err := DecryptGroupElement(pk, fk, ct, op, y)
+	if err != nil {
+		return 0, err
+	}
+	v, err := solver.Lookup(g)
+	if err != nil {
+		return 0, fmt.Errorf("febo: recovering x%sy: %w", op, err)
+	}
+	return v, nil
+}
+
+// ErrInexactDivision reports a ÷ decryption whose quotient is not an
+// integer: x·y⁻¹ mod q then lands on a pseudo-random ring element far
+// outside any reasonable solver bound.
+var ErrInexactDivision = errors.New("febo: inexact division (x not divisible by y)")
+
+// DecryptDiv recovers x / y for the division functionality, translating
+// the solver's not-found into ErrInexactDivision: in the exponent ring
+// Z_q, x·y⁻¹ equals the integer quotient exactly when y | x, and is a
+// pseudo-random ring element otherwise.
+func DecryptDiv(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, y int64, solver *dlog.Solver) (int64, error) {
+	g, err := DecryptGroupElement(pk, fk, ct, OpDiv, y)
+	if err != nil {
+		return 0, err
+	}
+	v, err := solver.Lookup(g)
+	if err != nil {
+		if errors.Is(err, dlog.ErrNotFound) {
+			return 0, ErrInexactDivision
+		}
+		return 0, fmt.Errorf("febo: recovering x/y: %w", err)
+	}
+	return v, nil
+}
+
+// DecryptGroupElement computes g^{x Δ y} without the final discrete log.
+func DecryptGroupElement(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64) (*big.Int, error) {
+	if pk == nil {
+		return nil, fmt.Errorf("%w: nil public key", ErrMalformed)
+	}
+	if fk == nil || fk.K == nil {
+		return nil, fmt.Errorf("%w: empty function key", ErrMalformed)
+	}
+	if ct == nil || ct.Ct == nil {
+		return nil, fmt.Errorf("%w: empty ciphertext", ErrMalformed)
+	}
+	p := pk.Params
+	switch op {
+	case OpAdd, OpSub:
+		return p.Div(ct.Ct, fk.K), nil
+	case OpMul:
+		return p.Div(p.Exp(ct.Ct, big.NewInt(y)), fk.K), nil
+	case OpDiv:
+		yInv, err := p.InvScalar(big.NewInt(y))
+		if err != nil {
+			return nil, fmt.Errorf("febo: decrypt: %w", err)
+		}
+		return p.Div(p.Exp(ct.Ct, yInv), fk.K), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
+	}
+}

@@ -1,0 +1,96 @@
+package feip_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/group"
+)
+
+// The FEIP primitive costs underlying every CryptoNN secure feed-forward:
+// one Encrypt per input column (client), one KeyDerive per weight row
+// (authority), one Decrypt per output cell (server). The per-dimension
+// sweep shows the η+1-exponentiation scaling of §II-B.
+
+func benchVectors(eta int, seed int64) (x, y []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]int64, eta)
+	y = make([]int64, eta)
+	for i := 0; i < eta; i++ {
+		x[i] = rng.Int63n(21) - 10
+		y[i] = rng.Int63n(21) - 10
+	}
+	return x, y
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	for _, eta := range []int{10, 100, 784} {
+		b.Run(fmt.Sprintf("eta=%d", eta), func(b *testing.B) {
+			params := group.TestParams()
+			mpk, _, err := feip.Setup(params, eta, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x, _ := benchVectors(eta, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := feip.Encrypt(mpk, x, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKeyDerive(b *testing.B) {
+	for _, eta := range []int{10, 100, 784} {
+		b.Run(fmt.Sprintf("eta=%d", eta), func(b *testing.B) {
+			params := group.TestParams()
+			_, msk, err := feip.Setup(params, eta, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, y := benchVectors(eta, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := feip.KeyDerive(params, msk, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	for _, eta := range []int{10, 100, 784} {
+		b.Run(fmt.Sprintf("eta=%d", eta), func(b *testing.B) {
+			params := group.TestParams()
+			mpk, msk, err := feip.Setup(params, eta, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x, y := benchVectors(eta, 3)
+			ct, err := feip.Encrypt(mpk, x, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fk, err := feip.KeyDerive(params, msk, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solver, err := dlog.NewSolver(params, int64(eta)*100+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := feip.Decrypt(mpk, ct, fk, y, solver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

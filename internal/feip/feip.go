@@ -1,0 +1,211 @@
+// Package feip implements functional encryption for inner products.
+//
+// This is the DDH-based scheme of Abdalla, Bourse, De Caro and Pointcheval,
+// "Simple Functional Encryption Schemes for Inner Products" (PKC 2015),
+// exactly as restated in §II-B of the CryptoNN paper:
+//
+//	Setup(1^λ, 1^η):  s = (s_1..s_η) ←$ Z_q^η,  mpk = (g, h_i = g^{s_i}),  msk = s
+//	KeyDerive(msk, y): sk_f = ⟨y, s⟩ mod q
+//	Encrypt(mpk, x):  r ←$ Z_q,  ct_0 = g^r,  ct_i = h_i^r · g^{x_i}
+//	Decrypt:          g^{⟨x,y⟩} = Π ct_i^{y_i} / ct_0^{sk_f}
+//
+// The final discrete log g^{⟨x,y⟩} → ⟨x,y⟩ is recovered with a bounded
+// baby-step giant-step solver from internal/dlog. Plaintext coordinates are
+// signed int64 (fixed-point-encoded reals in the CryptoNN workload); they
+// are reduced into Z_q for the exponent arithmetic and the signed result is
+// recovered as long as |⟨x,y⟩| stays within the solver bound.
+package feip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/group"
+)
+
+var (
+	// ErrDimension reports a vector length mismatch with the scheme's η.
+	ErrDimension = errors.New("feip: vector dimension mismatch")
+	// ErrMalformed reports a structurally invalid key or ciphertext.
+	ErrMalformed = errors.New("feip: malformed input")
+)
+
+// MasterPublicKey is mpk = (group, h_i = g^{s_i}). Clients encrypt under it.
+type MasterPublicKey struct {
+	Params *group.Params
+	H      []*big.Int
+}
+
+// Eta returns the vector dimension η the key was set up for.
+func (k *MasterPublicKey) Eta() int { return len(k.H) }
+
+// Validate checks group membership of every h_i; it is applied to keys
+// received over the network.
+func (k *MasterPublicKey) Validate() error {
+	if k == nil || k.Params == nil || len(k.H) == 0 {
+		return fmt.Errorf("%w: empty public key", ErrMalformed)
+	}
+	if err := k.Params.Validate(); err != nil {
+		return err
+	}
+	for i, h := range k.H {
+		if !k.Params.IsElement(h) {
+			return fmt.Errorf("%w: h[%d] not a group element", ErrMalformed, i)
+		}
+	}
+	return nil
+}
+
+// MasterSecretKey is msk = s. Only the authority holds it.
+type MasterSecretKey struct {
+	S []*big.Int
+}
+
+// FunctionKey is the inner-product key sk_f = ⟨y, s⟩ mod q for a specific
+// weight vector y. Possession of the key reveals only ⟨x, y⟩, not x.
+type FunctionKey struct {
+	K *big.Int
+}
+
+// Ciphertext is (ct_0, ct_1..ct_η).
+type Ciphertext struct {
+	Ct0 *big.Int
+	Ct  []*big.Int
+}
+
+// Eta returns the encrypted vector's dimension.
+func (c *Ciphertext) Eta() int { return len(c.Ct) }
+
+// Validate checks group membership of all components.
+func (c *Ciphertext) Validate(params *group.Params) error {
+	if c == nil || c.Ct0 == nil || len(c.Ct) == 0 {
+		return fmt.Errorf("%w: empty ciphertext", ErrMalformed)
+	}
+	if !params.IsElement(c.Ct0) {
+		return fmt.Errorf("%w: ct0 not a group element", ErrMalformed)
+	}
+	for i, ct := range c.Ct {
+		if !params.IsElement(ct) {
+			return fmt.Errorf("%w: ct[%d] not a group element", ErrMalformed, i)
+		}
+	}
+	return nil
+}
+
+// Setup generates (mpk, msk) for η-dimensional vectors over the given
+// group. Randomness is drawn from r (crypto/rand when nil).
+func Setup(params *group.Params, eta int, r io.Reader) (*MasterPublicKey, *MasterSecretKey, error) {
+	if params == nil {
+		return nil, nil, errors.New("feip: nil group parameters")
+	}
+	if eta <= 0 {
+		return nil, nil, fmt.Errorf("feip: dimension must be positive, got %d", eta)
+	}
+	s := make([]*big.Int, eta)
+	h := make([]*big.Int, eta)
+	for i := 0; i < eta; i++ {
+		si, err := params.RandScalar(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("feip: setup: %w", err)
+		}
+		s[i] = si
+		h[i] = params.PowG(si)
+	}
+	return &MasterPublicKey{Params: params, H: h}, &MasterSecretKey{S: s}, nil
+}
+
+// KeyDerive computes sk_f = ⟨y, s⟩ mod q for the signed integer vector y.
+func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*FunctionKey, error) {
+	if msk == nil || len(msk.S) == 0 {
+		return nil, fmt.Errorf("%w: empty master secret", ErrMalformed)
+	}
+	if len(y) != len(msk.S) {
+		return nil, fmt.Errorf("%w: |y|=%d, η=%d", ErrDimension, len(y), len(msk.S))
+	}
+	acc := new(big.Int)
+	var term big.Int
+	for i, yi := range y {
+		term.Mul(msk.S[i], big.NewInt(yi))
+		acc.Add(acc, &term)
+	}
+	return &FunctionKey{K: params.ReduceScalar(acc)}, nil
+}
+
+// Encrypt encrypts the signed integer vector x under mpk.
+func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) {
+	if mpk == nil || len(mpk.H) == 0 {
+		return nil, fmt.Errorf("%w: empty public key", ErrMalformed)
+	}
+	if len(x) != mpk.Eta() {
+		return nil, fmt.Errorf("%w: |x|=%d, η=%d", ErrDimension, len(x), mpk.Eta())
+	}
+	p := mpk.Params
+	nonce, err := p.RandScalar(r)
+	if err != nil {
+		return nil, fmt.Errorf("feip: encrypt: %w", err)
+	}
+	ct := make([]*big.Int, len(x))
+	for i, xi := range x {
+		hr := p.Exp(mpk.H[i], nonce)
+		ct[i] = p.Mul(hr, p.PowG(big.NewInt(xi)))
+	}
+	return &Ciphertext{Ct0: p.PowG(nonce), Ct: ct}, nil
+}
+
+// Decrypt recovers ⟨x, y⟩ from a ciphertext of x and the function key for
+// y, using solver for the final bounded discrete log. The caller supplies
+// the same y that the key was derived for (as in the paper's Decrypt
+// signature); a mismatched y yields ErrNotFound from the solver or a wrong
+// value, never the plaintext x.
+func Decrypt(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, y []int64, solver *dlog.Solver) (int64, error) {
+	if fk == nil || fk.K == nil {
+		return 0, fmt.Errorf("%w: empty function key", ErrMalformed)
+	}
+	if ct == nil || len(ct.Ct) != len(y) {
+		return 0, fmt.Errorf("%w: ciphertext dimension", ErrDimension)
+	}
+	g, err := DecryptGroupElement(mpk, ct, fk, y)
+	if err != nil {
+		return 0, err
+	}
+	v, err := solver.Lookup(g)
+	if err != nil {
+		return 0, fmt.Errorf("feip: recovering ⟨x,y⟩: %w", err)
+	}
+	return v, nil
+}
+
+// DecryptGroupElement computes g^{⟨x,y⟩} = Π ct_i^{y_i} / ct_0^{sk_f}
+// without the final discrete-log step. The secure-matrix layer uses it when
+// it wants to batch dlog lookups.
+func DecryptGroupElement(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, y []int64) (*big.Int, error) {
+	if mpk == nil {
+		return nil, fmt.Errorf("%w: nil public key", ErrMalformed)
+	}
+	p := mpk.Params
+	num := big.NewInt(1)
+	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
+		num = p.Mul(num, p.Exp(ct.Ct[i], big.NewInt(yi)))
+	}
+	den := p.Exp(ct.Ct0, fk.K)
+	return p.Div(num, den), nil
+}
+
+// InnerProduct is the plaintext functionality f(x, y) = ⟨x, y⟩; reference
+// implementation used by tests and by plaintext baselines.
+func InnerProduct(x, y []int64) (int64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: |x|=%d |y|=%d", ErrDimension, len(x), len(y))
+	}
+	var acc int64
+	for i := range x {
+		acc += x[i] * y[i]
+	}
+	return acc, nil
+}

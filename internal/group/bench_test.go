@@ -1,0 +1,83 @@
+package group_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+// Modular exponentiation is the atom every FE operation reduces to; the
+// per-bits sweep is the security-parameter cost curve underlying the
+// AblationGroupBits experiment.
+
+func BenchmarkExp(b *testing.B) {
+	for _, bits := range group.EmbeddedSizes() {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp, err := params.RandScalar(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				params.PowG(exp)
+			}
+		})
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	params := group.TestParams()
+	x := params.PowGInt64(12345)
+	y := params.PowGInt64(67890)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params.Mul(x, y)
+	}
+}
+
+func BenchmarkInv(b *testing.B) {
+	params := group.TestParams()
+	x := params.PowGInt64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params.Inv(x)
+	}
+}
+
+func BenchmarkIsElement(b *testing.B) {
+	params := group.TestParams()
+	x := params.PowGInt64(424242)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !params.IsElement(x) {
+			b.Fatal("element rejected")
+		}
+	}
+}
+
+func BenchmarkRandScalar(b *testing.B) {
+	params := group.TestParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := params.RandScalar(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink *big.Int
+
+func BenchmarkReduceScalar(b *testing.B) {
+	params := group.TestParams()
+	v := new(big.Int).Lsh(big.NewInt(1), 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = params.ReduceScalar(v)
+	}
+}

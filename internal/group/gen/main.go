@@ -1,0 +1,19 @@
+//go:build ignore
+
+package main
+
+import (
+	"fmt"
+
+	"cryptonn/internal/group"
+)
+
+func main() {
+	for _, bits := range []int{64, 128, 192, 256, 512} {
+		p, err := group.Generate(bits, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("// %d-bit\nP: %q,\nQ: %q,\nG: %q,\n\n", bits, p.P.Text(16), p.Q.Text(16), p.G.Text(16))
+	}
+}

@@ -1,0 +1,70 @@
+package group
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// MinModulusBits is the smallest modulus size Generate accepts. Smaller
+// groups are provided as embedded test parameters only.
+const MinModulusBits = 64
+
+// Generate creates a fresh Schnorr group whose modulus P has the given bit
+// length, searching for a safe prime P = 2Q+1 and a generator of the
+// order-Q subgroup. The paper's evaluation uses a 256-bit security
+// parameter; Generate(256, nil) reproduces that setting.
+//
+// Safe-prime search is probabilistic and can take seconds for large sizes;
+// the embedded parameter sets (Embedded*, TestParams) should be preferred
+// when reproducibility or startup time matters.
+func Generate(bits int, r io.Reader) (*Params, error) {
+	if bits < MinModulusBits {
+		return nil, fmt.Errorf("%w: modulus must be at least %d bits, got %d",
+			ErrInvalidParams, MinModulusBits, bits)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		q, err := rand.Prime(r, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("group: sampling prime: %w", err)
+		}
+		var p big.Int
+		p.Mul(q, two)
+		p.Add(&p, one)
+		if !p.ProbablyPrime(32) {
+			continue
+		}
+		g, err := findGenerator(&p, q, r)
+		if err != nil {
+			return nil, err
+		}
+		params := &Params{P: &p, Q: q, G: g}
+		if err := params.Validate(); err != nil {
+			// Should be unreachable: the construction guarantees validity.
+			return nil, err
+		}
+		return params, nil
+	}
+}
+
+// findGenerator picks a generator of the order-q subgroup of Z*_p by
+// squaring a random element: for safe primes, h^2 has order q unless
+// h^2 = 1.
+func findGenerator(p, q *big.Int, r io.Reader) (*big.Int, error) {
+	pMinus1 := new(big.Int).Sub(p, one)
+	for {
+		h, err := rand.Int(r, pMinus1)
+		if err != nil {
+			return nil, fmt.Errorf("group: sampling generator candidate: %w", err)
+		}
+		h.Add(h, one) // h in [1, p-1]
+		g := new(big.Int).Exp(h, two, p)
+		if g.Cmp(one) != 0 {
+			return g, nil
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbeddedAllValid(t *testing.T) {
+	for _, bits := range EmbeddedSizes() {
+		bits := bits
+		t.Run(big.NewInt(int64(bits)).String()+"bit", func(t *testing.T) {
+			p, err := Embedded(bits)
+			if err != nil {
+				t.Fatalf("Embedded(%d): %v", bits, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := p.P.BitLen(); got != bits {
+				t.Errorf("modulus bit length = %d, want %d", got, bits)
+			}
+			if got := p.Bits(); got != bits-1 {
+				t.Errorf("order bit length = %d, want %d", got, bits-1)
+			}
+		})
+	}
+}
+
+func TestEmbeddedUnknownSize(t *testing.T) {
+	if _, err := Embedded(97); err == nil {
+		t.Fatal("Embedded(97) should fail")
+	}
+}
+
+func TestTestParamsAndPaperParams(t *testing.T) {
+	if TestParams().P.BitLen() != TestBits {
+		t.Error("TestParams has wrong size")
+	}
+	if PaperParams().P.BitLen() != PaperBits {
+		t.Error("PaperParams has wrong size")
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("safe-prime generation is slow")
+	}
+	p, err := Generate(64, nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGenerateRejectsTinyModulus(t *testing.T) {
+	if _, err := Generate(16, nil); err == nil {
+		t.Fatal("Generate(16) should fail")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	good := TestParams()
+	tests := []struct {
+		name string
+		p    *Params
+	}{
+		{"nil field", &Params{P: good.P, Q: good.Q}},
+		{"composite P", &Params{P: big.NewInt(15), Q: big.NewInt(7), G: big.NewInt(2)}},
+		{"P not 2Q+1", &Params{P: good.P, Q: new(big.Int).Add(good.Q, one), G: good.G}},
+		{"generator 1", &Params{P: good.P, Q: good.Q, G: big.NewInt(1)}},
+		{"generator outside subgroup", &Params{P: good.P, Q: good.Q, G: new(big.Int).Sub(good.P, one)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestExpNegativeExponent(t *testing.T) {
+	p := TestParams()
+	x := big.NewInt(42)
+	ghx := p.PowG(x)
+	ghxNeg := p.PowG(new(big.Int).Neg(x))
+	if got := p.Mul(ghx, ghxNeg); got.Cmp(one) != 0 {
+		t.Errorf("g^42 * g^-42 = %v, want 1", got)
+	}
+}
+
+func TestExpLaws(t *testing.T) {
+	p := TestParams()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := big.NewInt(rng.Int63n(1 << 30))
+		b := big.NewInt(rng.Int63n(1 << 30))
+		// g^a * g^b == g^{a+b}
+		lhs := p.Mul(p.PowG(a), p.PowG(b))
+		rhs := p.PowG(new(big.Int).Add(a, b))
+		if lhs.Cmp(rhs) != 0 {
+			t.Fatalf("homomorphism broken for a=%v b=%v", a, b)
+		}
+		// (g^a)^b == g^{ab}
+		lhs = p.Exp(p.PowG(a), b)
+		rhs = p.PowG(new(big.Int).Mul(a, b))
+		if lhs.Cmp(rhs) != 0 {
+			t.Fatalf("power law broken for a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestDivAndInv(t *testing.T) {
+	p := TestParams()
+	a := p.PowGInt64(123)
+	b := p.PowGInt64(100)
+	if got, want := p.Div(a, b), p.PowGInt64(23); got.Cmp(want) != 0 {
+		t.Errorf("Div: got %v want %v", got, want)
+	}
+	if got := p.Mul(a, p.Inv(a)); got.Cmp(one) != 0 {
+		t.Errorf("Inv: a * a^-1 = %v, want 1", got)
+	}
+}
+
+func TestInvScalar(t *testing.T) {
+	p := TestParams()
+	y := big.NewInt(7)
+	inv, err := p.InvScalar(y)
+	if err != nil {
+		t.Fatalf("InvScalar: %v", err)
+	}
+	var prod big.Int
+	prod.Mul(y, inv)
+	prod.Mod(&prod, p.Q)
+	if prod.Cmp(one) != 0 {
+		t.Errorf("7 * InvScalar(7) mod Q = %v, want 1", &prod)
+	}
+	if _, err := p.InvScalar(big.NewInt(0)); err == nil {
+		t.Error("InvScalar(0) should fail")
+	}
+}
+
+func TestIsElement(t *testing.T) {
+	p := TestParams()
+	if !p.IsElement(p.G) {
+		t.Error("generator should be an element")
+	}
+	if !p.IsElement(p.PowGInt64(99)) {
+		t.Error("g^99 should be an element")
+	}
+	if p.IsElement(nil) {
+		t.Error("nil should not be an element")
+	}
+	if p.IsElement(big.NewInt(0)) {
+		t.Error("0 should not be an element")
+	}
+	if p.IsElement(p.P) {
+		t.Error("P should not be an element")
+	}
+	// A quadratic non-residue is not in the order-Q subgroup.
+	nonRes := new(big.Int).Sub(p.P, one) // -1 has order 2
+	if p.IsElement(nonRes) {
+		t.Error("-1 should not be in the order-Q subgroup")
+	}
+}
+
+func TestRandScalarRange(t *testing.T) {
+	p := TestParams()
+	for i := 0; i < 100; i++ {
+		s, err := p.RandScalar(nil)
+		if err != nil {
+			t.Fatalf("RandScalar: %v", err)
+		}
+		if s.Sign() < 0 || s.Cmp(p.Q) >= 0 {
+			t.Fatalf("scalar %v out of [0, Q)", s)
+		}
+	}
+}
+
+func TestReduceScalar(t *testing.T) {
+	p := TestParams()
+	neg := big.NewInt(-5)
+	r := p.ReduceScalar(neg)
+	if r.Sign() < 0 || r.Cmp(p.Q) >= 0 {
+		t.Fatalf("reduced scalar %v out of range", r)
+	}
+	want := new(big.Int).Sub(p.Q, big.NewInt(5))
+	if r.Cmp(want) != 0 {
+		t.Errorf("ReduceScalar(-5) = %v, want Q-5 = %v", r, want)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	p := TestParams()
+	c := p.Clone()
+	if !p.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	c.P.Add(c.P, one)
+	if p.Equal(c) {
+		t.Error("mutated clone should not be equal (and must not alias)")
+	}
+	if p.Equal(nil) {
+		t.Error("Equal(nil) should be false")
+	}
+}
+
+// Property: exponentiation is a homomorphism from (Z, +) to the group for
+// arbitrary signed inputs.
+func TestQuickExpHomomorphism(t *testing.T) {
+	p := TestParams()
+	f := func(a, b int32) bool {
+		ab := new(big.Int).Add(big.NewInt(int64(a)), big.NewInt(int64(b)))
+		lhs := p.Mul(p.PowGInt64(int64(a)), p.PowGInt64(int64(b)))
+		return lhs.Cmp(p.PowG(ab)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDoesNotDumpInts(t *testing.T) {
+	s := TestParams().String()
+	if len(s) > 80 {
+		t.Errorf("String too verbose: %q", s)
+	}
+}

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cryptonn/internal/tensor"
+)
+
+// ConvLayer is a 2-D convolutional layer. It consumes (C·H·W × batch)
+// matrices whose columns are flattened input volumes, applies F filters of
+// size C×K×K with the given stride and padding, and emits
+// (F·outH·outW × batch) matrices.
+//
+// The implementation lowers convolution to matrix multiplication via
+// im2col — the same window extraction that the secure convolution scheme
+// (Algorithm 3) encrypts, which is what lets internal/core swap this
+// layer's forward pass for the secure one without touching anything else.
+type ConvLayer struct {
+	InC, InH, InW int
+	Filters       int
+	K             int
+	Stride, Pad   int
+	OutH, OutW    int
+
+	W     *tensor.Dense // Filters × InC*K*K
+	B     *tensor.Dense // Filters × 1
+	GradW *tensor.Dense
+	GradB *tensor.Dense
+
+	cols []*tensor.Dense // cached im2col per sample
+}
+
+// NewConv constructs a convolutional layer; geometry must tile exactly.
+func NewConv(inC, inH, inW, filters, k, stride, pad int, rng *rand.Rand) (*ConvLayer, error) {
+	outH, err := tensor.ConvOutSize(inH, k, stride, pad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv height: %w", err)
+	}
+	outW, err := tensor.ConvOutSize(inW, k, stride, pad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv width: %w", err)
+	}
+	l := &ConvLayer{
+		InC: inC, InH: inH, InW: inW,
+		Filters: filters, K: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		W:     tensor.NewDense(filters, inC*k*k),
+		B:     tensor.NewDense(filters, 1),
+		GradW: tensor.NewDense(filters, inC*k*k),
+		GradB: tensor.NewDense(filters, 1),
+	}
+	fanIn := inC * k * k
+	fanOut := filters * k * k
+	l.W.RandInit(rng, math.Sqrt(6.0/float64(fanIn+fanOut)))
+	return l, nil
+}
+
+// Name implements Layer.
+func (l *ConvLayer) Name() string {
+	return fmt.Sprintf("conv(%dx%dx%d,%df,k%d,s%d,p%d)", l.InC, l.InH, l.InW, l.Filters, l.K, l.Stride, l.Pad)
+}
+
+// InSize returns the flattened input feature count.
+func (l *ConvLayer) InSize() int { return l.InC * l.InH * l.InW }
+
+// OutSize returns the flattened output feature count.
+func (l *ConvLayer) OutSize() int { return l.Filters * l.OutH * l.OutW }
+
+// OutputSize implements Layer.
+func (l *ConvLayer) OutputSize(inputSize int) (int, error) {
+	if inputSize != l.InSize() {
+		return 0, fmt.Errorf("%w: %s got input size %d, want %d", ErrShape, l.Name(), inputSize, l.InSize())
+	}
+	return l.OutSize(), nil
+}
+
+// Forward implements Layer.
+func (l *ConvLayer) Forward(x *tensor.Dense) (*tensor.Dense, error) {
+	if x.Rows != l.InSize() {
+		return nil, fmt.Errorf("%w: %s got %d input features, want %d", ErrShape, l.Name(), x.Rows, l.InSize())
+	}
+	batch := x.Cols
+	out := tensor.NewDense(l.OutSize(), batch)
+	l.cols = make([]*tensor.Dense, batch)
+	for s := 0; s < batch; s++ {
+		vol, err := tensor.VolumeFromFlat(x.Col(s), l.InC, l.InH, l.InW)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s sample %d: %w", l.Name(), s, err)
+		}
+		col, err := tensor.Im2Col(vol, l.K, l.K, l.Stride, l.Pad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s im2col: %w", l.Name(), err)
+		}
+		l.cols[s] = col
+		z, err := tensor.MatMul(l.W, col) // Filters × outH*outW
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s matmul: %w", l.Name(), err)
+		}
+		for f := 0; f < l.Filters; f++ {
+			bias := l.B.Data[f]
+			rowOff := f * z.Cols
+			for c := 0; c < z.Cols; c++ {
+				out.Set(f*z.Cols+c, s, z.Data[rowOff+c]+bias)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer: per sample, dW += dZ·colᵀ, db += Σ dZ,
+// dX = col2im(Wᵀ·dZ).
+func (l *ConvLayer) Backward(grad *tensor.Dense) (*tensor.Dense, error) {
+	if l.cols == nil {
+		return nil, fmt.Errorf("nn: %s backward before forward", l.Name())
+	}
+	batch := len(l.cols)
+	if grad.Rows != l.OutSize() || grad.Cols != batch {
+		return nil, fmt.Errorf("%w: %s got gradient %dx%d", ErrShape, l.Name(), grad.Rows, grad.Cols)
+	}
+	spatial := l.OutH * l.OutW
+	dX := tensor.NewDense(l.InSize(), batch)
+	for s := 0; s < batch; s++ {
+		// Reshape this sample's gradient to Filters × spatial.
+		dZ := tensor.NewDense(l.Filters, spatial)
+		for f := 0; f < l.Filters; f++ {
+			for c := 0; c < spatial; c++ {
+				dZ.Data[f*spatial+c] = grad.At(f*spatial+c, s)
+			}
+		}
+		dW, err := tensor.MatMulT2(dZ, l.cols[s])
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s dW: %w", l.Name(), err)
+		}
+		if err := l.GradW.AddInPlace(dW); err != nil {
+			return nil, err
+		}
+		for f := 0; f < l.Filters; f++ {
+			var acc float64
+			for c := 0; c < spatial; c++ {
+				acc += dZ.Data[f*spatial+c]
+			}
+			l.GradB.Data[f] += acc
+		}
+		dCol, err := tensor.MatMulT1(l.W, dZ)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s dCol: %w", l.Name(), err)
+		}
+		dVol, err := tensor.Col2Im(dCol, l.InC, l.InH, l.InW, l.K, l.K, l.Stride, l.Pad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s col2im: %w", l.Name(), err)
+		}
+		for i, v := range dVol.Data {
+			dX.Set(i, s, v)
+		}
+	}
+	return dX, nil
+}
+
+// Params implements Layer.
+func (l *ConvLayer) Params() []Param {
+	return []Param{
+		{Name: l.Name() + ".W", Value: l.W, Grad: l.GradW},
+		{Name: l.Name() + ".b", Value: l.B, Grad: l.GradB},
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *ConvLayer) ZeroGrad() {
+	l.GradW.Zero()
+	l.GradB.Zero()
+}
+
+// AvgPoolLayer is an average-pooling layer over (C·H·W × batch) matrices.
+type AvgPoolLayer struct {
+	C, H, W    int
+	K, Stride  int
+	OutH, OutW int
+	batch      int
+}
+
+// NewAvgPool constructs an average-pooling layer; geometry must tile.
+func NewAvgPool(c, h, w, k, stride int) (*AvgPoolLayer, error) {
+	outH, err := tensor.ConvOutSize(h, k, stride, 0)
+	if err != nil {
+		return nil, fmt.Errorf("nn: pool height: %w", err)
+	}
+	outW, err := tensor.ConvOutSize(w, k, stride, 0)
+	if err != nil {
+		return nil, fmt.Errorf("nn: pool width: %w", err)
+	}
+	return &AvgPoolLayer{C: c, H: h, W: w, K: k, Stride: stride, OutH: outH, OutW: outW}, nil
+}
+
+// Name implements Layer.
+func (l *AvgPoolLayer) Name() string {
+	return fmt.Sprintf("avgpool(%dx%dx%d,k%d,s%d)", l.C, l.H, l.W, l.K, l.Stride)
+}
+
+// InSize returns the flattened input feature count.
+func (l *AvgPoolLayer) InSize() int { return l.C * l.H * l.W }
+
+// OutSize returns the flattened output feature count.
+func (l *AvgPoolLayer) OutSize() int { return l.C * l.OutH * l.OutW }
+
+// OutputSize implements Layer.
+func (l *AvgPoolLayer) OutputSize(inputSize int) (int, error) {
+	if inputSize != l.InSize() {
+		return 0, fmt.Errorf("%w: %s got input size %d, want %d", ErrShape, l.Name(), inputSize, l.InSize())
+	}
+	return l.OutSize(), nil
+}
+
+// Forward implements Layer.
+func (l *AvgPoolLayer) Forward(x *tensor.Dense) (*tensor.Dense, error) {
+	if x.Rows != l.InSize() {
+		return nil, fmt.Errorf("%w: %s got %d input features, want %d", ErrShape, l.Name(), x.Rows, l.InSize())
+	}
+	l.batch = x.Cols
+	out := tensor.NewDense(l.OutSize(), x.Cols)
+	for s := 0; s < x.Cols; s++ {
+		vol, err := tensor.VolumeFromFlat(x.Col(s), l.C, l.H, l.W)
+		if err != nil {
+			return nil, err
+		}
+		pooled, err := tensor.AvgPool(vol, l.K, l.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s: %w", l.Name(), err)
+		}
+		for i, v := range pooled.Data {
+			out.Set(i, s, v)
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (l *AvgPoolLayer) Backward(grad *tensor.Dense) (*tensor.Dense, error) {
+	if grad.Rows != l.OutSize() || grad.Cols != l.batch {
+		return nil, fmt.Errorf("%w: %s got gradient %dx%d", ErrShape, l.Name(), grad.Rows, grad.Cols)
+	}
+	out := tensor.NewDense(l.InSize(), grad.Cols)
+	for s := 0; s < grad.Cols; s++ {
+		gvol, err := tensor.VolumeFromFlat(grad.Col(s), l.C, l.OutH, l.OutW)
+		if err != nil {
+			return nil, err
+		}
+		back, err := tensor.AvgPoolBackward(gvol, l.H, l.W, l.K, l.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s backward: %w", l.Name(), err)
+		}
+		for i, v := range back.Data {
+			out.Set(i, s, v)
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer (none).
+func (l *AvgPoolLayer) Params() []Param { return nil }
+
+// Interface compliance checks.
+var (
+	_ Layer = (*ConvLayer)(nil)
+	_ Layer = (*AvgPoolLayer)(nil)
+)

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/tensor"
+)
+
+func TestNewConvNetSmallGeometry(t *testing.T) {
+	for _, side := range []int{4, 8, 14} {
+		rng := rand.New(rand.NewSource(1))
+		m, err := NewConvNetSmall(side, 2, rng)
+		if err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		x := tensor.NewDense(side*side, 3)
+		x.RandInit(rng, 1)
+		out, err := m.Forward(x)
+		if err != nil {
+			t.Fatalf("side %d forward: %v", side, err)
+		}
+		if out.Rows != MNISTClasses || out.Cols != 3 {
+			t.Errorf("side %d: output %dx%d, want %dx3", side, out.Rows, out.Cols, MNISTClasses)
+		}
+	}
+}
+
+func TestNewConvNetSmallRejectsBadGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		side, filters int
+	}{
+		{7, 2},  // odd side cannot 2×-pool
+		{2, 2},  // too small
+		{0, 2},  // zero
+		{8, 0},  // no filters
+		{8, -1}, // negative filters
+	}
+	for _, c := range cases {
+		if _, err := NewConvNetSmall(c.side, c.filters, rng); err == nil {
+			t.Errorf("NewConvNetSmall(%d, %d) succeeded, want error", c.side, c.filters)
+		}
+	}
+}
+
+func TestNewConvNetSmallTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewConvNetSmall(8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	x := tensor.NewDense(64, n)
+	y := tensor.NewDense(MNISTClasses, n)
+	// Two linearly separable synthetic classes: bright top half vs
+	// bright bottom half.
+	for j := 0; j < n; j++ {
+		cls := j % 2
+		for i := 0; i < 64; i++ {
+			base := 0.1
+			if (cls == 0 && i < 32) || (cls == 1 && i >= 32) {
+				base = 0.9
+			}
+			x.Set(i, j, base+0.05*rng.Float64())
+		}
+		y.Set(cls, j, 1)
+	}
+	opt, err := NewSGD(0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.TrainBatch(x, y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 30; i++ {
+		last, err = m.TrainBatch(x, y, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %.4f → %.4f", first, last)
+	}
+	acc, err := m.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("separable-task accuracy = %.2f, want ≥ 0.9", acc)
+	}
+}

@@ -1,0 +1,238 @@
+// Package nn is the neural-network substrate of the reproduction: a
+// from-scratch, stdlib-only implementation of fully connected and
+// convolutional networks with backpropagation and SGD.
+//
+// The data convention follows the paper's notation: activations are
+// (features × batch) matrices, so a hidden layer computes A = g(W·X + b)
+// with one sample per column. Loss gradients carry the 1/batch factor, so
+// layer backward passes are plain adjoints.
+//
+// The package deliberately contains the complete plaintext training path:
+// the paper's baseline (LeNet-5, Table III / Fig. 6) runs entirely here,
+// and the CryptoNN framework in internal/core swaps the boundary
+// computations for secure ones while reusing every middle layer unchanged.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cryptonn/internal/tensor"
+)
+
+// ErrShape reports a layer receiving input of the wrong dimension.
+var ErrShape = errors.New("nn: shape mismatch")
+
+// Param is one trainable tensor with its gradient accumulator; optimizers
+// mutate Value in place.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+}
+
+// Layer is one differentiable stage of a network operating on
+// (features × batch) matrices.
+type Layer interface {
+	// Name identifies the layer in errors and summaries.
+	Name() string
+	// Forward consumes a (in × batch) matrix and produces (out × batch),
+	// caching whatever the backward pass needs.
+	Forward(x *tensor.Dense) (*tensor.Dense, error)
+	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients. It must be called after Forward on the same
+	// batch.
+	Backward(grad *tensor.Dense) (*tensor.Dense, error)
+	// Params exposes trainable parameters; stateless layers return nil.
+	Params() []Param
+	// OutputSize returns the number of output features for a given input
+	// feature count (used to validate network wiring at build time).
+	OutputSize(inputSize int) (int, error)
+}
+
+// DenseLayer is a fully connected layer computing Z = W·X + b. The bias is
+// stored as an Out×1 matrix so optimizers update it through the same Param
+// mechanism as the weights.
+type DenseLayer struct {
+	In, Out int
+	W       *tensor.Dense // Out × In
+	B       *tensor.Dense // Out × 1
+	GradW   *tensor.Dense
+	GradB   *tensor.Dense
+
+	x *tensor.Dense // cached input
+}
+
+// NewDense constructs a fully connected layer with Xavier-uniform
+// initialisation from rng.
+func NewDense(in, out int, rng *rand.Rand) *DenseLayer {
+	l := &DenseLayer{
+		In:    in,
+		Out:   out,
+		W:     tensor.NewDense(out, in),
+		B:     tensor.NewDense(out, 1),
+		GradW: tensor.NewDense(out, in),
+		GradB: tensor.NewDense(out, 1),
+	}
+	scale := math.Sqrt(6.0 / float64(in+out))
+	l.W.RandInit(rng, scale)
+	return l
+}
+
+// Name implements Layer.
+func (l *DenseLayer) Name() string { return fmt.Sprintf("dense(%d→%d)", l.In, l.Out) }
+
+// OutputSize implements Layer.
+func (l *DenseLayer) OutputSize(inputSize int) (int, error) {
+	if inputSize != l.In {
+		return 0, fmt.Errorf("%w: %s got input size %d", ErrShape, l.Name(), inputSize)
+	}
+	return l.Out, nil
+}
+
+// Forward implements Layer.
+func (l *DenseLayer) Forward(x *tensor.Dense) (*tensor.Dense, error) {
+	if x.Rows != l.In {
+		return nil, fmt.Errorf("%w: %s got %d input features", ErrShape, l.Name(), x.Rows)
+	}
+	l.x = x
+	z, err := tensor.MatMul(l.W, x)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s forward: %w", l.Name(), err)
+	}
+	if err := z.AddColVector(l.B.Data); err != nil {
+		return nil, fmt.Errorf("nn: %s bias: %w", l.Name(), err)
+	}
+	return z, nil
+}
+
+// Backward implements Layer: dW = dZ·Xᵀ, db = Σ_batch dZ, dX = Wᵀ·dZ.
+func (l *DenseLayer) Backward(grad *tensor.Dense) (*tensor.Dense, error) {
+	if l.x == nil {
+		return nil, fmt.Errorf("nn: %s backward before forward", l.Name())
+	}
+	if grad.Rows != l.Out || grad.Cols != l.x.Cols {
+		return nil, fmt.Errorf("%w: %s got gradient %dx%d", ErrShape, l.Name(), grad.Rows, grad.Cols)
+	}
+	dW, err := tensor.MatMulT2(grad, l.x)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s dW: %w", l.Name(), err)
+	}
+	if err := l.GradW.AddInPlace(dW); err != nil {
+		return nil, err
+	}
+	db := grad.SumCols()
+	for i, v := range db {
+		l.GradB.Data[i] += v
+	}
+	dX, err := tensor.MatMulT1(l.W, grad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s dX: %w", l.Name(), err)
+	}
+	return dX, nil
+}
+
+// Params implements Layer.
+func (l *DenseLayer) Params() []Param {
+	return []Param{
+		{Name: l.Name() + ".W", Value: l.W, Grad: l.GradW},
+		{Name: l.Name() + ".b", Value: l.B, Grad: l.GradB},
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *DenseLayer) ZeroGrad() {
+	l.GradW.Zero()
+	l.GradB.Zero()
+}
+
+// Activation is an element-wise nonlinearity with its derivative expressed
+// in terms of the activation output (sufficient for sigmoid/tanh) or input
+// (ReLU caches input sign).
+type Activation struct {
+	name string
+	fn   func(float64) float64
+	// dFromOut computes g'(z) from a = g(z) when fromOut, else from z.
+	deriv   func(float64) float64
+	fromOut bool
+
+	cache *tensor.Dense
+}
+
+// NewSigmoid returns the logistic activation θ(z) = 1/(1+e^{−z}) used by
+// the paper's binary-classification walkthrough (§III-D).
+func NewSigmoid() *Activation {
+	return &Activation{
+		name:    "sigmoid",
+		fn:      func(z float64) float64 { return 1 / (1 + math.Exp(-z)) },
+		deriv:   func(a float64) float64 { return a * (1 - a) },
+		fromOut: true,
+	}
+}
+
+// NewTanh returns the hyperbolic-tangent activation, the classic LeNet-5
+// nonlinearity.
+func NewTanh() *Activation {
+	return &Activation{
+		name:    "tanh",
+		fn:      math.Tanh,
+		deriv:   func(a float64) float64 { return 1 - a*a },
+		fromOut: true,
+	}
+}
+
+// NewReLU returns the rectified linear activation.
+func NewReLU() *Activation {
+	return &Activation{
+		name: "relu",
+		fn:   func(z float64) float64 { return math.Max(0, z) },
+		deriv: func(z float64) float64 {
+			if z > 0 {
+				return 1
+			}
+			return 0
+		},
+		fromOut: false,
+	}
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.name }
+
+// OutputSize implements Layer.
+func (a *Activation) OutputSize(inputSize int) (int, error) { return inputSize, nil }
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *tensor.Dense) (*tensor.Dense, error) {
+	out := x.Apply(a.fn)
+	if a.fromOut {
+		a.cache = out
+	} else {
+		a.cache = x
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(grad *tensor.Dense) (*tensor.Dense, error) {
+	if a.cache == nil {
+		return nil, fmt.Errorf("nn: %s backward before forward", a.name)
+	}
+	d := a.cache.Apply(a.deriv)
+	out, err := tensor.Hadamard(grad, d)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward: %w", a.name, err)
+	}
+	return out, nil
+}
+
+// Params implements Layer (none).
+func (a *Activation) Params() []Param { return nil }
+
+// Interface compliance checks.
+var (
+	_ Layer = (*DenseLayer)(nil)
+	_ Layer = (*Activation)(nil)
+)

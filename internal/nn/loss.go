@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cryptonn/internal/tensor"
+)
+
+// ErrLoss reports invalid loss inputs.
+var ErrLoss = errors.New("nn: invalid loss input")
+
+// Loss evaluates a training criterion on (classes × batch) predictions and
+// targets, returning the scalar loss and the gradient with respect to the
+// layer stack's output (the 1/batch factor is included here).
+type Loss interface {
+	// Name identifies the loss.
+	Name() string
+	// Forward returns (loss, dL/dOutput).
+	Forward(pred, target *tensor.Dense) (float64, *tensor.Dense, error)
+}
+
+// Softmax computes column-wise softmax probabilities with the max-shift
+// stabilisation.
+func Softmax(logits *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(logits.Rows, logits.Cols)
+	for j := 0; j < logits.Cols; j++ {
+		maxV := math.Inf(-1)
+		for i := 0; i < logits.Rows; i++ {
+			if v := logits.At(i, j); v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i := 0; i < logits.Rows; i++ {
+			e := math.Exp(logits.At(i, j) - maxV)
+			out.Set(i, j, e)
+			sum += e
+		}
+		for i := 0; i < logits.Rows; i++ {
+			out.Set(i, j, out.At(i, j)/sum)
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy is the paper's CryptoCNN output stage (§III-E2):
+// softmax p_i = e^{a_i}/Σe^{a_k} with cross-entropy L = −Σ y_i log p_i.
+// The combined gradient is (P − Y)/batch — exactly the element-wise
+// subtraction that the secure back-propagation step computes over the
+// encrypted label.
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-cross-entropy" }
+
+// Forward implements Loss; target must be one-hot (or a distribution).
+func (SoftmaxCrossEntropy) Forward(pred, target *tensor.Dense) (float64, *tensor.Dense, error) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		return 0, nil, fmt.Errorf("%w: pred %dx%d target %dx%d", ErrLoss, pred.Rows, pred.Cols, target.Rows, target.Cols)
+	}
+	batch := float64(pred.Cols)
+	p := Softmax(pred)
+	var loss float64
+	for j := 0; j < p.Cols; j++ {
+		for i := 0; i < p.Rows; i++ {
+			if y := target.At(i, j); y != 0 {
+				loss -= y * math.Log(math.Max(p.At(i, j), 1e-300))
+			}
+		}
+	}
+	grad, err := tensor.Sub(p, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss / batch, grad.Scale(1 / batch), nil
+}
+
+// MSE is the half squared error E = 1/(2m) Σ (ŷ − y)² of the paper's
+// binary-classification walkthrough (§III-D); its gradient (Ŷ − Y)/m is
+// again the secure element-wise subtraction.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Forward implements Loss.
+func (MSE) Forward(pred, target *tensor.Dense) (float64, *tensor.Dense, error) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		return 0, nil, fmt.Errorf("%w: pred %dx%d target %dx%d", ErrLoss, pred.Rows, pred.Cols, target.Rows, target.Cols)
+	}
+	batch := float64(pred.Cols)
+	diff, err := tensor.Sub(pred, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	var loss float64
+	for _, v := range diff.Data {
+		loss += v * v
+	}
+	return loss / (2 * batch), diff.Scale(1 / batch), nil
+}
+
+// Interface compliance checks.
+var (
+	_ Loss = SoftmaxCrossEntropy{}
+	_ Loss = MSE{}
+)

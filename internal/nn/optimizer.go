@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"cryptonn/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter; gradients are consumed
+	// as-is (callers zero them between batches).
+	Step(params []Param) error
+}
+
+// SGD is stochastic gradient descent with optional classical momentum —
+// the paper trains with plain SGD (§IV-B3).
+type SGD struct {
+	// LR is the learning rate; must be positive.
+	LR float64
+	// Momentum in [0, 1); zero selects plain SGD.
+	Momentum float64
+
+	velocity map[*tensor.Dense]*tensor.Dense
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %v", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum must be in [0,1), got %v", momentum)
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Dense]*tensor.Dense)}, nil
+}
+
+// Step implements Optimizer: v ← μv − η∇, θ ← θ + v (or θ ← θ − η∇ when
+// μ = 0).
+func (s *SGD) Step(params []Param) error {
+	for _, p := range params {
+		if p.Value == nil || p.Grad == nil {
+			return errors.New("nn: parameter with nil value or gradient")
+		}
+		if s.Momentum == 0 {
+			if err := p.Value.AxpyInPlace(-s.LR, p.Grad); err != nil {
+				return fmt.Errorf("nn: updating %s: %w", p.Name, err)
+			}
+			continue
+		}
+		v, ok := s.velocity[p.Value]
+		if !ok {
+			v = tensor.NewDense(p.Value.Rows, p.Value.Cols)
+			s.velocity[p.Value] = v
+		}
+		for i := range v.Data {
+			v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+			p.Value.Data[i] += v.Data[i]
+		}
+	}
+	return nil
+}
+
+// Interface compliance check.
+var _ Optimizer = (*SGD)(nil)

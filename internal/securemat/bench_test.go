@@ -1,0 +1,83 @@
+package securemat_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/securemat"
+)
+
+// Algorithm 1 stage costs at the secure-matrix level; the seq/par pair is
+// the paper's "P" comparison, and the per-stage split mirrors the Fig. 5
+// panels.
+
+func BenchmarkSecureDotStage(b *testing.B) {
+	const (
+		length = 50
+		count  = 40
+	)
+	auth, solver := newFixture(b, int64(length)*100+1)
+	rng := rand.New(rand.NewSource(5))
+	x := randMatrix(rng, length, count, 1, 10)
+	w := randMatrix(rng, 1, length, 1, 10)
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("keyderive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := securemat.DotKeys(auth, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("compute/par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+					securemat.ComputeOptions{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSecureElementwiseStage(b *testing.B) {
+	const size = 100
+	auth, solver := newFixture(b, 101*101)
+	rng := rand.New(rand.NewSource(6))
+	x := randMatrix(rng, 1, size, -100, 100)
+	y := randMatrix(rng, 1, size, -100, 100)
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []securemat.Function{securemat.ElementwiseAdd, securemat.ElementwiseMul} {
+		keys, err := securemat.ElementwiseKeys(auth, enc, f, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := securemat.SecureElementwise(auth, enc, keys, f, y, solver,
+					securemat.ComputeOptions{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

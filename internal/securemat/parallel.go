@@ -1,0 +1,80 @@
+package securemat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism returns the worker count used when a ComputeOptions
+// asks for "auto" parallelism (Parallelism < 0): one worker per CPU.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// ParallelFor applies fn to every index in [0, n), sequentially when
+// workers < 2 and on a bounded worker pool otherwise. The secure
+// convolution path in internal/core shares it to parallelize per-window
+// decryptions exactly like the matrix paths here.
+func ParallelFor(n, workers int, fn func(i int) error) error {
+	return forEachCell(1, n, workers, func(_, j int) error { return fn(j) })
+}
+
+// forEachCell applies fn to every (i, j) cell of a rows×cols grid, either
+// sequentially (workers < 2) or on a bounded worker pool. The first error
+// cancels remaining work; all goroutines are joined before returning, per
+// the no-fire-and-forget rule.
+func forEachCell(rows, cols, workers int, fn func(i, j int) error) error {
+	if workers < 0 {
+		workers = DefaultParallelism()
+	}
+	total := rows * cols
+	if workers < 2 || total < 2 {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if err := fn(i, j); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		done     = make(chan struct{})
+		cells    = make(chan int)
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range cells {
+				if err := fn(idx/cols, idx%cols); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	// Feed indices until done fires or all cells are dispatched.
+feed:
+	for idx := 0; idx < total; idx++ {
+		select {
+		case cells <- idx:
+		case <-done:
+			break feed
+		}
+	}
+	close(cells)
+	wg.Wait()
+	return firstErr
+}

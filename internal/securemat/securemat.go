@@ -1,0 +1,444 @@
+// Package securemat implements the paper's secure matrix computation
+// scheme (Algorithm 1): matrix dot-products and element-wise arithmetic
+// over functionally encrypted matrices.
+//
+// The scheme has three roles, mirrored by the package API:
+//
+//   - the client pre-processes a plaintext matrix into an EncryptedMatrix
+//     (Encrypt): every column is encrypted under FEIP for dot-products and
+//     every element under FEBO for element-wise arithmetic;
+//   - the server obtains function-derived keys from the authority through
+//     the KeyService interface (DotKeys, ElementwiseKeys);
+//   - the server then evaluates the permitted function over ciphertexts
+//     (SecureDot, SecureElementwise), obtaining a plaintext result matrix.
+//
+// Decryption is the expensive step (one bounded discrete log per output
+// element); as in the paper (§III-C), the package offers a parallelized
+// path — a goroutine worker pool over output cells — which produces the
+// "P" curves of Fig. 3d/4d/5d.
+//
+// One deliberate extension over the paper's Algorithm 1: Encrypt can also
+// encrypt the matrix row-wise (dual orientation). The paper's Algorithm 2
+// needs the first-layer weight gradient dW = dZ·Xᵀ during back-propagation
+// but never spells out how to compute it when X is encrypted; inner
+// products against rows of X (feature vectors across the batch) make it
+// expressible in the very same FEIP machinery. See DESIGN.md §4.
+package securemat
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+)
+
+// Function identifies a permitted function f ∈ F over encrypted matrices.
+type Function int
+
+// The permitted function set F of Algorithm 1.
+const (
+	// DotProduct is the matrix product W·X computed as inner products of
+	// rows of W with encrypted columns of X.
+	DotProduct Function = iota + 1
+	// ElementwiseAdd is X + Y element-wise.
+	ElementwiseAdd
+	// ElementwiseSub is X − Y element-wise.
+	ElementwiseSub
+	// ElementwiseMul is X ∘ Y element-wise.
+	ElementwiseMul
+	// ElementwiseDiv is X ⊘ Y element-wise (exact integer divisions only).
+	ElementwiseDiv
+)
+
+// String names the function for logs and errors.
+func (f Function) String() string {
+	switch f {
+	case DotProduct:
+		return "dot-product"
+	case ElementwiseAdd:
+		return "elementwise-add"
+	case ElementwiseSub:
+		return "elementwise-sub"
+	case ElementwiseMul:
+		return "elementwise-mul"
+	case ElementwiseDiv:
+		return "elementwise-div"
+	default:
+		return fmt.Sprintf("Function(%d)", int(f))
+	}
+}
+
+// Valid reports whether f is in the permitted set.
+func (f Function) Valid() bool { return f >= DotProduct && f <= ElementwiseDiv }
+
+// BasicOp maps an element-wise Function to its FEBO operation.
+func (f Function) BasicOp() (febo.Op, bool) {
+	switch f {
+	case ElementwiseAdd:
+		return febo.OpAdd, true
+	case ElementwiseSub:
+		return febo.OpSub, true
+	case ElementwiseMul:
+		return febo.OpMul, true
+	case ElementwiseDiv:
+		return febo.OpDiv, true
+	default:
+		return 0, false
+	}
+}
+
+// KeyService is the server's view of the authority (Fig. 1): it hands out
+// public keys and function-derived keys for the permitted function set.
+// Implementations include the in-process authority and the TCP client in
+// internal/wire.
+type KeyService interface {
+	// FEIPPublic returns the inner-product master public key (dimension η).
+	FEIPPublic(eta int) (*feip.MasterPublicKey, error)
+	// FEBOPublic returns the basic-operation public key.
+	FEBOPublic() (*febo.PublicKey, error)
+	// IPKey derives the inner-product key for weight vector y.
+	IPKey(y []int64) (*feip.FunctionKey, error)
+	// BOKey derives the basic-op key bound to the ciphertext commitment cmt.
+	BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey, error)
+}
+
+// BatchKeyService is an optional KeyService extension: implementations
+// derive the keys for several weight vectors in one exchange. Over the
+// network this collapses the per-row round trips of a weight matrix into
+// a single frame (§IV-B2's k-keys-per-iteration traffic); DotKeys uses
+// it automatically when available.
+type BatchKeyService interface {
+	KeyService
+	// IPKeyBatch derives one inner-product key per weight vector, in
+	// order.
+	IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error)
+	// BOKeyBatch derives one basic-op key per (commitment, scalar) pair,
+	// in order; cmts and ys must have equal length.
+	BOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) ([]*febo.FunctionKey, error)
+}
+
+var (
+	// ErrShape reports a ragged or dimension-mismatched matrix.
+	ErrShape = errors.New("securemat: shape mismatch")
+	// ErrFunction reports a function outside the permitted set F.
+	ErrFunction = errors.New("securemat: function not permitted")
+)
+
+// Shape checks that m is rectangular and returns (rows, cols).
+func Shape(m [][]int64) (rows, cols int, err error) {
+	rows = len(m)
+	if rows == 0 {
+		return 0, 0, fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	cols = len(m[0])
+	if cols == 0 {
+		return 0, 0, fmt.Errorf("%w: empty row", ErrShape)
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return 0, 0, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), cols)
+		}
+	}
+	return rows, cols, nil
+}
+
+// EncryptedMatrix is the client-side pre-processing output [[x]], [[X]] of
+// Algorithm 1 (plus the optional dual row orientation).
+type EncryptedMatrix struct {
+	// Rows and Cols are the plaintext dimensions.
+	Rows, Cols int
+	// ColCts[j] encrypts column j of X (a vector of length Rows) under
+	// FEIP; used for W·X.
+	ColCts []*feip.Ciphertext
+	// RowCts[i] encrypts row i of X (a vector of length Cols) under FEIP;
+	// dual orientation for dZ·Xᵀ during back-propagation. Nil unless
+	// requested.
+	RowCts []*feip.Ciphertext
+	// Elems[i][j] encrypts X[i][j] under FEBO for element-wise arithmetic.
+	// Nil unless requested.
+	Elems [][]*febo.Ciphertext
+}
+
+// HasElems reports whether per-element FEBO ciphertexts are present.
+func (e *EncryptedMatrix) HasElems() bool { return e != nil && e.Elems != nil }
+
+// HasRows reports whether the dual row-orientation ciphertexts are present.
+func (e *EncryptedMatrix) HasRows() bool { return e != nil && e.RowCts != nil }
+
+// EncryptOptions selects which ciphertext forms Encrypt produces. The zero
+// value reproduces Algorithm 1 exactly (columns + elements).
+type EncryptOptions struct {
+	// SkipElems omits the per-element FEBO ciphertexts (saves one
+	// exponentiation pair per element when only dot-products are needed).
+	SkipElems bool
+	// WithRows additionally encrypts each row under FEIP (dual
+	// orientation for secure gradient computation).
+	WithRows bool
+}
+
+// Encrypt is the pre-process-encryption function of Algorithm 1 (lines
+// 14–21): it encrypts every column of X under FEIP and, unless opted out,
+// every element under FEBO.
+//
+// The FEIP public key is requested at dimension Rows for columns (and
+// dimension Cols for the dual rows); the FEBO public key protects single
+// elements.
+func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix, error) {
+	rows, cols, err := Shape(x)
+	if err != nil {
+		return nil, err
+	}
+	colMPK, err := ks.FEIPPublic(rows)
+	if err != nil {
+		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
+	}
+	enc := &EncryptedMatrix{Rows: rows, Cols: cols}
+	enc.ColCts = make([]*feip.Ciphertext, cols)
+	colBuf := make([]int64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			colBuf[i] = x[i][j]
+		}
+		ct, err := feip.Encrypt(colMPK, colBuf, nil)
+		if err != nil {
+			return nil, fmt.Errorf("securemat: encrypting column %d: %w", j, err)
+		}
+		enc.ColCts[j] = ct
+	}
+	if opts.WithRows {
+		rowMPK, err := ks.FEIPPublic(cols)
+		if err != nil {
+			return nil, fmt.Errorf("securemat: fetching FEIP row key: %w", err)
+		}
+		enc.RowCts = make([]*feip.Ciphertext, rows)
+		for i := 0; i < rows; i++ {
+			ct, err := feip.Encrypt(rowMPK, x[i], nil)
+			if err != nil {
+				return nil, fmt.Errorf("securemat: encrypting row %d: %w", i, err)
+			}
+			enc.RowCts[i] = ct
+		}
+	}
+	if !opts.SkipElems {
+		boPK, err := ks.FEBOPublic()
+		if err != nil {
+			return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
+		}
+		enc.Elems = make([][]*febo.Ciphertext, rows)
+		for i := 0; i < rows; i++ {
+			enc.Elems[i] = make([]*febo.Ciphertext, cols)
+			for j := 0; j < cols; j++ {
+				ct, err := febo.Encrypt(boPK, x[i][j], nil)
+				if err != nil {
+					return nil, fmt.Errorf("securemat: encrypting element (%d,%d): %w", i, j, err)
+				}
+				enc.Elems[i][j] = ct
+			}
+		}
+	}
+	return enc, nil
+}
+
+// DotKeys is the pre-process-key-derivative function for the dot-product
+// case (Algorithm 1 lines 24–27): one inner-product key per row of W.
+func DotKeys(ks KeyService, w [][]int64) ([]*feip.FunctionKey, error) {
+	if _, _, err := Shape(w); err != nil {
+		return nil, err
+	}
+	if bks, ok := ks.(BatchKeyService); ok {
+		keys, err := bks.IPKeyBatch(w)
+		if err != nil {
+			return nil, fmt.Errorf("securemat: deriving dot keys in batch: %w", err)
+		}
+		return keys, nil
+	}
+	keys := make([]*feip.FunctionKey, len(w))
+	for i, row := range w {
+		fk, err := ks.IPKey(row)
+		if err != nil {
+			return nil, fmt.Errorf("securemat: deriving dot key for row %d: %w", i, err)
+		}
+		keys[i] = fk
+	}
+	return keys, nil
+}
+
+// ElementwiseKeys is the pre-process-key-derivative function for the
+// element-wise case (Algorithm 1 lines 28–30): one FEBO key per element,
+// bound to the corresponding ciphertext commitment.
+func ElementwiseKeys(ks KeyService, enc *EncryptedMatrix, f Function, y [][]int64) ([][]*febo.FunctionKey, error) {
+	op, ok := f.BasicOp()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not element-wise", ErrFunction, f)
+	}
+	if !enc.HasElems() {
+		return nil, fmt.Errorf("%w: matrix was encrypted without element ciphertexts", ErrShape)
+	}
+	rows, cols, err := Shape(y)
+	if err != nil {
+		return nil, err
+	}
+	if rows != enc.Rows || cols != enc.Cols {
+		return nil, fmt.Errorf("%w: Y is %dx%d, encrypted X is %dx%d", ErrShape, rows, cols, enc.Rows, enc.Cols)
+	}
+	if bks, ok := ks.(BatchKeyService); ok {
+		cmts := make([]*big.Int, 0, rows*cols)
+		ys := make([]int64, 0, rows*cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				cmts = append(cmts, enc.Elems[i][j].Cmt)
+				ys = append(ys, y[i][j])
+			}
+		}
+		flat, err := bks.BOKeyBatch(cmts, op, ys)
+		if err != nil {
+			return nil, fmt.Errorf("securemat: deriving %s keys in batch: %w", op, err)
+		}
+		keys := make([][]*febo.FunctionKey, rows)
+		for i := 0; i < rows; i++ {
+			keys[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+		}
+		return keys, nil
+	}
+	keys := make([][]*febo.FunctionKey, rows)
+	for i := 0; i < rows; i++ {
+		keys[i] = make([]*febo.FunctionKey, cols)
+		for j := 0; j < cols; j++ {
+			fk, err := ks.BOKey(enc.Elems[i][j].Cmt, op, y[i][j])
+			if err != nil {
+				return nil, fmt.Errorf("securemat: deriving %s key for (%d,%d): %w", op, i, j, err)
+			}
+			keys[i][j] = fk
+		}
+	}
+	return keys, nil
+}
+
+// ComputeOptions tunes the secure-computation step.
+type ComputeOptions struct {
+	// Parallelism is the number of decryption workers. Values < 2 select
+	// the sequential path (the paper's non-"P" curves).
+	Parallelism int
+}
+
+// SecureDot is the secure-computation function for f = dot-product
+// (Algorithm 1 lines 4–8): Z[i][j] = ⟨W_i, X_col_j⟩ recovered from
+// ciphertexts only. keys[i] must be the IPKey for row i of w.
+func SecureDot(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, w [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
+	wRows, wCols, err := Shape(w)
+	if err != nil {
+		return nil, err
+	}
+	if wCols != enc.Rows {
+		return nil, fmt.Errorf("%w: W is %dx%d but encrypted X has %d rows", ErrShape, wRows, wCols, enc.Rows)
+	}
+	if len(keys) != wRows {
+		return nil, fmt.Errorf("%w: %d keys for %d rows of W", ErrShape, len(keys), wRows)
+	}
+	mpk, err := ks.FEIPPublic(enc.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
+	}
+	z := newMatrix(wRows, enc.Cols)
+	err = forEachCell(wRows, enc.Cols, opts.Parallelism, func(i, j int) error {
+		v, err := feip.Decrypt(mpk, enc.ColCts[j], keys[i], w[i], solver)
+		if err != nil {
+			return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
+		}
+		z[i][j] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// SecureDotRows computes G[i][k] = ⟨d_i, X_row_k⟩ over the dual
+// row-orientation ciphertexts, i.e. the matrix product D·Xᵀ. This realizes
+// the first-layer weight gradient dW = dZ·Xᵀ of secure back-propagation;
+// keys[i] must be the IPKey for row i of d (vectors of length enc.Cols).
+func SecureDotRows(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, d [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
+	if !enc.HasRows() {
+		return nil, fmt.Errorf("%w: matrix was encrypted without row orientation", ErrShape)
+	}
+	dRows, dCols, err := Shape(d)
+	if err != nil {
+		return nil, err
+	}
+	if dCols != enc.Cols {
+		return nil, fmt.Errorf("%w: D is %dx%d but encrypted X has %d cols", ErrShape, dRows, dCols, enc.Cols)
+	}
+	if len(keys) != dRows {
+		return nil, fmt.Errorf("%w: %d keys for %d rows of D", ErrShape, len(keys), dRows)
+	}
+	mpk, err := ks.FEIPPublic(enc.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
+	}
+	g := newMatrix(dRows, enc.Rows)
+	err = forEachCell(dRows, enc.Rows, opts.Parallelism, func(i, k int) error {
+		v, err := feip.Decrypt(mpk, enc.RowCts[k], keys[i], d[i], solver)
+		if err != nil {
+			return fmt.Errorf("securemat: cell (%d,%d): %w", i, k, err)
+		}
+		g[i][k] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SecureElementwise is the secure-computation function for element-wise f
+// (Algorithm 1 lines 9–12): Z[i][j] = X[i][j] Δ Y[i][j] recovered from
+// ciphertexts only.
+func SecureElementwise(ks KeyService, enc *EncryptedMatrix, keys [][]*febo.FunctionKey, f Function, y [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
+	op, ok := f.BasicOp()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not element-wise", ErrFunction, f)
+	}
+	if !enc.HasElems() {
+		return nil, fmt.Errorf("%w: matrix was encrypted without element ciphertexts", ErrShape)
+	}
+	rows, cols, err := Shape(y)
+	if err != nil {
+		return nil, err
+	}
+	if rows != enc.Rows || cols != enc.Cols {
+		return nil, fmt.Errorf("%w: Y is %dx%d, encrypted X is %dx%d", ErrShape, rows, cols, enc.Rows, enc.Cols)
+	}
+	if len(keys) != rows {
+		return nil, fmt.Errorf("%w: %d key rows for %d matrix rows", ErrShape, len(keys), rows)
+	}
+	pk, err := ks.FEBOPublic()
+	if err != nil {
+		return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
+	}
+	z := newMatrix(rows, cols)
+	err = forEachCell(rows, cols, opts.Parallelism, func(i, j int) error {
+		v, err := febo.Decrypt(pk, keys[i][j], enc.Elems[i][j], op, y[i][j], solver)
+		if err != nil {
+			return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
+		}
+		z[i][j] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+func newMatrix(rows, cols int) [][]int64 {
+	z := make([][]int64, rows)
+	buf := make([]int64, rows*cols)
+	for i := range z {
+		z[i] = buf[i*cols : (i+1)*cols]
+	}
+	return z
+}

@@ -1,0 +1,90 @@
+package securemat_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cryptonn/internal/securemat"
+)
+
+// Tamper tests: a ciphertext corrupted in transit must never decrypt to
+// the original plaintext result silently. With the bounded discrete-log
+// recovery, corruption almost surely lands outside the solver window and
+// surfaces as an error; the assertions accept either an error or a value
+// different from the true result (a silently *correct* result would mean
+// the tampering had no effect, which is the one impossible outcome).
+
+func TestTamperedDotCiphertextDetected(t *testing.T) {
+	auth, solver := newFixture(t, 1000)
+	x := [][]int64{{3, 1}, {2, 5}}
+	w := [][]int64{{4, -2}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one ct_i of the first column: multiply by the generator
+	// (shifts the encrypted coordinate by +1 in the exponent).
+	params := auth.Params()
+	enc.ColCts[0].Ct[0] = params.Mul(enc.ColCts[0].Ct[0], params.G)
+
+	got, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	if err == nil && got[0][0] == want[0][0] {
+		t.Errorf("tampered ciphertext decrypted to the original result %d", want[0][0])
+	}
+}
+
+func TestTamperedCommitmentBreaksElementwiseKey(t *testing.T) {
+	auth, solver := newFixture(t, 1000)
+	x := [][]int64{{7}}
+	y := [][]int64{{5}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the ciphertext for a fresh encryption of a different value:
+	// the key is bound to the *old* commitment, so decryption must not
+	// yield newValue + y.
+	enc2, err := securemat.Encrypt(auth, [][]int64{{20}}, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Elems[0][0] = enc2.Elems[0][0]
+	got, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+		securemat.ComputeOptions{Parallelism: 1})
+	if err == nil && got[0][0] == 25 {
+		t.Error("key bound to a different commitment still decrypted the swapped ciphertext")
+	}
+}
+
+func TestNonElementCiphertextRejected(t *testing.T) {
+	auth, solver := newFixture(t, 1000)
+	x := [][]int64{{3, 1}}
+	w := [][]int64{{2}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 is never a member of the multiplicative subgroup.
+	enc.ColCts[0].Ct[0] = big.NewInt(0)
+	if _, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1}); err == nil {
+		t.Error("zero 'group element' accepted in decryption")
+	}
+}

@@ -1,0 +1,313 @@
+// Package service implements the training server of Fig. 1 as a reusable,
+// testable component: it collects encrypted batches from any number of
+// distributed clients over TCP, then trains a neural network on them
+// through the CryptoNN framework (Algorithm 2), requesting
+// function-derived keys from the authority as training proceeds.
+//
+// The package composes internal/wire (transport), internal/core (the
+// secure training loop) and internal/nn (the model) into one lifecycle:
+//
+//	srv, _ := service.New(keys, service.Config{Features: 784, Classes: 10, Expect: 2})
+//	report, _ := srv.Run(ctx, listener)
+//
+// Run blocks until the expected number of client submissions arrives,
+// trains for the configured number of epochs, and returns a Report. The
+// trained parameters stay on the server — they are plaintext by the
+// paper's design; only the training data and labels are ever encrypted.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+
+	"math/rand"
+	"net"
+	"time"
+
+	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/fixedpoint"
+	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
+	"cryptonn/internal/wire"
+)
+
+// Config parameterizes a training service run.
+type Config struct {
+	// Features is the input feature count the model expects.
+	Features int
+	// Classes is the output class count.
+	Classes int
+	// Hidden lists the hidden-layer widths of the MLP (default: one
+	// layer of 32 units).
+	Hidden []int
+	// Epochs is the number of passes over the collected batches
+	// (default 2, the paper's Table III setting).
+	Epochs int
+	// LR is the SGD learning rate (default 0.3).
+	LR float64
+	// Momentum is the SGD momentum term (default 0).
+	Momentum float64
+	// Expect is the number of client submissions to wait for before
+	// training starts (default 1).
+	Expect int
+	// Parallelism is the secure-decryption worker count; 0 selects the
+	// package default, negatives select NumCPU.
+	Parallelism int
+	// Seed drives weight initialisation.
+	Seed int64
+	// MaxWeight clamps weight magnitudes entering the secure encodings
+	// (default 4; see core.Config).
+	MaxWeight float64
+	// ComputeLoss enables the secure cross-entropy evaluation.
+	ComputeLoss bool
+	// Codec is the fixed-point codec; nil selects the paper's
+	// two-decimal default. It must match the clients'.
+	Codec *fixedpoint.Codec
+	// Logger receives progress lines; nil discards them.
+	Logger *log.Logger
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Features <= 0 {
+		return fmt.Errorf("service: features must be positive, got %d", c.Features)
+	}
+	if c.Classes <= 0 {
+		return fmt.Errorf("service: classes must be positive, got %d", c.Classes)
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{32}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 2
+	}
+	if c.Epochs < 0 {
+		return fmt.Errorf("service: epochs must be positive, got %d", c.Epochs)
+	}
+	if c.LR == 0 {
+		c.LR = 0.3
+	}
+	if c.Expect == 0 {
+		c.Expect = 1
+	}
+	if c.Expect < 0 {
+		return fmt.Errorf("service: expect must be positive, got %d", c.Expect)
+	}
+	if c.MaxWeight == 0 {
+		c.MaxWeight = 4
+	}
+	if c.Codec == nil {
+		c.Codec = fixedpoint.Default()
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return nil
+}
+
+// Report summarizes a completed training run.
+type Report struct {
+	// Batches is the number of encrypted batches collected.
+	Batches int
+	// Clients is the number of completed client submissions.
+	Clients int
+	// EpochLoss holds the average secure loss per epoch (NaN entries
+	// when Config.ComputeLoss is false).
+	EpochLoss []float64
+	// CollectTime is the wall-clock time spent waiting for submissions.
+	CollectTime time.Duration
+	// TrainTime is the wall-clock training time.
+	TrainTime time.Duration
+}
+
+// Server is the CryptoNN training service.
+type Server struct {
+	keys  securemat.KeyService
+	cfg   Config
+	model *nn.Model
+}
+
+// New assembles a training service around a key service (the authority
+// connection, or an in-process authority in tests).
+func New(keys securemat.KeyService, cfg Config) (*Server, error) {
+	if keys == nil {
+		return nil, errors.New("service: nil key service")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	model, err := nn.NewMLP(cfg.Features, cfg.Classes, cfg.Hidden,
+		nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("service: building model: %w", err)
+	}
+	return &Server{keys: keys, cfg: cfg, model: model}, nil
+}
+
+// Model exposes the (plaintext) model; before Run completes it holds the
+// initial weights.
+func (s *Server) Model() *nn.Model { return s.model }
+
+// Run collects Expect client submissions from the listener, trains, and
+// reports. The listener is closed before Run returns.
+func (s *Server) Run(ctx context.Context, l net.Listener) (*Report, error) {
+	collector := wire.NewTrainingServer(s.cfg.Logger)
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- collector.Serve(serveCtx, l) }()
+
+	s.cfg.Logger.Printf("waiting for %d client submission(s) on %s", s.cfg.Expect, l.Addr())
+	collectStart := time.Now()
+	if err := collector.WaitSubmissions(ctx, s.cfg.Expect); err != nil {
+		cancel()
+		<-serveDone
+		return nil, fmt.Errorf("service: collecting submissions: %w", err)
+	}
+	collectTime := time.Since(collectStart)
+	cancel()
+	if err := <-serveDone; err != nil && !errors.Is(err, net.ErrClosed) {
+		return nil, fmt.Errorf("service: submission listener: %w", err)
+	}
+
+	batches := collector.Batches()
+	if len(batches) == 0 {
+		return nil, errors.New("service: no encrypted batches received")
+	}
+	s.cfg.Logger.Printf("received %d encrypted batch(es) from %d client(s)",
+		len(batches), collector.Submissions())
+
+	report, err := s.train(ctx, batches)
+	if err != nil {
+		return nil, err
+	}
+	report.Clients = collector.Submissions()
+	report.CollectTime = collectTime
+	return report, nil
+}
+
+// Train runs the training loop over already-collected batches; it is the
+// network-free core of Run, exported for in-process composition.
+func (s *Server) Train(ctx context.Context, batches []*core.EncryptedBatch) (*Report, error) {
+	return s.train(ctx, batches)
+}
+
+func (s *Server) train(ctx context.Context, batches []*core.EncryptedBatch) (*Report, error) {
+	if len(batches) == 0 {
+		return nil, errors.New("service: no batches to train on")
+	}
+	for i, b := range batches {
+		if b.Features != s.cfg.Features {
+			return nil, fmt.Errorf("service: batch %d has %d features, model expects %d",
+				i, b.Features, s.cfg.Features)
+		}
+		if b.Classes != s.cfg.Classes {
+			return nil, fmt.Errorf("service: batch %d has %d classes, model expects %d",
+				i, b.Classes, s.cfg.Classes)
+		}
+	}
+	trainer, err := s.newTrainer(batches)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(s.cfg.LR, s.cfg.Momentum)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{Batches: len(batches)}
+	start := time.Now()
+	for epoch := 1; epoch <= s.cfg.Epochs; epoch++ {
+		var lossSum float64
+		for i, b := range batches {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("service: training interrupted: %w", err)
+			}
+			res, err := trainer.TrainBatch(b, opt)
+			if err != nil {
+				return nil, fmt.Errorf("service: epoch %d batch %d: %w", epoch, i, err)
+			}
+			lossSum += res.Loss
+		}
+		avg := lossSum / float64(len(batches))
+		report.EpochLoss = append(report.EpochLoss, avg)
+		if s.cfg.ComputeLoss {
+			s.cfg.Logger.Printf("epoch %d/%d: avg secure loss %.4f", epoch, s.cfg.Epochs, avg)
+		} else {
+			s.cfg.Logger.Printf("epoch %d/%d done", epoch, s.cfg.Epochs)
+		}
+	}
+	report.TrainTime = time.Since(start)
+	s.cfg.Logger.Printf("training finished in %s over %d batches",
+		report.TrainTime.Round(time.Millisecond), len(batches))
+	return report, nil
+}
+
+// Predict runs FE-based prediction (§III-D) over an encrypted batch with
+// the current model and returns arg-max predictions in the label-mapped
+// space.
+func (s *Server) Predict(enc *core.EncryptedBatch) ([]int, error) {
+	trainer, err := s.newTrainer([]*core.EncryptedBatch{enc})
+	if err != nil {
+		return nil, err
+	}
+	res, err := trainer.Predict(enc)
+	if err != nil {
+		return nil, err
+	}
+	return res.MaskedPreds, nil
+}
+
+// ServePredictions exposes the trained model as a prediction service: it
+// answers wire.RequestPrediction calls until the context is cancelled.
+// Call it after Run has completed; the predictions reflect the model's
+// current weights.
+func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
+	ps, err := wire.NewPredictionServer(s.Predict, s.cfg.Logger)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logger.Printf("serving predictions on %s", l.Addr())
+	err = ps.Serve(ctx, l)
+	if errors.Is(err, net.ErrClosed) && ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// newTrainer builds a core.Trainer with a discrete-log bound sized for
+// the observed batch sizes.
+func (s *Server) newTrainer(batches []*core.EncryptedBatch) (*core.Trainer, error) {
+	maxN := 0
+	for _, b := range batches {
+		if b.N > maxN {
+			maxN = b.N
+		}
+	}
+	mpk, err := s.keys.FEIPPublic(s.cfg.Features)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching public key: %w", err)
+	}
+	bound := core.SolverBound(s.cfg.Codec, s.cfg.Features, 1, s.cfg.MaxWeight, 1)
+	if g := core.SolverBound(s.cfg.Codec, maxN, 1, s.cfg.MaxWeight, 100); g > bound {
+		bound = g
+	}
+	if s.cfg.ComputeLoss {
+		if l := core.SolverBound(s.cfg.Codec, 1, 1, 25, 1); l > bound {
+			bound = l
+		}
+	}
+	solver, err := dlog.NewSolver(mpk.Params, bound)
+	if err != nil {
+		return nil, fmt.Errorf("service: building dlog solver: %w", err)
+	}
+	return core.NewTrainer(s.model, s.keys, solver, core.Config{
+		Codec:       s.cfg.Codec,
+		Parallelism: s.cfg.Parallelism,
+		MaxWeight:   s.cfg.MaxWeight,
+		ComputeLoss: s.cfg.ComputeLoss,
+	})
+}

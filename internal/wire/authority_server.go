@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"sync"
+
+	"cryptonn/internal/authority"
+)
+
+// AuthorityServer exposes an authority's key services over TCP. It is the
+// network face of the trusted third party in Fig. 1.
+type AuthorityServer struct {
+	auth *authority.Authority
+	log  *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewAuthorityServer wraps an authority; logger may be nil for silence.
+func NewAuthorityServer(auth *authority.Authority, logger *log.Logger) (*AuthorityServer, error) {
+	if auth == nil {
+		return nil, errors.New("wire: nil authority")
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &AuthorityServer{
+		auth:  auth,
+		log:   logger,
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on l until the context is cancelled or Close
+// is called, answering key requests sequentially per connection. It always
+// returns a non-nil error (net.ErrClosed after a clean shutdown).
+func (s *AuthorityServer) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { _ = s.Close() })
+	defer stop()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			closeLogged(conn, s.log)
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *AuthorityServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		closeLogged(c, s.log)
+	}
+	return err
+}
+
+func (s *AuthorityServer) handle(conn net.Conn) {
+	defer func() {
+		closeLogged(conn, s.log)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("authority: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := WriteMsg(conn, resp); err != nil {
+			s.log.Printf("authority: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *AuthorityServer) dispatch(req *Request) *Response {
+	switch req.Kind {
+	case KindFEIPPublic:
+		mpk, err := s.auth.FEIPPublic(req.Eta)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{
+			GroupP: mpk.Params.P, GroupQ: mpk.Params.Q, GroupG: mpk.Params.G,
+			H: mpk.H,
+		}
+	case KindFEBOPublic:
+		pk, err := s.auth.FEBOPublic()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{
+			GroupP: pk.Params.P, GroupQ: pk.Params.Q, GroupG: pk.Params.G,
+			H: []*big.Int{pk.H},
+		}
+	case KindIPKey:
+		fk, err := s.auth.IPKey(req.Y)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{K: fk.K}
+	case KindIPKeyBatch:
+		if len(req.YBatch) == 0 {
+			return &Response{Err: "wire: empty key batch"}
+		}
+		ks := make([]*big.Int, len(req.YBatch))
+		for i, y := range req.YBatch {
+			fk, err := s.auth.IPKey(y)
+			if err != nil {
+				return &Response{Err: fmt.Sprintf("vector %d: %v", i, err)}
+			}
+			ks[i] = fk.K
+		}
+		return &Response{KBatch: ks}
+	case KindBOKey:
+		op, err := opFromInt(req.Op)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		fk, err := s.auth.BOKey(req.Cmt, op, req.Scalar)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{K: fk.K}
+	case KindBOKeyBatch:
+		op, err := opFromInt(req.Op)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		if len(req.Cmts) == 0 || len(req.Cmts) != len(req.Scalars) {
+			return &Response{Err: fmt.Sprintf("wire: %d commitments for %d scalars", len(req.Cmts), len(req.Scalars))}
+		}
+		ks := make([]*big.Int, len(req.Cmts))
+		for i, cmt := range req.Cmts {
+			fk, err := s.auth.BOKey(cmt, op, req.Scalars[i])
+			if err != nil {
+				return &Response{Err: fmt.Sprintf("element %d: %v", i, err)}
+			}
+			ks[i] = fk.K
+		}
+		return &Response{KBatch: ks}
+	default:
+		return &Response{Err: fmt.Sprintf("wire: authority cannot serve %s", req.Kind)}
+	}
+}
+
+func closeLogged(c io.Closer, l *log.Logger) {
+	if err := c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		l.Printf("wire: close: %v", err)
+	}
+}

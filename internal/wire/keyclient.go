@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/securemat"
+)
+
+// RemoteKeyService is a securemat.KeyService backed by a TCP connection to
+// an AuthorityServer. It validates everything it receives (group
+// parameters, group elements) and caches public keys, which are immutable
+// for the lifetime of an authority.
+//
+// The connection carries one request at a time; concurrent callers are
+// serialized. For high-throughput key traffic (the per-element FEBO
+// requests of element-wise training steps) use NewKeyServicePool.
+type RemoteKeyService struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	feipCache map[int]*feip.MasterPublicKey
+	feboCache *febo.PublicKey
+	trips     uint64
+}
+
+// DialKeyService connects to an authority at addr.
+func DialKeyService(addr string) (*RemoteKeyService, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing authority: %w", err)
+	}
+	return NewRemoteKeyService(conn), nil
+}
+
+// NewRemoteKeyService wraps an established connection.
+func NewRemoteKeyService(conn net.Conn) *RemoteKeyService {
+	return &RemoteKeyService{conn: conn, feipCache: make(map[int]*feip.MasterPublicKey)}
+}
+
+// Close releases the connection.
+func (c *RemoteKeyService) Close() error { return c.conn.Close() }
+
+// RoundTrips reports the number of request/response exchanges performed
+// (cache hits on public keys do not count). It quantifies what key-request
+// batching saves: without it, an n-element element-wise step costs n round
+// trips; with it, one.
+func (c *RemoteKeyService) RoundTrips() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trips
+}
+
+// roundTrip performs one request/response exchange.
+func (c *RemoteKeyService) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trips++
+	if err := WriteMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadMsg(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("wire: reading authority response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: authority refused %s: %s", req.Kind, resp.Err)
+	}
+	return &resp, nil
+}
+
+// FEIPPublic implements securemat.KeyService.
+func (c *RemoteKeyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
+	c.mu.Lock()
+	cached, ok := c.feipCache[eta]
+	c.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	resp, err := c.roundTrip(&Request{Kind: KindFEIPPublic, Eta: eta})
+	if err != nil {
+		return nil, err
+	}
+	params, err := groupFromResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	mpk := &feip.MasterPublicKey{Params: params, H: resp.H}
+	if err := mpk.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: authority sent invalid FEIP key: %w", err)
+	}
+	if mpk.Eta() != eta {
+		return nil, fmt.Errorf("wire: FEIP key has dimension %d, want %d", mpk.Eta(), eta)
+	}
+	c.mu.Lock()
+	c.feipCache[eta] = mpk
+	c.mu.Unlock()
+	return mpk, nil
+}
+
+// FEBOPublic implements securemat.KeyService.
+func (c *RemoteKeyService) FEBOPublic() (*febo.PublicKey, error) {
+	c.mu.Lock()
+	cached := c.feboCache
+	c.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	resp, err := c.roundTrip(&Request{Kind: KindFEBOPublic})
+	if err != nil {
+		return nil, err
+	}
+	params, err := groupFromResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.H) != 1 {
+		return nil, errors.New("wire: FEBO response must carry exactly one element")
+	}
+	pk := &febo.PublicKey{Params: params, H: resp.H[0]}
+	if err := pk.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: authority sent invalid FEBO key: %w", err)
+	}
+	c.mu.Lock()
+	c.feboCache = pk
+	c.mu.Unlock()
+	return pk, nil
+}
+
+// IPKey implements securemat.KeyService.
+func (c *RemoteKeyService) IPKey(y []int64) (*feip.FunctionKey, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindIPKey, Y: y})
+	if err != nil {
+		return nil, err
+	}
+	if resp.K == nil {
+		return nil, errors.New("wire: empty IP key in response")
+	}
+	return &feip.FunctionKey{K: resp.K}, nil
+}
+
+// IPKeyBatch implements securemat.BatchKeyService: it requests the keys
+// for every weight vector in one round trip — the whole first-layer key
+// traffic of a training iteration (k×n scalars up, k keys down, §IV-B2)
+// in a single frame instead of k.
+func (c *RemoteKeyService) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error) {
+	if len(ys) == 0 {
+		return nil, errors.New("wire: empty key batch")
+	}
+	resp, err := c.roundTrip(&Request{Kind: KindIPKeyBatch, YBatch: ys})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.KBatch) != len(ys) {
+		return nil, fmt.Errorf("wire: %d keys for %d vectors", len(resp.KBatch), len(ys))
+	}
+	keys := make([]*feip.FunctionKey, len(ys))
+	for i, k := range resp.KBatch {
+		if k == nil {
+			return nil, fmt.Errorf("wire: empty IP key %d in batch response", i)
+		}
+		keys[i] = &feip.FunctionKey{K: k}
+	}
+	return keys, nil
+}
+
+// BOKey implements securemat.KeyService.
+func (c *RemoteKeyService) BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindBOKey, Cmt: cmt, Op: int(op), Scalar: y})
+	if err != nil {
+		return nil, err
+	}
+	if resp.K == nil {
+		return nil, errors.New("wire: empty BO key in response")
+	}
+	return &febo.FunctionKey{K: resp.K}, nil
+}
+
+// BOKeyBatch implements securemat.BatchKeyService: one frame for a whole
+// matrix of per-commitment FEBO keys — the per-element round trips behind
+// the paper's Fig. 3b/4b curves collapse into a single exchange.
+func (c *RemoteKeyService) BOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) ([]*febo.FunctionKey, error) {
+	if len(cmts) == 0 || len(cmts) != len(ys) {
+		return nil, fmt.Errorf("wire: %d commitments for %d scalars", len(cmts), len(ys))
+	}
+	resp, err := c.roundTrip(&Request{Kind: KindBOKeyBatch, Cmts: cmts, Op: int(op), Scalars: ys})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.KBatch) != len(cmts) {
+		return nil, fmt.Errorf("wire: %d keys for %d commitments", len(resp.KBatch), len(cmts))
+	}
+	keys := make([]*febo.FunctionKey, len(cmts))
+	for i, k := range resp.KBatch {
+		if k == nil {
+			return nil, fmt.Errorf("wire: empty BO key %d in batch response", i)
+		}
+		keys[i] = &febo.FunctionKey{K: k}
+	}
+	return keys, nil
+}
+
+// Interface compliance check.
+var _ securemat.KeyService = (*RemoteKeyService)(nil)
+
+// KeyServicePool fans key requests out over several authority
+// connections, so the parallelized secure computation (many goroutines
+// requesting keys) is not serialized on a single socket.
+type KeyServicePool struct {
+	conns []*RemoteKeyService
+	next  chan int
+}
+
+// NewKeyServicePool dials n connections to addr.
+func NewKeyServicePool(addr string, n int) (*KeyServicePool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: pool size must be positive, got %d", n)
+	}
+	p := &KeyServicePool{next: make(chan int, n)}
+	for i := 0; i < n; i++ {
+		c, err := DialKeyService(addr)
+		if err != nil {
+			closeErr := p.Close()
+			if closeErr != nil {
+				return nil, fmt.Errorf("wire: dialing pool member %d: %v (cleanup: %v)", i, err, closeErr)
+			}
+			return nil, fmt.Errorf("wire: dialing pool member %d: %w", i, err)
+		}
+		p.conns = append(p.conns, c)
+		p.next <- i
+	}
+	return p, nil
+}
+
+// Close releases every pooled connection, returning the first error.
+func (p *KeyServicePool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// acquire checks a connection out of the pool and returns it with a
+// release function.
+func (p *KeyServicePool) acquire() (*RemoteKeyService, func()) {
+	i := <-p.next
+	return p.conns[i], func() { p.next <- i }
+}
+
+// FEIPPublic implements securemat.KeyService.
+func (p *KeyServicePool) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.FEIPPublic(eta)
+}
+
+// FEBOPublic implements securemat.KeyService.
+func (p *KeyServicePool) FEBOPublic() (*febo.PublicKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.FEBOPublic()
+}
+
+// IPKey implements securemat.KeyService.
+func (p *KeyServicePool) IPKey(y []int64) (*feip.FunctionKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.IPKey(y)
+}
+
+// IPKeyBatch implements securemat.BatchKeyService.
+func (p *KeyServicePool) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.IPKeyBatch(ys)
+}
+
+// BOKey implements securemat.KeyService.
+func (p *KeyServicePool) BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.BOKey(cmt, op, y)
+}
+
+// BOKeyBatch implements securemat.BatchKeyService.
+func (p *KeyServicePool) BOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) ([]*febo.FunctionKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.BOKeyBatch(cmts, op, ys)
+}
+
+// Interface compliance checks.
+var (
+	_ securemat.KeyService      = (*KeyServicePool)(nil)
+	_ securemat.BatchKeyService = (*KeyServicePool)(nil)
+	_ securemat.BatchKeyService = (*RemoteKeyService)(nil)
+)

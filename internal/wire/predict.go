@@ -1,0 +1,169 @@
+package wire
+
+// FE-based prediction over the network (§III-D): after training, the
+// server can answer prediction requests over encrypted inputs. The
+// client encrypts a batch exactly as for training (the labels may be
+// all-zero placeholders — only the input ciphertexts are touched), sends
+// one KindPredict frame, and receives per-sample classes. If the client
+// used a label map, the returned classes are masked and only the client
+// can translate them — the paper's "flexible privacy setting".
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cryptonn/internal/core"
+)
+
+// PredictFunc evaluates one encrypted batch and returns per-sample
+// (label-mapped) classes; service.Server.Predict satisfies it.
+type PredictFunc func(*core.EncryptedBatch) ([]int, error)
+
+// RequestPrediction submits one encrypted batch for prediction and
+// returns the per-sample classes.
+func RequestPrediction(conn net.Conn, enc *core.EncryptedBatch) ([]int, error) {
+	payload, err := encodePayload(enc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding prediction batch: %w", err)
+	}
+	if err := WriteMsg(conn, &Request{Kind: KindPredict, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("wire: sending prediction request: %w", err)
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		return nil, fmt.Errorf("wire: reading prediction response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: server rejected prediction: %s", resp.Err)
+	}
+	if len(resp.Preds) != enc.N {
+		return nil, fmt.Errorf("wire: %d predictions for %d samples", len(resp.Preds), enc.N)
+	}
+	return resp.Preds, nil
+}
+
+// PredictionServer answers KindPredict requests with a PredictFunc.
+type PredictionServer struct {
+	predict PredictFunc
+	log     *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewPredictionServer wraps a prediction function; logger may be nil.
+func NewPredictionServer(predict PredictFunc, logger *log.Logger) (*PredictionServer, error) {
+	if predict == nil {
+		return nil, errors.New("wire: nil predict function")
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &PredictionServer{predict: predict, log: logger, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts prediction connections until the context is cancelled or
+// Close is called. Each connection may carry any number of requests.
+func (s *PredictionServer) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { _ = s.Close() })
+	defer stop()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			closeLogged(conn, s.log)
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes live connections.
+func (s *PredictionServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		closeLogged(c, s.log)
+	}
+	return err
+}
+
+func (s *PredictionServer) handle(conn net.Conn) {
+	defer func() {
+		closeLogged(conn, s.log)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("prediction server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.answer(&req)
+		if err := WriteMsg(conn, resp); err != nil {
+			s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *PredictionServer) answer(req *Request) *Response {
+	if req.Kind != KindPredict {
+		return &Response{Err: fmt.Sprintf("prediction server cannot serve %s", req.Kind)}
+	}
+	var enc core.EncryptedBatch
+	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&enc); err != nil {
+		return &Response{Err: fmt.Sprintf("decoding prediction batch: %v", err)}
+	}
+	if enc.N <= 0 || enc.X == nil {
+		return &Response{Err: "empty prediction batch"}
+	}
+	preds, err := s.predict(&enc)
+	if err != nil {
+		return &Response{Err: fmt.Sprintf("prediction failed: %v", err)}
+	}
+	return &Response{Preds: preds}
+}

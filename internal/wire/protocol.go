@@ -1,0 +1,196 @@
+// Package wire implements the network protocol connecting the three
+// CryptoNN entities of Fig. 1:
+//
+//   - authority ⇄ server/client: public-key distribution and
+//     function-derived key issuance (Server + RemoteKeyService);
+//   - client → server: encrypted training-data submission
+//     (SubmitBatches + TrainingServer).
+//
+// Messages are length-prefixed gob frames over TCP. The protocol is
+// deliberately request/response with one outstanding request per
+// connection; RemoteKeyService serializes concurrent callers, and callers
+// needing parallel key traffic open multiple connections (see Pool).
+//
+// Every decoded key and ciphertext is validated for group membership
+// before use — a malformed or malicious peer cannot inject non-elements
+// into the crypto layer.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"cryptonn/internal/febo"
+	"cryptonn/internal/group"
+)
+
+// MaxFrame caps a single protocol frame; encrypted MNIST-scale batches are
+// large, so the cap is generous while still bounding a hostile peer.
+const MaxFrame = 1 << 30
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// MsgKind discriminates request frames.
+type MsgKind int
+
+// Request kinds.
+const (
+	KindFEIPPublic MsgKind = iota + 1
+	KindFEBOPublic
+	KindIPKey
+	KindBOKey
+	KindSubmitBatch
+	KindSubmitConvBatch
+	KindDone
+	KindIPKeyBatch
+	KindPredict
+	KindBOKeyBatch
+)
+
+// String names the kind for errors and logs.
+func (k MsgKind) String() string {
+	switch k {
+	case KindFEIPPublic:
+		return "feip-public"
+	case KindFEBOPublic:
+		return "febo-public"
+	case KindIPKey:
+		return "ip-key"
+	case KindBOKey:
+		return "bo-key"
+	case KindSubmitBatch:
+		return "submit-batch"
+	case KindSubmitConvBatch:
+		return "submit-conv-batch"
+	case KindDone:
+		return "done"
+	case KindIPKeyBatch:
+		return "ip-key-batch"
+	case KindPredict:
+		return "predict"
+	case KindBOKeyBatch:
+		return "bo-key-batch"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Request is the single request envelope; Kind selects which fields are
+// meaningful.
+type Request struct {
+	Kind MsgKind
+	// Eta is the FEIP dimension (KindFEIPPublic).
+	Eta int
+	// Y is the weight vector (KindIPKey).
+	Y []int64
+	// YBatch carries several weight vectors in one frame
+	// (KindIPKeyBatch) — one round trip for a whole weight matrix
+	// instead of one per row.
+	YBatch [][]int64
+	// Cmt, Op, Scalar parameterize FEBO key requests (KindBOKey).
+	Cmt    *big.Int
+	Op     int
+	Scalar int64
+	// Cmts and Scalars carry a whole matrix of FEBO key requests for one
+	// operation (KindBOKeyBatch), flattened row-major and paired by
+	// index. This collapses Algorithm 1's per-element key round trips —
+	// the dominant protocol cost of secure element-wise computation —
+	// into a single frame.
+	Cmts    []*big.Int
+	Scalars []int64
+	// Batch carries an encrypted batch (KindSubmitBatch); ConvBatch a
+	// convolutional one (KindSubmitConvBatch). They are gob-encoded
+	// payloads to keep this package free of import cycles with
+	// internal/core.
+	Payload []byte
+}
+
+// Response is the single response envelope.
+type Response struct {
+	// Err is non-empty on failure; other fields are then meaningless.
+	Err string
+	// Group carries group parameters for public-key responses.
+	GroupP, GroupQ, GroupG *big.Int
+	// H carries h_i (FEIP) or h (FEBO).
+	H []*big.Int
+	// K carries a derived function key.
+	K *big.Int
+	// KBatch carries the derived keys of a KindIPKeyBatch request, in
+	// request order.
+	KBatch []*big.Int
+	// Preds carries per-sample predicted (label-mapped) classes for a
+	// KindPredict request.
+	Preds []int
+}
+
+// WriteMsg writes one length-prefixed gob frame.
+func WriteMsg(w io.Writer, v any) error {
+	var frame frameBuffer
+	if err := gob.NewEncoder(&frame).Encode(v); err != nil {
+		return fmt.Errorf("wire: encoding frame: %w", err)
+	}
+	if len(frame.buf) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame.buf))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(frame.buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(frame.buf); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadMsg reads one length-prefixed gob frame into v.
+func ReadMsg(r io.Reader, v any) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	return nil
+}
+
+type frameBuffer struct{ buf []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// groupFromResponse reconstructs and validates group parameters from a
+// response.
+func groupFromResponse(resp *Response) (*group.Params, error) {
+	p := &group.Params{P: resp.GroupP, Q: resp.GroupQ, G: resp.GroupG}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: peer sent invalid group: %w", err)
+	}
+	return p, nil
+}
+
+// opFromInt validates a wire-encoded FEBO operation.
+func opFromInt(v int) (febo.Op, error) {
+	op := febo.Op(v)
+	if !op.Valid() {
+		return 0, fmt.Errorf("wire: invalid FEBO op %d", v)
+	}
+	return op, nil
+}

@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cryptonn/internal/core"
+)
+
+// Encrypted-batch submission: the client → server data flow of Fig. 1.
+// Clients push gob-encoded core.EncryptedBatch / core.EncryptedConvBatch
+// frames; the training server collects them from any number of distributed
+// data owners ("the model can be trained over multiple, distributed data
+// sources" — §III-A) as long as all encrypted under the same authority.
+
+// SubmitBatches streams encrypted dense batches to a training server and
+// closes the stream with a Done frame.
+func SubmitBatches(conn net.Conn, batches []*core.EncryptedBatch) error {
+	for i, b := range batches {
+		payload, err := encodePayload(b)
+		if err != nil {
+			return fmt.Errorf("wire: encoding batch %d: %w", i, err)
+		}
+		if err := WriteMsg(conn, &Request{Kind: KindSubmitBatch, Payload: payload}); err != nil {
+			return fmt.Errorf("wire: submitting batch %d: %w", i, err)
+		}
+		if err := readAck(conn); err != nil {
+			return fmt.Errorf("wire: batch %d: %w", i, err)
+		}
+	}
+	if err := WriteMsg(conn, &Request{Kind: KindDone}); err != nil {
+		return fmt.Errorf("wire: finishing submission: %w", err)
+	}
+	return readAck(conn)
+}
+
+// SubmitConvBatches streams encrypted convolutional batches.
+func SubmitConvBatches(conn net.Conn, batches []*core.EncryptedConvBatch) error {
+	for i, b := range batches {
+		payload, err := encodePayload(b)
+		if err != nil {
+			return fmt.Errorf("wire: encoding conv batch %d: %w", i, err)
+		}
+		if err := WriteMsg(conn, &Request{Kind: KindSubmitConvBatch, Payload: payload}); err != nil {
+			return fmt.Errorf("wire: submitting conv batch %d: %w", i, err)
+		}
+		if err := readAck(conn); err != nil {
+			return fmt.Errorf("wire: conv batch %d: %w", i, err)
+		}
+	}
+	if err := WriteMsg(conn, &Request{Kind: KindDone}); err != nil {
+		return fmt.Errorf("wire: finishing submission: %w", err)
+	}
+	return readAck(conn)
+}
+
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func readAck(conn net.Conn) error {
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("server rejected: %s", resp.Err)
+	}
+	return nil
+}
+
+// TrainingServer accepts encrypted batches from distributed clients. It
+// only stores ciphertext batches — the training loop itself runs on top
+// through the usual core.Trainer.
+type TrainingServer struct {
+	log *log.Logger
+
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	wg          sync.WaitGroup
+	closed      bool
+	batches     []*core.EncryptedBatch
+	convBatches []*core.EncryptedConvBatch
+	done        int
+	doneCh      chan struct{}
+}
+
+// NewTrainingServer creates a collector; logger may be nil.
+func NewTrainingServer(logger *log.Logger) *TrainingServer {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &TrainingServer{
+		log:    logger,
+		conns:  make(map[net.Conn]struct{}),
+		doneCh: make(chan struct{}, 1),
+	}
+}
+
+// Submissions returns the number of completed client submissions (Done
+// frames received).
+func (s *TrainingServer) Submissions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// WaitSubmissions blocks until at least n clients have completed their
+// submission, or the context is cancelled.
+func (s *TrainingServer) WaitSubmissions(ctx context.Context, n int) error {
+	for {
+		s.mu.Lock()
+		have := s.done
+		s.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.doneCh:
+		}
+	}
+}
+
+// signalDone wakes one WaitSubmissions poller; the buffered channel
+// coalesces bursts.
+func (s *TrainingServer) signalDone() {
+	select {
+	case s.doneCh <- struct{}{}:
+	default:
+	}
+}
+
+// Batches returns the dense batches received so far.
+func (s *TrainingServer) Batches() []*core.EncryptedBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.EncryptedBatch, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
+// ConvBatches returns the convolutional batches received so far.
+func (s *TrainingServer) ConvBatches() []*core.EncryptedConvBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.EncryptedConvBatch, len(s.convBatches))
+	copy(out, s.convBatches)
+	return out
+}
+
+// Serve accepts submissions until the context is cancelled or Close is
+// called.
+func (s *TrainingServer) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { _ = s.Close() })
+	defer stop()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			closeLogged(conn, s.log)
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes live connections.
+func (s *TrainingServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		closeLogged(c, s.log)
+	}
+	return err
+}
+
+func (s *TrainingServer) handle(conn net.Conn) {
+	defer func() {
+		closeLogged(conn, s.log)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("training server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.accept(&req)
+		if err := WriteMsg(conn, resp); err != nil {
+			s.log.Printf("training server: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if req.Kind == KindDone {
+			return
+		}
+	}
+}
+
+func (s *TrainingServer) accept(req *Request) *Response {
+	switch req.Kind {
+	case KindSubmitBatch:
+		var b core.EncryptedBatch
+		if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&b); err != nil {
+			return &Response{Err: fmt.Sprintf("decoding batch: %v", err)}
+		}
+		if b.N <= 0 || b.X == nil || b.Y == nil {
+			return &Response{Err: "empty batch"}
+		}
+		s.mu.Lock()
+		s.batches = append(s.batches, &b)
+		s.mu.Unlock()
+		return &Response{}
+	case KindSubmitConvBatch:
+		var b core.EncryptedConvBatch
+		if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&b); err != nil {
+			return &Response{Err: fmt.Sprintf("decoding conv batch: %v", err)}
+		}
+		if b.N <= 0 || len(b.Windows) == 0 || b.Y == nil {
+			return &Response{Err: "empty conv batch"}
+		}
+		s.mu.Lock()
+		s.convBatches = append(s.convBatches, &b)
+		s.mu.Unlock()
+		return &Response{}
+	case KindDone:
+		s.mu.Lock()
+		s.done++
+		s.mu.Unlock()
+		s.signalDone()
+		return &Response{}
+	default:
+		return &Response{Err: fmt.Sprintf("training server cannot serve %s", req.Kind)}
+	}
+}
