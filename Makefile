@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the tier-1 gate (build + vet +
+# tests); `make bench` emits the hot-path benchmarks in benchstat-comparable
+# form (set COUNT=10 and pipe two runs into benchstat to compare).
+
+GO    ?= go
+COUNT ?= 5
+
+.PHONY: check build vet test race bench
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The exponentiation engine's thread-safety contract (shared tables, one
+# solver across many goroutines) under the race detector.
+race:
+	$(GO) test -race ./internal/group/ ./internal/feip/ ./internal/febo/ \
+		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/
+
+# Hot-path benchmarks: group-level exponentiation atoms, FEIP primitive
+# costs, and the paper's Fig. 3 element-wise pipeline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64' \
+		-benchmem -count $(COUNT) ./internal/group/
+	$(GO) test -run '^$$' -bench 'BenchmarkEncrypt|BenchmarkDecrypt' \
+		-benchmem -count $(COUNT) ./internal/feip/
+	$(GO) test -run '^$$' -bench 'BenchmarkLookup' \
+		-benchmem -count $(COUNT) ./internal/dlog/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) .

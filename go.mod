@@ -1,0 +1,3 @@
+module cryptonn
+
+go 1.24

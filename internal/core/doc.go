@@ -29,4 +29,17 @@
 // (EncryptBatch / EncryptConvBatch) and hold the LabelMap; the server runs
 // the Trainer, which talks to the authority only through
 // securemat.KeyService.
+//
+// # Performance: the exponentiation engine
+//
+// Every secure computation above bottoms out in group exponentiations, and
+// nearly all of them hit internal/group's fixed-base and multi-exponentia-
+// tion engine rather than generic square-and-multiply: g^{x_i} plaintext
+// encodings come from a dense per-generator cache, h_i^r encryption powers
+// from per-public-key windowed tables (built once per key, shared across
+// the worker goroutines of the parallel decryption path), FEIP's
+// Π ct_i^{y_i} from Straus interleaved multi-exponentiation, and the
+// bounded-dlog recovery from an allocation-free giant-step loop. See the
+// internal/group package comment for the design (window sizes, where
+// tables live, the thread-safety contract).
 package core

@@ -38,6 +38,7 @@ type Solver struct {
 	table  map[string]int64 // g^j -> j, 0 <= j < m
 	giant  *big.Int         // g^{-m}
 	shift  *big.Int         // g^{Bound}: maps signed range onto [0, 2*Bound]
+	keyLen int              // modulus width in bytes, sizes the key scratch
 }
 
 // NewSolver builds a solver for logs in [-bound, bound]. Table construction
@@ -54,9 +55,11 @@ func NewSolver(params *group.Params, bound int64) (*Solver, error) {
 	m := int64(math.Ceil(math.Sqrt(float64(n))))
 	table := make(map[string]int64, m)
 	cur := big.NewInt(1)
+	var tmp, q big.Int // scratch reused across the whole build
 	for j := int64(0); j < m; j++ {
 		table[string(cur.Bytes())] = j
-		cur = params.Mul(cur, params.G)
+		tmp.Mul(cur, params.G)
+		q.QuoRem(&tmp, params.P, cur)
 	}
 	// cur is now g^m; its inverse is the giant step.
 	giant := params.Inv(cur)
@@ -67,7 +70,8 @@ func NewSolver(params *group.Params, bound int64) (*Solver, error) {
 		steps:  (n + m - 1) / m,
 		table:  table,
 		giant:  giant,
-		shift:  params.PowG(big.NewInt(bound)),
+		shift:  params.PowGInt64(bound), // table-backed fixed-base power
+		keyLen: (params.P.BitLen() + 7) / 8,
 	}, nil
 }
 
@@ -79,21 +83,39 @@ func (s *Solver) Bound() int64 { return s.bound }
 func (s *Solver) TableSize() int { return len(s.table) }
 
 // Lookup returns x such that h = g^x and |x| <= Bound, or ErrNotFound.
+//
+// The giant-step loop reuses three scratch buffers (product, reduction,
+// key bytes) across its iterations instead of allocating per step; all
+// scratch is call-local, so one Solver still serves any number of
+// concurrent goroutines.
 func (s *Solver) Lookup(h *big.Int) (int64, error) {
 	if h == nil {
 		return 0, errors.New("dlog: nil element")
 	}
 	// Shift the signed range onto [0, 2*bound]: h' = h * g^bound = g^{x+bound}.
-	gamma := s.params.Mul(h, s.shift)
+	var gamma, tmp, q big.Int
+	tmp.Mul(h, s.shift)
+	q.QuoRem(&tmp, s.params.P, &gamma)
+	keyBuf := make([]byte, s.keyLen)
 	for i := int64(0); i <= s.steps; i++ {
-		if j, ok := s.table[string(gamma.Bytes())]; ok {
+		// The table keys are minimal big-endian bytes (big.Int.Bytes);
+		// FillBytes into the fixed-width scratch then strip the leading
+		// zeros to reproduce the same key without allocating. The
+		// string(...) conversion inside a map index does not allocate.
+		gamma.FillBytes(keyBuf)
+		k := 0
+		for k < s.keyLen-1 && keyBuf[k] == 0 {
+			k++
+		}
+		if j, ok := s.table[string(keyBuf[k:])]; ok {
 			x := i*s.m + j - s.bound
 			if x < -s.bound || x > s.bound {
 				break // matched only past the end of the range
 			}
 			return x, nil
 		}
-		gamma = s.params.Mul(gamma, s.giant)
+		tmp.Mul(&gamma, s.giant)
+		q.QuoRem(&tmp, s.params.P, &gamma)
 	}
 	return 0, fmt.Errorf("%w (bound %d)", ErrNotFound, s.bound)
 }

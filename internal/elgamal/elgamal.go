@@ -33,10 +33,21 @@ import (
 // ErrMalformed reports a structurally invalid key or ciphertext.
 var ErrMalformed = errors.New("elgamal: malformed input")
 
-// PublicKey is (group, h = g^s).
+// PublicKey is (group, h = g^s). Like the FE public keys it lazily caches
+// a fixed-base table for h, shared read-only across goroutines.
 type PublicKey struct {
 	Params *group.Params
 	H      *big.Int
+
+	hTab group.LazyTable
+}
+
+// Precompute builds the fixed-base table for h now instead of on the first
+// Encrypt; idempotent and concurrency-safe.
+func (k *PublicKey) Precompute() { k.table() }
+
+func (k *PublicKey) table() *group.FixedBaseTable {
+	return k.hTab.Get(k.Params, k.H, 0)
 }
 
 // Validate checks group membership; applied to keys received over a
@@ -93,10 +104,10 @@ func Encrypt(pk *PublicKey, m int64, r io.Reader) (*Ciphertext, error) {
 	if err != nil {
 		return nil, fmt.Errorf("elgamal: sampling nonce: %w", err)
 	}
-	gm := pk.Params.PowG(pk.Params.ReduceScalar(big.NewInt(m)))
+	p := pk.Params
 	return &Ciphertext{
-		C1: pk.Params.PowG(nonce),
-		C2: pk.Params.Mul(pk.Params.Exp(pk.H, nonce), gm),
+		C1: p.PowG(nonce),
+		C2: p.Mul(pk.table().Pow(nonce), p.PowGInt64(m)),
 	}, nil
 }
 
@@ -119,8 +130,7 @@ func ScalarMul(params *group.Params, a *Ciphertext, k int64) *Ciphertext {
 
 // AddPlain returns Enc(m + k) for a signed plaintext constant k.
 func AddPlain(params *group.Params, a *Ciphertext, k int64) *Ciphertext {
-	gk := params.PowG(params.ReduceScalar(big.NewInt(k)))
-	return &Ciphertext{C1: a.C1, C2: params.Mul(a.C2, gk)}
+	return &Ciphertext{C1: a.C1, C2: params.Mul(a.C2, params.PowGInt64(k))}
 }
 
 // EncryptZero returns a fresh Enc(0), the identity for Add chains.

@@ -94,9 +94,24 @@ var (
 )
 
 // PublicKey is mpk = (group, h = g^s).
+//
+// The key lazily caches a fixed-base exponentiation table for h — FEBO
+// encrypts one matrix element per call, so h is the hottest base in the
+// element-wise workload. See group.LazyTable for the sharing contract.
 type PublicKey struct {
 	Params *group.Params
 	H      *big.Int
+
+	hTab group.LazyTable
+}
+
+// Precompute builds the fixed-base table for h now instead of on the first
+// Encrypt; idempotent and concurrency-safe.
+func (k *PublicKey) Precompute() { k.table() }
+
+func (k *PublicKey) table() *group.FixedBaseTable {
+	// No dense cache: h only sees full-size nonces.
+	return k.hTab.Get(k.Params, k.H, 0)
 }
 
 // Validate checks that h is a group element; applied to keys received over
@@ -165,10 +180,13 @@ func Encrypt(pk *PublicKey, x int64, r io.Reader) (*Ciphertext, error) {
 	if err != nil {
 		return nil, fmt.Errorf("febo: encrypt: %w", err)
 	}
-	hr := p.Exp(pk.H, nonce)
+	// h^r through the key's fixed-base table; g^x through the generator
+	// table's dense small-exponent cache (x is a fixed-point plaintext).
+	gt := p.GTable()
+	hr := pk.table().Pow(nonce)
 	return &Ciphertext{
-		Cmt: p.PowG(nonce),
-		Ct:  p.Mul(hr, p.PowG(big.NewInt(x))),
+		Cmt: gt.Pow(nonce),
+		Ct:  p.Mul(hr, gt.PowInt64(x)),
 	}, nil
 }
 
@@ -183,16 +201,18 @@ func KeyDerive(params *group.Params, sk *SecretKey, cmt *big.Int, op Op, y int64
 		return nil, fmt.Errorf("%w: commitment not a group element", ErrMalformed)
 	}
 	cmtS := params.Exp(cmt, sk.S) // g^{rs}
-	yb := big.NewInt(y)
+	var yb big.Int
 	switch op {
 	case OpAdd:
-		return &FunctionKey{K: params.Mul(cmtS, params.PowG(new(big.Int).Neg(yb)))}, nil
+		// Negate via big.Int: -y overflows for y = math.MinInt64.
+		yb.SetInt64(y)
+		return &FunctionKey{K: params.Mul(cmtS, params.PowG(yb.Neg(&yb)))}, nil
 	case OpSub:
-		return &FunctionKey{K: params.Mul(cmtS, params.PowG(yb))}, nil
+		return &FunctionKey{K: params.Mul(cmtS, params.PowGInt64(y))}, nil
 	case OpMul:
-		return &FunctionKey{K: params.Exp(cmtS, yb)}, nil
+		return &FunctionKey{K: params.Exp(cmtS, yb.SetInt64(y))}, nil
 	case OpDiv:
-		yInv, err := params.InvScalar(yb)
+		yInv, err := params.InvScalar(yb.SetInt64(y))
 		if err != nil {
 			return nil, fmt.Errorf("febo: division key: %w", err)
 		}
@@ -256,13 +276,14 @@ func DecryptGroupElement(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, 
 		return nil, fmt.Errorf("%w: empty ciphertext", ErrMalformed)
 	}
 	p := pk.Params
+	var yb big.Int
 	switch op {
 	case OpAdd, OpSub:
 		return p.Div(ct.Ct, fk.K), nil
 	case OpMul:
-		return p.Div(p.Exp(ct.Ct, big.NewInt(y)), fk.K), nil
+		return p.Div(p.Exp(ct.Ct, yb.SetInt64(y)), fk.K), nil
 	case OpDiv:
-		yInv, err := p.InvScalar(big.NewInt(y))
+		yInv, err := p.InvScalar(yb.SetInt64(y))
 		if err != nil {
 			return nil, fmt.Errorf("febo: decrypt: %w", err)
 		}

@@ -2,6 +2,7 @@ package febo
 
 import (
 	"errors"
+	"math"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -274,5 +275,36 @@ func TestDecryptDivExactAndInexact(t *testing.T) {
 	}
 	if _, err := DecryptDiv(pk, fk2, ct2, 7, solver); !errors.Is(err, ErrInexactDivision) {
 		t.Errorf("85/7 error = %v, want ErrInexactDivision", err)
+	}
+}
+
+// TestKeyDeriveExtremeOperands pins the OpAdd/OpSub key formula at the
+// int64 boundaries, where a naive -y negation overflows (math.MinInt64).
+func TestKeyDeriveExtremeOperands(t *testing.T) {
+	params := group.TestParams()
+	pk, sk, _ := setupTest(t, 100)
+	ct, err := Encrypt(pk, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []int64{math.MinInt64, math.MaxInt64, -1, 0} {
+		yb := big.NewInt(y)
+		cmtS := params.Exp(ct.Cmt, sk.S)
+		wantAdd := params.Mul(cmtS, params.PowG(new(big.Int).Neg(yb)))
+		fk, err := KeyDerive(params, sk, ct.Cmt, OpAdd, y)
+		if err != nil {
+			t.Fatalf("OpAdd y=%d: %v", y, err)
+		}
+		if fk.K.Cmp(wantAdd) != 0 {
+			t.Errorf("OpAdd y=%d: key mismatch", y)
+		}
+		wantSub := params.Mul(cmtS, params.PowG(yb))
+		fk, err = KeyDerive(params, sk, ct.Cmt, OpSub, y)
+		if err != nil {
+			t.Fatalf("OpSub y=%d: %v", y, err)
+		}
+		if fk.K.Cmp(wantSub) != 0 {
+			t.Errorf("OpSub y=%d: key mismatch", y)
+		}
 	}
 }

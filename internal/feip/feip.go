@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"cryptonn/internal/dlog"
 	"cryptonn/internal/group"
@@ -34,13 +35,40 @@ var (
 )
 
 // MasterPublicKey is mpk = (group, h_i = g^{s_i}). Clients encrypt under it.
+//
+// The key caches a fixed-base exponentiation table per h_i, built lazily
+// on first Encrypt (or eagerly via Precompute) under a sync.Once and then
+// shared read-only across goroutines — the same contract as dlog.Solver.
+// The cache is unexported, so gob/json wire encoding is unaffected; pass
+// *MasterPublicKey around, never a copy.
 type MasterPublicKey struct {
 	Params *group.Params
 	H      []*big.Int
+
+	tabOnce sync.Once
+	hTabs   []*group.FixedBaseTable
 }
 
 // Eta returns the vector dimension η the key was set up for.
 func (k *MasterPublicKey) Eta() int { return len(k.H) }
+
+// Precompute builds the per-h_i fixed-base tables now instead of on the
+// first Encrypt. Callers that are about to encrypt many vectors under the
+// same key (securemat, batched clients) use it to keep the table build out
+// of their per-column loop; it is idempotent and concurrency-safe.
+func (k *MasterPublicKey) Precompute() { k.tables() }
+
+func (k *MasterPublicKey) tables() []*group.FixedBaseTable {
+	k.tabOnce.Do(func() {
+		tabs := make([]*group.FixedBaseTable, len(k.H))
+		for i, h := range k.H {
+			// No dense cache: the h_i only ever see full-size nonces.
+			tabs[i] = k.Params.NewFixedBaseTable(h, 0)
+		}
+		k.hTabs = tabs
+	})
+	return k.hTabs
+}
 
 // Validate checks group membership of every h_i; it is applied to keys
 // received over the network.
@@ -126,9 +154,10 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 		return nil, fmt.Errorf("%w: |y|=%d, η=%d", ErrDimension, len(y), len(msk.S))
 	}
 	acc := new(big.Int)
-	var term big.Int
+	var term, yb big.Int // scratch reused across coordinates
 	for i, yi := range y {
-		term.Mul(msk.S[i], big.NewInt(yi))
+		yb.SetInt64(yi)
+		term.Mul(msk.S[i], &yb)
 		acc.Add(acc, &term)
 	}
 	return &FunctionKey{K: params.ReduceScalar(acc)}, nil
@@ -147,12 +176,16 @@ func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) 
 	if err != nil {
 		return nil, fmt.Errorf("feip: encrypt: %w", err)
 	}
+	// h_i^r through the per-key fixed-base tables; g^{x_i} through the
+	// generator table's dense small-exponent cache.
+	tabs := mpk.tables()
+	gt := p.GTable()
 	ct := make([]*big.Int, len(x))
 	for i, xi := range x {
-		hr := p.Exp(mpk.H[i], nonce)
-		ct[i] = p.Mul(hr, p.PowG(big.NewInt(xi)))
+		hr := tabs[i].Pow(nonce)
+		ct[i] = p.Mul(hr, gt.PowInt64(xi))
 	}
-	return &Ciphertext{Ct0: p.PowG(nonce), Ct: ct}, nil
+	return &Ciphertext{Ct0: gt.Pow(nonce), Ct: ct}, nil
 }
 
 // Decrypt recovers ⟨x, y⟩ from a ciphertext of x and the function key for
@@ -185,14 +218,14 @@ func DecryptGroupElement(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, 
 	if mpk == nil {
 		return nil, fmt.Errorf("%w: nil public key", ErrMalformed)
 	}
-	p := mpk.Params
-	num := big.NewInt(1)
-	for i, yi := range y {
-		if yi == 0 {
-			continue
-		}
-		num = p.Mul(num, p.Exp(ct.Ct[i], big.NewInt(yi)))
+	if ct == nil || len(ct.Ct) != len(y) {
+		return nil, fmt.Errorf("%w: ciphertext dimension", ErrDimension)
 	}
+	p := mpk.Params
+	// Simultaneous multi-exponentiation shares one squaring ladder across
+	// all η coordinates; the naive per-coordinate Exp paid a full-size
+	// ladder for every negative y_i.
+	num := p.MultiExpInt64(ct.Ct, y)
 	den := p.Exp(ct.Ct0, fk.K)
 	return p.Div(num, den), nil
 }

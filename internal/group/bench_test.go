@@ -31,6 +31,72 @@ func BenchmarkExp(b *testing.B) {
 	}
 }
 
+// BenchmarkFixedBasePow pits the windowed generator table against the
+// generic square-and-multiply it replaces, on the same base and exponent
+// distribution. The naive/table ratio is the engine's speedup.
+func BenchmarkFixedBasePow(b *testing.B) {
+	for _, bits := range group.EmbeddedSizes() {
+		params, err := group.Embedded(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp, err := params.RandScalar(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("bits=%d/naive", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = params.Exp(params.G, exp)
+			}
+		})
+		tab := params.GTable() // build outside the timed loop
+		b.Run(fmt.Sprintf("bits=%d/table", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = tab.Pow(exp)
+			}
+		})
+	}
+}
+
+// BenchmarkPowGInt64 exercises the dense small-exponent cache, the g^{x_i}
+// path of every plaintext encoding.
+func BenchmarkPowGInt64(b *testing.B) {
+	params := group.TestParams()
+	params.PowGInt64(0) // build the table outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params.PowGInt64(int64(i%2001 - 1000))
+	}
+}
+
+// BenchmarkMultiExp compares Straus interleaving against the naive
+// per-coordinate Exp product it replaces in FEIP decryption (η bases,
+// small signed weight exponents).
+func BenchmarkMultiExp(b *testing.B) {
+	params := group.TestParams()
+	const eta = 100
+	bases := make([]*big.Int, eta)
+	exps := make([]int64, eta)
+	for i := range bases {
+		bases[i] = params.PowGInt64(int64(3*i + 7))
+		exps[i] = int64(i%21 - 10)
+	}
+	b.Run("straus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = params.MultiExpInt64(bases, exps)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := big.NewInt(1)
+			for j := range bases {
+				acc = params.Mul(acc, params.Exp(bases[j], big.NewInt(exps[j])))
+			}
+			benchSink = acc
+		}
+	})
+}
+
 func BenchmarkMul(b *testing.B) {
 	params := group.TestParams()
 	x := params.PowGInt64(12345)

@@ -1,0 +1,226 @@
+package group
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base exponentiation.
+//
+// Almost every exponentiation in the CryptoNN pipeline reuses one of a
+// handful of bases: the generator g (every g^{x_i}, g^r, the dlog shift),
+// the master-public-key elements h_i (one h_i^r per coordinate of every
+// Encrypt), and the ElGamal public key h. For a fixed base, the classic
+// radix-2^w precomputation (Brauer; see HAC §14.6.3) replaces the
+// square-and-multiply ladder with pure table multiplications:
+//
+//	base^e = Π_i base^{d_i·2^{w·i}}   where e = Σ d_i·2^{w·i}, 0 ≤ d_i < 2^w
+//
+// Each factor base^{d·2^{w·i}} is precomputed, so Pow costs at most
+// ⌈bits(Q)/w⌉ modular multiplications and zero squarings, versus a full
+// Montgomery ladder for the generic big.Int.Exp. Building a table costs
+// ⌈bits(Q)/w⌉·(2^w−1) multiplications; at w=4 that is roughly three naive
+// exponentiations, paying for itself after the third use of the base.
+//
+// Two window widths are used. Per-key tables (the h_i) use w=4 — ≈30 KiB
+// per base for a 256-bit group, cheap enough to build lazily per master
+// public key. The per-Params generator table uses w=8 — bigger to build
+// (≈20 naive exponentiations) and ≈260 KiB for a 256-bit group, but g is
+// the one base shared by every scheme, solver and benchmark in the
+// process, so the deeper table's halved multiplication count wins.
+
+const (
+	// fixedBaseWindow is the default radix (bits per digit) for per-key
+	// tables built with NewFixedBaseTable.
+	fixedBaseWindow = 4
+	// generatorWindow is the radix of the per-Params generator table.
+	generatorWindow = 8
+)
+
+// DenseDefault is the dense-cache bound used for the generator table: the
+// fixed-point-encoded plaintexts that appear as g^{x_i} during encryption
+// are tiny signed integers, so a dense ±DenseDefault cache turns those
+// exponentiations into a single lookup.
+const DenseDefault = 1024
+
+// FixedBaseTable holds windowed precomputation for one base, plus an
+// optional dense cache of base^k for small |k|. Tables are immutable after
+// construction and safe for concurrent use by any number of goroutines;
+// Pow never writes shared state and always returns a freshly allocated
+// result.
+type FixedBaseTable struct {
+	params *Params
+	base   *big.Int
+	w      int // window width in bits
+	// win[i][d-1] = base^(d · 2^{w·i}) mod P for d in 1..2^w−1, covering
+	// every exponent in [0, Q).
+	win [][]*big.Int
+	// dense[k] = base^k and denseInv[k] = base^{−k} for 0 ≤ k ≤ denseBound;
+	// nil when the table was built without a dense cache.
+	dense    []*big.Int
+	denseInv []*big.Int
+}
+
+// NewFixedBaseTable precomputes a windowed exponentiation table for base,
+// which must be an element of the order-Q subgroup (true of every group
+// element in this codebase; Pow's exponent reduction mod Q relies on
+// base^Q = 1). denseBound > 0 additionally caches base^k for every
+// |k| ≤ denseBound, which callers with tiny plaintext exponents (g^{x_i})
+// want; pass 0 for bases that only see full-size exponents (h_i^r).
+func (p *Params) NewFixedBaseTable(base *big.Int, denseBound int) *FixedBaseTable {
+	return p.newFixedBaseTable(base, denseBound, fixedBaseWindow)
+}
+
+func (p *Params) newFixedBaseTable(base *big.Int, denseBound, w int) *FixedBaseTable {
+	nw := (p.Q.BitLen() + w - 1) / w
+	win := make([][]*big.Int, nw)
+	// winBase walks base^{2^{w·i}}; row d is built by repeated
+	// multiplication, and the next winBase is row[2^w−1]·winBase =
+	// base^{2^{w·(i+1)}} — no modular squarings anywhere.
+	winBase := new(big.Int).Mod(base, p.P)
+	var tmp, q big.Int
+	for i := 0; i < nw; i++ {
+		row := make([]*big.Int, (1<<w)-1)
+		row[0] = winBase
+		for d := 2; d < 1<<w; d++ {
+			e := new(big.Int)
+			tmp.Mul(row[d-2], winBase)
+			q.QuoRem(&tmp, p.P, e)
+			row[d-1] = e
+		}
+		win[i] = row
+		if i+1 < nw {
+			next := new(big.Int)
+			tmp.Mul(row[len(row)-1], winBase)
+			q.QuoRem(&tmp, p.P, next)
+			winBase = next
+		}
+	}
+	t := &FixedBaseTable{params: p, base: new(big.Int).Set(base), w: w, win: win}
+	if denseBound > 0 {
+		t.dense = make([]*big.Int, denseBound+1)
+		t.dense[0] = big.NewInt(1)
+		for k := 1; k <= denseBound; k++ {
+			t.dense[k] = p.Mul(t.dense[k-1], base)
+		}
+		if inv := p.Inv(base); inv != nil {
+			t.denseInv = make([]*big.Int, denseBound+1)
+			t.denseInv[0] = big.NewInt(1)
+			for k := 1; k <= denseBound; k++ {
+				t.denseInv[k] = p.Mul(t.denseInv[k-1], inv)
+			}
+		}
+	}
+	return t
+}
+
+// Base returns (a copy of) the base the table was built for.
+func (t *FixedBaseTable) Base() *big.Int { return new(big.Int).Set(t.base) }
+
+// WindowBits returns the radix width w of the precomputed digit tables.
+func (t *FixedBaseTable) WindowBits() int { return t.w }
+
+// DenseBound returns the bound of the dense small-exponent cache, 0 when
+// the table was built without one.
+func (t *FixedBaseTable) DenseBound() int {
+	if t.dense == nil {
+		return 0
+	}
+	return len(t.dense) - 1
+}
+
+// Pow computes base^exp mod P. Exponents of any sign and size are
+// accepted: they are reduced into [0, Q), so for the subgroup bases the
+// table contract requires, Pow agrees with Params.Exp on every input.
+// The result is freshly allocated.
+func (t *FixedBaseTable) Pow(exp *big.Int) *big.Int {
+	if r := t.denseLookup(exp); r != nil {
+		return r
+	}
+	e := exp
+	if e.Sign() < 0 || e.Cmp(t.params.Q) >= 0 {
+		e = new(big.Int).Mod(exp, t.params.Q)
+	}
+	acc := new(big.Int)
+	var tmp, q big.Int
+	started := false
+	nw := (e.BitLen() + t.w - 1) / t.w
+	for i := 0; i < nw; i++ {
+		d := windowDigit(e, i, t.w)
+		if d == 0 {
+			continue
+		}
+		if !started {
+			acc.Set(t.win[i][d-1])
+			started = true
+			continue
+		}
+		tmp.Mul(acc, t.win[i][d-1])
+		q.QuoRem(&tmp, t.params.P, acc)
+	}
+	if !started {
+		return acc.SetInt64(1) // exp ≡ 0 mod Q
+	}
+	return acc
+}
+
+// PowInt64 computes base^x for a machine integer x; the hot path for
+// plaintext exponents. Values within the dense cache are a single copy.
+func (t *FixedBaseTable) PowInt64(x int64) *big.Int {
+	if 0 <= x && x < int64(len(t.dense)) {
+		return new(big.Int).Set(t.dense[x])
+	}
+	// x > -len (rather than -x < len) keeps math.MinInt64 off the cache
+	// path, where -x overflows.
+	if x < 0 && x > -int64(len(t.denseInv)) {
+		return new(big.Int).Set(t.denseInv[-x])
+	}
+	var e big.Int
+	e.SetInt64(x)
+	return t.Pow(&e)
+}
+
+// denseLookup serves exp from the dense cache when it is a cached small
+// integer, returning nil on a miss.
+func (t *FixedBaseTable) denseLookup(exp *big.Int) *big.Int {
+	if t.dense == nil || !exp.IsInt64() {
+		return nil
+	}
+	x := exp.Int64()
+	if 0 <= x && x < int64(len(t.dense)) {
+		return new(big.Int).Set(t.dense[x])
+	}
+	if x < 0 && x > -int64(len(t.denseInv)) {
+		return new(big.Int).Set(t.denseInv[-x])
+	}
+	return nil
+}
+
+// LazyTable is a once-guarded, concurrency-safe cache of one
+// FixedBaseTable. Public-key types embed it (unexported, so gob/json wire
+// encoding is unaffected) to build the table for their h on first use and
+// then share it read-only across goroutines — the same contract as
+// dlog.Solver. The zero value is ready to use.
+type LazyTable struct {
+	once sync.Once
+	tab  *FixedBaseTable
+}
+
+// Get returns the cached table, building it for base on first call. Later
+// calls ignore the arguments and return the original table, so a LazyTable
+// must be tied to exactly one base (the key field it caches for).
+func (l *LazyTable) Get(p *Params, base *big.Int, denseBound int) *FixedBaseTable {
+	l.once.Do(func() {
+		l.tab = p.NewFixedBaseTable(base, denseBound)
+	})
+	return l.tab
+}
+
+// windowDigit extracts the i-th w-bit digit of e.
+func windowDigit(e *big.Int, i, w int) uint {
+	var d uint
+	for b := 0; b < w; b++ {
+		d |= uint(e.Bit(i*w+b)) << b
+	}
+	return d
+}

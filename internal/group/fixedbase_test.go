@@ -1,0 +1,161 @@
+package group_test
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+// naiveExp is the reference the engine is pinned to: plain big.Int.Exp
+// with the exponent reduced mod Q, bypassing every table.
+func naiveExp(p *group.Params, base, exp *big.Int) *big.Int {
+	e := new(big.Int).Mod(exp, p.Q)
+	return new(big.Int).Exp(base, e, p.P)
+}
+
+// edgeExponents returns the adversarial exponents every accelerated path
+// must agree with the naive path on: zero, ±1, the Q boundary, values far
+// outside [0, Q), and dense-cache boundary values.
+func edgeExponents(p *group.Params, denseBound int64) []*big.Int {
+	q := p.Q
+	edges := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(-1),
+		big.NewInt(denseBound),
+		big.NewInt(-denseBound),
+		big.NewInt(denseBound + 1),
+		big.NewInt(-denseBound - 1),
+		new(big.Int).Sub(q, big.NewInt(1)),
+		new(big.Int).Set(q),
+		new(big.Int).Add(q, big.NewInt(1)),
+		new(big.Int).Neg(q),
+		new(big.Int).Sub(new(big.Int).Neg(q), big.NewInt(3)),
+		new(big.Int).Add(new(big.Int).Lsh(q, 1), big.NewInt(5)), // > 2Q
+	}
+	return edges
+}
+
+func TestFixedBaseTableMatchesNaiveExp(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const denseBound = 32
+			tab := params.NewFixedBaseTable(params.G, denseBound)
+			rng := rand.New(rand.NewSource(int64(bits)))
+			exps := edgeExponents(params, denseBound)
+			for i := 0; i < 200; i++ {
+				e := new(big.Int).Rand(rng, params.Q)
+				if i%3 == 1 {
+					e.Neg(e)
+				}
+				if i%5 == 2 {
+					e.Add(e, params.Q) // push past Q
+				}
+				exps = append(exps, e)
+			}
+			for _, e := range exps {
+				want := naiveExp(params, params.G, e)
+				if got := tab.Pow(e); got.Cmp(want) != 0 {
+					t.Fatalf("Pow(%v) = %v, want %v", e, got, want)
+				}
+				if got := params.PowG(e); got.Cmp(want) != 0 {
+					t.Fatalf("PowG(%v) = %v, want %v", e, got, want)
+				}
+				if e.IsInt64() {
+					if got := tab.PowInt64(e.Int64()); got.Cmp(want) != 0 {
+						t.Fatalf("PowInt64(%d) = %v, want %v", e.Int64(), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFixedBaseTableNonGeneratorBase(t *testing.T) {
+	// Tables are built for arbitrary subgroup elements (the h_i of a
+	// master public key), not just G.
+	params := group.TestParams()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		s := new(big.Int).Rand(rng, params.Q)
+		h := params.PowG(s)
+		tab := params.NewFixedBaseTable(h, 0)
+		for i := 0; i < 50; i++ {
+			e := new(big.Int).Rand(rng, params.Q)
+			if i%2 == 1 {
+				e.Neg(e)
+			}
+			want := naiveExp(params, h, e)
+			if got := tab.Pow(e); got.Cmp(want) != 0 {
+				t.Fatalf("trial %d: Pow(%v) mismatch", trial, e)
+			}
+		}
+	}
+}
+
+func TestFixedBaseTableResultIsFresh(t *testing.T) {
+	// Mutating a returned result must not corrupt the table.
+	params := group.TestParams()
+	tab := params.NewFixedBaseTable(params.G, 8)
+	r := tab.PowInt64(3)
+	want := new(big.Int).Set(r)
+	r.SetInt64(999)
+	if got := tab.PowInt64(3); got.Cmp(want) != 0 {
+		t.Fatalf("dense cache corrupted by caller mutation: got %v want %v", got, want)
+	}
+	e := big.NewInt(1 << 20)
+	r = tab.Pow(e)
+	want = new(big.Int).Set(r)
+	r.SetInt64(999)
+	if got := tab.Pow(e); got.Cmp(want) != 0 {
+		t.Fatalf("windowed path corrupted by caller mutation")
+	}
+}
+
+// TestGTableConcurrent hammers the lazily built generator table from many
+// goroutines; run with -race to prove the sync.Once construction and the
+// immutable-table reads are safe (the thread-safety contract the FE layers
+// rely on when sharing one mpk across decryption workers).
+func TestGTableConcurrent(t *testing.T) {
+	params, err := group.Embedded(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh Params so the table build itself races with lookups.
+	fresh := params.Clone()
+	exp := big.NewInt(123456789)
+	want := naiveExp(fresh, fresh.G, exp)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				if got := fresh.PowG(exp); got.Cmp(want) != 0 {
+					errs <- fmt.Errorf("PowG mismatch")
+					return
+				}
+				e := new(big.Int).Rand(rng, fresh.Q)
+				if got, wantE := fresh.PowG(e), naiveExp(fresh, fresh.G, e); got.Cmp(wantE) != 0 {
+					errs <- fmt.Errorf("PowG(random) mismatch")
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

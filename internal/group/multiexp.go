@@ -1,0 +1,138 @@
+package group
+
+import (
+	"math/big"
+)
+
+// Simultaneous multi-exponentiation (Straus' interleaved windowed method,
+// HAC algorithm 14.88).
+//
+// FEIP decryption evaluates Π ct_i^{y_i}: η exponentiations sharing one
+// running product. Computed naively that costs η full square-and-multiply
+// ladders; interleaving shares the squarings across all bases, so the cost
+// drops to max-bits squarings + one table multiplication per non-zero
+// digit. The weight vectors of the CryptoNN workload make this dramatic:
+// the y_i are tiny signed integers, so the shared ladder is only a few
+// bits tall, while the naive path pays a full-size ladder per coordinate
+// the moment a y_i is negative (negative exponents reduce mod Q into
+// ~bits(Q)-bit values).
+//
+// Signs are handled by splitting the product: Π over positive exponents
+// times the inverse of Π over |negative| exponents, which costs a single
+// modular inversion instead of per-coordinate full-size exponents.
+
+// MultiExp computes Π bases[i]^exps[i] mod P. Exponents may be negative,
+// zero, or ≥ Q; each factor agrees with Params.Exp on the same inputs
+// provided the bases lie in the order-Q subgroup (true of every group
+// element in this codebase — the sign split relies on base^Q = 1).
+// bases and exps must have equal length (MultiExp panics otherwise, the
+// same contract as a mismatched index). An empty product is 1.
+func (p *Params) MultiExp(bases, exps []*big.Int) *big.Int {
+	if len(bases) != len(exps) {
+		panic("group: MultiExp length mismatch")
+	}
+	// Partition into a positive and a negative product, keeping exponent
+	// magnitudes small: a small negative y must become (base^{-1})^{|y|}
+	// via the split, not a full-size y mod Q. scratch is a single slab so
+	// normalization does not allocate per element.
+	posB := make([]*big.Int, 0, len(bases))
+	posE := make([]*big.Int, 0, len(bases))
+	var negB, negE []*big.Int
+	scratch := make([]big.Int, len(exps))
+	for i, e := range exps {
+		if e.Sign() == 0 {
+			continue
+		}
+		abs := e
+		neg := e.Sign() < 0
+		if neg {
+			abs = scratch[i].Neg(e)
+		}
+		if abs.Cmp(p.Q) >= 0 {
+			abs = scratch[i].Mod(abs, p.Q)
+			if abs.Sign() == 0 {
+				continue
+			}
+		}
+		if neg {
+			negB = append(negB, bases[i])
+			negE = append(negE, abs)
+		} else {
+			posB = append(posB, bases[i])
+			posE = append(posE, abs)
+		}
+	}
+	pos := p.strausProd(posB, posE)
+	if len(negB) == 0 {
+		return pos
+	}
+	return p.Div(pos, p.strausProd(negB, negE))
+}
+
+// MultiExpInt64 is MultiExp for machine-integer exponents; it converts via
+// one backing slab instead of a big.NewInt per coordinate, which matters
+// because FEIP decryption calls it once per output matrix cell.
+func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
+	vals := make([]big.Int, len(exps))
+	ptrs := make([]*big.Int, len(exps))
+	for i, e := range exps {
+		ptrs[i] = vals[i].SetInt64(e)
+	}
+	return p.MultiExp(bases, ptrs)
+}
+
+// strausProd computes Π bases[i]^exps[i] for non-negative exponents < Q by
+// interleaved windowed exponentiation: one shared squaring ladder of
+// max-bits height, with per-base digit tables of 2^w−1 entries.
+func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
+	if len(bases) == 0 {
+		return big.NewInt(1)
+	}
+	maxBits := 0
+	for _, e := range exps {
+		if b := e.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	// Window width by ladder height: short ladders (tiny plaintext
+	// exponents) want small tables, full-size exponents amortize w=4.
+	w := 4
+	switch {
+	case maxBits <= 8:
+		w = 2
+	case maxBits <= 32:
+		w = 3
+	}
+	// pow[j][d-1] = bases[j]^d for d in 1..2^w−1.
+	var tmp, q big.Int
+	pow := make([][]*big.Int, len(bases))
+	for j, b := range bases {
+		row := make([]*big.Int, (1<<w)-1)
+		row[0] = b
+		for d := 2; d < 1<<w; d++ {
+			e := new(big.Int)
+			tmp.Mul(row[d-2], b)
+			q.QuoRem(&tmp, p.P, e)
+			row[d-1] = e
+		}
+		pow[j] = row
+	}
+	acc := big.NewInt(1)
+	started := false
+	for i := (maxBits - 1) / w; i >= 0; i-- {
+		if started {
+			for s := 0; s < w; s++ {
+				tmp.Mul(acc, acc)
+				q.QuoRem(&tmp, p.P, acc)
+			}
+		}
+		for j, e := range exps {
+			if d := windowDigit(e, i, w); d != 0 {
+				tmp.Mul(acc, pow[j][d-1])
+				q.QuoRem(&tmp, p.P, acc)
+				started = true
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,129 @@
+package group_test
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+// naiveProduct is the reference: Π Exp(base_i, e_i) computed one
+// exponentiation at a time, exactly as feip.DecryptGroupElement did before
+// the multi-exponentiation engine.
+func naiveProduct(p *group.Params, bases, exps []*big.Int) *big.Int {
+	acc := big.NewInt(1)
+	for i := range bases {
+		acc = p.Mul(acc, p.Exp(bases[i], exps[i]))
+	}
+	return acc
+}
+
+func randomBases(p *group.Params, rng *rand.Rand, n int) []*big.Int {
+	bases := make([]*big.Int, n)
+	for i := range bases {
+		bases[i] = p.PowG(new(big.Int).Rand(rng, p.Q))
+	}
+	return bases
+}
+
+func TestMultiExpMatchesNaiveProduct(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(bits)))
+			for trial := 0; trial < 30; trial++ {
+				n := 1 + rng.Intn(12)
+				bases := randomBases(params, rng, n)
+				exps := make([]*big.Int, n)
+				for i := range exps {
+					switch trial % 4 {
+					case 0: // tiny signed (the FE weight-vector case)
+						exps[i] = big.NewInt(rng.Int63n(21) - 10)
+					case 1: // full-size
+						exps[i] = new(big.Int).Rand(rng, params.Q)
+					case 2: // signed full-size and ≥ Q
+						e := new(big.Int).Rand(rng, params.Q)
+						e.Add(e, params.Q)
+						if rng.Intn(2) == 0 {
+							e.Neg(e)
+						}
+						exps[i] = e
+					default: // mixed with zeros
+						if rng.Intn(3) == 0 {
+							exps[i] = big.NewInt(0)
+						} else {
+							exps[i] = big.NewInt(rng.Int63n(2001) - 1000)
+						}
+					}
+				}
+				want := naiveProduct(params, bases, exps)
+				if got := params.MultiExp(bases, exps); got.Cmp(want) != 0 {
+					t.Fatalf("trial %d: MultiExp mismatch: got %v want %v", trial, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiExpEdgeCases(t *testing.T) {
+	params := group.TestParams()
+	rng := rand.New(rand.NewSource(42))
+
+	if got := params.MultiExp(nil, nil); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty product = %v, want 1", got)
+	}
+	bases := randomBases(params, rng, 3)
+	zeros := []*big.Int{big.NewInt(0), big.NewInt(0), big.NewInt(0)}
+	if got := params.MultiExp(bases, zeros); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("all-zero exponents = %v, want 1", got)
+	}
+	// Exponents that are multiples of Q reduce to the identity.
+	qMults := []*big.Int{
+		new(big.Int).Set(params.Q),
+		new(big.Int).Neg(params.Q),
+		new(big.Int).Lsh(params.Q, 2),
+	}
+	if got := params.MultiExp(bases, qMults); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("Q-multiple exponents = %v, want 1", got)
+	}
+	// Single pair degenerates to Exp.
+	e := big.NewInt(-987654321)
+	want := params.Exp(bases[0], e)
+	if got := params.MultiExp(bases[:1], []*big.Int{e}); got.Cmp(want) != 0 {
+		t.Fatalf("single-pair MultiExp = %v, want %v", got, want)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	params.MultiExp(bases, zeros[:2])
+}
+
+func TestMultiExpInt64MatchesMultiExp(t *testing.T) {
+	params := group.TestParams()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(20)
+		bases := randomBases(params, rng, n)
+		exps64 := make([]int64, n)
+		exps := make([]*big.Int, n)
+		for i := range exps64 {
+			exps64[i] = rng.Int63() - rng.Int63() // full signed int64 range
+			if rng.Intn(4) == 0 {
+				exps64[i] = rng.Int63n(21) - 10
+			}
+			exps[i] = big.NewInt(exps64[i])
+		}
+		want := naiveProduct(params, bases, exps)
+		if got := params.MultiExpInt64(bases, exps64); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: MultiExpInt64 mismatch", trial)
+		}
+	}
+}

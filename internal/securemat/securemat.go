@@ -195,6 +195,9 @@ func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix,
 	if err != nil {
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
+	// Build the per-h_i fixed-base tables once, outside the per-column
+	// loop; every column encryption below then runs on the fast path.
+	colMPK.Precompute()
 	enc := &EncryptedMatrix{Rows: rows, Cols: cols}
 	enc.ColCts = make([]*feip.Ciphertext, cols)
 	colBuf := make([]int64, rows)
@@ -213,6 +216,7 @@ func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix,
 		if err != nil {
 			return nil, fmt.Errorf("securemat: fetching FEIP row key: %w", err)
 		}
+		rowMPK.Precompute()
 		enc.RowCts = make([]*feip.Ciphertext, rows)
 		for i := 0; i < rows; i++ {
 			ct, err := feip.Encrypt(rowMPK, x[i], nil)
@@ -227,6 +231,7 @@ func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix,
 		if err != nil {
 			return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
 		}
+		boPK.Precompute()
 		enc.Elems = make([][]*febo.Ciphertext, rows)
 		for i := 0; i < rows; i++ {
 			enc.Elems[i] = make([]*febo.Ciphertext, cols)
