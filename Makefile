@@ -1,13 +1,21 @@
-# Developer entry points. `make check` is the tier-1 gate (build + vet +
-# tests); `make bench` emits the hot-path benchmarks in benchstat-comparable
-# form (set COUNT=10 and pipe two runs into benchstat to compare).
+# Developer entry points. `make check` is the tier-1 gate (format + build +
+# vet + tests); `make bench` emits the hot-path benchmarks in
+# benchstat-comparable form (set COUNT=10 and pipe two runs into benchstat
+# to compare; CI's bench-smoke job runs COUNT=1 BENCHTIME=10x so the
+# benchmarks themselves cannot rot unnoticed).
 
-GO    ?= go
-COUNT ?= 5
+GO        ?= go
+COUNT     ?= 5
+BENCHTIME ?= 1s
 
-.PHONY: check build vet test race bench
+.PHONY: check fmt-check build vet test race bench
 
-check: build vet test
+check: fmt-check build vet test
+
+# Formatting gate: CI fails the build when gofmt would rewrite anything.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -18,19 +26,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# The exponentiation engine's thread-safety contract (shared tables, one
-# solver across many goroutines) under the race detector.
+# The engine's thread-safety contract (shared tables, one solver, one
+# Montgomery context across many goroutines) under the race detector.
 race:
 	$(GO) test -race ./internal/group/ ./internal/feip/ ./internal/febo/ \
 		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/
 
-# Hot-path benchmarks: group-level exponentiation atoms, FEIP primitive
-# costs, and the paper's Fig. 3 element-wise pipeline.
+# Hot-path benchmarks: group-level multiplication/exponentiation atoms,
+# FEIP primitive costs, the dlog solver (sequential + shared-table
+# parallel), the securemat batched-decrypt pipeline, and the paper's
+# Fig. 3 element-wise pipeline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64' \
-		-benchmem -count $(COUNT) ./internal/group/
+	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64|BenchmarkMulMont|BenchmarkBatchInv' \
+		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/group/
 	$(GO) test -run '^$$' -bench 'BenchmarkEncrypt|BenchmarkDecrypt' \
-		-benchmem -count $(COUNT) ./internal/feip/
+		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/feip/
 	$(GO) test -run '^$$' -bench 'BenchmarkLookup' \
-		-benchmem -count $(COUNT) ./internal/dlog/
-	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) .
+		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/dlog/
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt' \
+		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .

@@ -6,6 +6,7 @@ package cryptonn
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -162,4 +163,83 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 		t.Errorf("server log missing training line:\n%s", serverLog.String())
 	}
 	_ = fmt.Sprintf("auth log: %s", authLog.String()) // kept for failure diagnosis
+}
+
+// TestCLIFlagAndHelpPaths smoke-runs the entry points whose main paths the
+// e2e pipeline does not reach: flag parsing, -h usage output, and the
+// bad-flag exit code of cryptonn-bench and cryptonn-predict. This keeps
+// CI exercising the binaries, not just internal/.
+func TestCLIFlagAndHelpPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the real binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir, "cryptonn-bench", "cryptonn-predict")
+
+	// runBin returns combined output and the exit code (-1 on start failure).
+	runBin := func(bin string, args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bins[bin], args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		return string(out), exitErr.ExitCode()
+	}
+
+	t.Run("bench help lists experiments", func(t *testing.T) {
+		out, code := runBin("cryptonn-bench", "-h")
+		if code == 0 {
+			t.Errorf("-h exited 0, want non-zero (flag.ErrHelp path)")
+		}
+		for _, flag := range []string{"-exp", "-paper", "-par", "-seed"} {
+			if !strings.Contains(out, flag) {
+				t.Errorf("-h usage missing %s:\n%s", flag, out)
+			}
+		}
+	})
+	t.Run("bench rejects unknown flag", func(t *testing.T) {
+		out, code := runBin("cryptonn-bench", "-no-such-flag")
+		if code == 0 {
+			t.Errorf("unknown flag exited 0\n%s", out)
+		}
+		if !strings.Contains(out, "Usage") && !strings.Contains(out, "flag provided") {
+			t.Errorf("unknown flag produced no usage text:\n%s", out)
+		}
+	})
+	t.Run("bench unmatched experiment is a clean no-op", func(t *testing.T) {
+		out, code := runBin("cryptonn-bench", "-exp", "does-not-exist")
+		if code != 0 {
+			t.Errorf("unmatched -exp exited %d:\n%s", code, out)
+		}
+	})
+	t.Run("predict help lists connection flags", func(t *testing.T) {
+		out, code := runBin("cryptonn-predict", "-h")
+		if code == 0 {
+			t.Errorf("-h exited 0, want non-zero (flag.ErrHelp path)")
+		}
+		for _, flag := range []string{"-authority", "-server", "-features", "-samples", "-label-key"} {
+			if !strings.Contains(out, flag) {
+				t.Errorf("-h usage missing %s:\n%s", flag, out)
+			}
+		}
+	})
+	t.Run("predict rejects unknown flag", func(t *testing.T) {
+		out, code := runBin("cryptonn-predict", "-bogus")
+		if code == 0 {
+			t.Errorf("unknown flag exited 0\n%s", out)
+		}
+	})
+	t.Run("predict fails fast on unreachable authority", func(t *testing.T) {
+		// A reserved-then-released port: nothing listens, so the dial path
+		// must error out with a non-zero exit instead of hanging.
+		out, code := runBin("cryptonn-predict", "-authority", freePort(t), "-samples", "1")
+		if code == 0 {
+			t.Errorf("unreachable authority exited 0:\n%s", out)
+		}
+	})
 }

@@ -9,9 +9,19 @@
 // baby-step table so the expensive part is paid once per (group, bound)
 // pair rather than once per decryption.
 //
+// The solver's hot loop is specialized two ways beyond the textbook
+// algorithm. All group arithmetic runs in the Montgomery domain
+// (group.MontCtx), so each giant step is a division-free limb
+// multiplication instead of a big.Int Mul + QuoRem. And the baby-step
+// table is a custom open-addressing hash table keyed on the low 64 bits
+// of the Montgomery representation (table.go), so a probe touches two
+// flat arrays instead of marshalling key bytes into a string map. Every
+// key hit is verified against the full element limbs, with collisions
+// falling back to an exact-match spill list, so lookups stay exact.
+//
 // A Solver is safe for concurrent use after construction, which is what
 // makes the paper's parallelized secure-computation curves (Fig. 3d, 4d,
-// 5d) possible: many goroutines share one table.
+// 5d) possible: many goroutines share one table, lock-free.
 package dlog
 
 import (
@@ -28,17 +38,25 @@ import (
 // overflow: the plaintext result grew beyond the configured range.
 var ErrNotFound = errors.New("dlog: value outside search bound")
 
+// lookupStackLimbs bounds the modulus width (in 64-bit limbs) for which
+// Lookup's scratch lives on the stack; wider groups allocate one slice.
+const lookupStackLimbs = 16
+
 // Solver recovers x from g^x for x in [-Bound, Bound] using baby-step
 // giant-step with a table of about sqrt(2*Bound+1) entries.
 type Solver struct {
 	params *group.Params
+	mont   *group.MontCtx
 	bound  int64
-	m      int64            // baby-step table size
-	steps  int64            // number of giant steps
-	table  map[string]int64 // g^j -> j, 0 <= j < m
-	giant  *big.Int         // g^{-m}
-	shift  *big.Int         // g^{Bound}: maps signed range onto [0, 2*Bound]
-	keyLen int              // modulus width in bytes, sizes the key scratch
+	m      int64 // baby-step table size
+	steps  int64 // number of giant steps
+	k      int   // limbs per element
+	// elems[j*k : (j+1)*k] is g^j in Montgomery form: the exact-match
+	// backing store for the hash table's 64-bit candidate keys.
+	elems  []uint64
+	tab    *babyTable
+	giantM []uint64 // g^{-m}, Montgomery form
+	shiftM []uint64 // g^{Bound}, Montgomery form: maps [-B, B] onto [0, 2B]
 }
 
 // NewSolver builds a solver for logs in [-bound, bound]. Table construction
@@ -53,26 +71,33 @@ func NewSolver(params *group.Params, bound int64) (*Solver, error) {
 	}
 	n := 2*bound + 1 // size of the shifted search range [0, 2*bound]
 	m := int64(math.Ceil(math.Sqrt(float64(n))))
-	table := make(map[string]int64, m)
-	cur := big.NewInt(1)
-	var tmp, q big.Int // scratch reused across the whole build
-	for j := int64(0); j < m; j++ {
-		table[string(cur.Bytes())] = j
-		tmp.Mul(cur, params.G)
-		q.QuoRem(&tmp, params.P, cur)
-	}
-	// cur is now g^m; its inverse is the giant step.
-	giant := params.Inv(cur)
-	return &Solver{
+	mc := params.Mont()
+	k := mc.Limbs()
+	s := &Solver{
 		params: params,
+		mont:   mc,
 		bound:  bound,
 		m:      m,
 		steps:  (n + m - 1) / m,
-		table:  table,
-		giant:  giant,
-		shift:  params.PowGInt64(bound), // table-backed fixed-base power
-		keyLen: (params.P.BitLen() + 7) / 8,
-	}, nil
+		k:      k,
+		elems:  make([]uint64, m*int64(k)),
+		tab:    newBabyTable(m),
+		giantM: mc.Elem(),
+		shiftM: mc.Elem(),
+	}
+	gM := mc.Elem()
+	mc.ToMont(gM, params.G)
+	cur := mc.Elem()
+	mc.SetOne(cur)
+	for j := int64(0); j < m; j++ {
+		copy(s.elems[j*int64(k):], cur)
+		s.tab.insert(cur[0], j)
+		mc.MulMont(cur, cur, gM)
+	}
+	// cur is now g^m; its inverse is the giant step.
+	mc.ToMont(s.giantM, params.Inv(mc.FromMont(cur)))
+	mc.ToMont(s.shiftM, params.PowGInt64(bound)) // table-backed fixed-base power
+	return s, nil
 }
 
 // Bound returns the solver's symmetric search bound.
@@ -80,44 +105,66 @@ func (s *Solver) Bound() int64 { return s.bound }
 
 // TableSize returns the number of precomputed baby steps (diagnostics and
 // benchmark reporting).
-func (s *Solver) TableSize() int { return len(s.table) }
+func (s *Solver) TableSize() int { return int(s.m) }
 
 // Lookup returns x such that h = g^x and |x| <= Bound, or ErrNotFound.
 //
-// The giant-step loop reuses three scratch buffers (product, reduction,
-// key bytes) across its iterations instead of allocating per step; all
-// scratch is call-local, so one Solver still serves any number of
-// concurrent goroutines.
+// The giant-step loop works on stack-resident Montgomery limbs: one
+// division-free multiplication and one hash probe per step, no
+// allocations. All scratch is call-local, so one Solver serves any number
+// of concurrent goroutines.
 func (s *Solver) Lookup(h *big.Int) (int64, error) {
 	if h == nil {
 		return 0, errors.New("dlog: nil element")
 	}
+	k := s.k
+	var stack [lookupStackLimbs]uint64
+	var gamma []uint64
+	if k <= len(stack) {
+		gamma = stack[:k]
+	} else {
+		gamma = make([]uint64, k)
+	}
 	// Shift the signed range onto [0, 2*bound]: h' = h * g^bound = g^{x+bound}.
-	var gamma, tmp, q big.Int
-	tmp.Mul(h, s.shift)
-	q.QuoRem(&tmp, s.params.P, &gamma)
-	keyBuf := make([]byte, s.keyLen)
+	s.mont.ToMont(gamma, h)
+	s.mont.MulMont(gamma, gamma, s.shiftM)
 	for i := int64(0); i <= s.steps; i++ {
-		// The table keys are minimal big-endian bytes (big.Int.Bytes);
-		// FillBytes into the fixed-width scratch then strip the leading
-		// zeros to reproduce the same key without allocating. The
-		// string(...) conversion inside a map index does not allocate.
-		gamma.FillBytes(keyBuf)
-		k := 0
-		for k < s.keyLen-1 && keyBuf[k] == 0 {
-			k++
-		}
-		if j, ok := s.table[string(keyBuf[k:])]; ok {
-			x := i*s.m + j - s.bound
-			if x < -s.bound || x > s.bound {
-				break // matched only past the end of the range
+		if j := s.tab.find(gamma[0]); j >= 0 {
+			// A 64-bit key hit is only a candidate: exact-match the full
+			// element, falling back to the spill list on collision. A
+			// candidate whose x lands outside [-Bound, Bound] (the final
+			// giant step can match a shifted value just past 2*Bound) must
+			// NOT stop the scan — keep probing instead of breaking, so a
+			// later exact match is still found.
+			if equalElem(gamma, s.elems, j, k) {
+				if x := i*s.m + j - s.bound; x >= -s.bound && x <= s.bound {
+					return x, nil
+				}
+			} else {
+				for _, e := range s.tab.spill {
+					if e.key == gamma[0] && equalElem(gamma, s.elems, e.j, k) {
+						if x := i*s.m + e.j - s.bound; x >= -s.bound && x <= s.bound {
+							return x, nil
+						}
+						break
+					}
+				}
 			}
-			return x, nil
 		}
-		tmp.Mul(&gamma, s.giant)
-		q.QuoRem(&tmp, s.params.P, &gamma)
+		s.mont.MulMont(gamma, gamma, s.giantM)
 	}
 	return 0, fmt.Errorf("%w (bound %d)", ErrNotFound, s.bound)
+}
+
+// equalElem reports whether gamma equals the j-th stored baby-step element.
+func equalElem(gamma, elems []uint64, j int64, k int) bool {
+	e := elems[j*int64(k) : j*int64(k)+int64(k)]
+	for i := range gamma {
+		if gamma[i] != e[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MustLookup is Lookup for callers that have already guaranteed the value

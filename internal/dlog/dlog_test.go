@@ -2,6 +2,7 @@ package dlog
 
 import (
 	"errors"
+	"math/big"
 	"math/rand"
 	"sync"
 	"testing"
@@ -155,6 +156,159 @@ func TestTableSizeScalesWithSqrtBound(t *testing.T) {
 	}
 }
 
+// Regression: the final giant step can match a shifted value just past
+// 2*bound; the scan must continue (not break) and the exact boundary
+// values x = ±Bound must resolve for bounds with every residue of the
+// search range size n = 2b+1 modulo the baby-step count m.
+func TestLookupExactBoundarySweep(t *testing.T) {
+	p := group.TestParams()
+	for _, bound := range []int64{1, 2, 3, 4, 7, 10, 31, 99, 100, 127, 1023} {
+		s := newTestSolver(t, bound)
+		for _, x := range []int64{-bound, -bound + 1, 0, bound - 1, bound} {
+			got, err := s.Lookup(p.PowGInt64(x))
+			if err != nil {
+				t.Fatalf("bound=%d: Lookup(g^%d): %v", bound, x, err)
+			}
+			if got != x {
+				t.Fatalf("bound=%d: Lookup(g^%d) = %d", bound, x, got)
+			}
+		}
+		for _, x := range []int64{bound + 1, -bound - 1, 2*bound + 1} {
+			if _, err := s.Lookup(p.PowGInt64(x)); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("bound=%d: Lookup(g^%d) err = %v, want ErrNotFound", bound, x, err)
+			}
+		}
+	}
+}
+
+// White-box: the open-addressing table resolves duplicate low-64 keys via
+// the spill list, and distinct keys that probe into each other stay
+// retrievable.
+func TestBabyTableCollisions(t *testing.T) {
+	tab := newBabyTable(8)
+	const key = 0xDEADBEEF12345678
+	tab.insert(key, 3)
+	tab.insert(key, 5) // duplicate key → spill
+	tab.insert(key, 9) // second duplicate
+	if got := tab.find(key); got != 3 {
+		t.Fatalf("find(dup key) = %d, want main entry 3", got)
+	}
+	if len(tab.spill) != 2 || tab.spill[0].j != 5 || tab.spill[1].j != 9 {
+		t.Fatalf("spill = %+v, want entries for 5 and 9", tab.spill)
+	}
+	// Distinct keys landing in the same slot chain via linear probing.
+	slotOf := func(k uint64) uint64 { return tab.slot(k) }
+	base := uint64(1)
+	var clash uint64
+	for c := uint64(2); ; c++ {
+		if slotOf(c) == slotOf(base) {
+			clash = c
+			break
+		}
+	}
+	tab.insert(base, 100)
+	tab.insert(clash, 200)
+	if got := tab.find(base); got != 100 {
+		t.Errorf("find(base) = %d", got)
+	}
+	if got := tab.find(clash); got != 200 {
+		t.Errorf("find(probed key) = %d", got)
+	}
+	if got := tab.find(0x1234); got != -1 {
+		t.Errorf("find(absent) = %d, want -1", got)
+	}
+}
+
+// White-box: a query whose low-64 key collides with a stored baby step but
+// whose element differs must not produce a false hit — the exact-match
+// verification rejects it and the scan continues to the true answer.
+func TestLookupSurvivesForgedKeyCollision(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 1000)
+	// Forge: remap every baby-step key so that the key of g^0's slot also
+	// appears as a spill entry pointing at a bogus j. Lookup must reject
+	// the bogus candidate via the element comparison and still answer.
+	key0 := s.elems[0] // low limb of mont(g^0)
+	s.tab.spill = append(s.tab.spill, spillEntry{key: key0, j: 7})
+	for _, x := range []int64{0, 1, -1, 999, -1000, 1000} {
+		got, err := s.Lookup(p.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(g^%d) = %d with forged spill entry", x, got)
+		}
+	}
+}
+
+// White-box: a main-table entry whose key matches the query but whose
+// element does not (a query-time collision) must fall through to the spill
+// list where the true baby step lives.
+func TestLookupCollisionFallsBackToSpill(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 500)
+	k := s.k
+	// Pick baby step j=4 and force its main slot to claim a wrong index
+	// (j=2), moving the true mapping into the spill list. The elements of
+	// j=2 and j=4 differ, so only exact-match + spill recovery can answer
+	// queries that land on baby step 4.
+	key := s.elems[4*k]
+	slot := s.tab.slot(key)
+	for s.tab.keys[slot] != key {
+		slot = (slot + 1) & s.tab.mask
+	}
+	s.tab.vals[slot] = 2 + 1 // wrong j in the main table
+	s.tab.spill = append(s.tab.spill, spillEntry{key: key, j: 4})
+	want := int64(4) - s.bound + 0*s.m // x whose first giant step hits baby 4
+	got, err := s.Lookup(p.PowGInt64(want))
+	if err != nil {
+		t.Fatalf("Lookup via spill: %v", err)
+	}
+	if got != want {
+		t.Fatalf("Lookup via spill = %d, want %d", got, want)
+	}
+}
+
+// The Montgomery-domain scan must agree with the group's naive big.Int
+// arithmetic on collision-heavy inputs: a dense stripe of values around
+// both bounds, compared against Params.Exp ground truth.
+func TestLookupMatchesNaiveExp(t *testing.T) {
+	p := group.TestParams()
+	s := newTestSolver(t, 300)
+	var e big.Int
+	for x := int64(-300); x <= 300; x += 7 {
+		h := p.Exp(p.G, e.SetInt64(x))
+		got, err := s.Lookup(h)
+		if err != nil {
+			t.Fatalf("Lookup(Exp(g,%d)): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(Exp(g,%d)) = %d", x, got)
+		}
+	}
+}
+
+// The paper-scale 256-bit group exercises the multi-limb Montgomery path.
+func TestLookupPaperGroup(t *testing.T) {
+	p := group.PaperParams()
+	s, err := NewSolver(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{-5000, -1234, 0, 1, 4999, 5000} {
+		got, err := s.Lookup(p.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(g^%d) = %d", x, got)
+		}
+	}
+	if _, err := s.Lookup(p.PowGInt64(5001)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("out-of-bound err = %v", err)
+	}
+}
+
 func BenchmarkLookup(b *testing.B) {
 	p := group.TestParams()
 	s, err := NewSolver(p, 1_000_000)
@@ -168,4 +322,29 @@ func BenchmarkLookup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLookupParallel drives one shared Solver from GOMAXPROCS
+// goroutines — the paper's parallel decryption shape. Near-linear scaling
+// here is what the lock-free table buys over a shared string-keyed map.
+func BenchmarkLookupParallel(b *testing.B) {
+	p := group.TestParams()
+	s, err := NewSolver(p, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*big.Int, 16)
+	for i := range queries {
+		queries[i] = p.PowGInt64(int64(i+1) * 61_803)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Lookup(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }

@@ -1,0 +1,91 @@
+package dlog
+
+// babyTable is the open-addressing hash table of the baby-step phase: it
+// maps the low 64 bits of a group element's Montgomery representation to
+// the element's baby-step index j. Compared with the previous
+// map[string]int64, a lookup costs one multiply-shift hash and a short
+// linear probe over flat arrays — no key-byte marshalling, no string
+// hashing, no pointer chasing — and the structure is immutable after
+// construction, so one table serves any number of goroutines lock-free.
+//
+// The 64-bit key is not the full element, so the table alone cannot answer
+// membership exactly. Two collision regimes are handled separately:
+//
+//   - build-time: two baby steps share a low-64 key. The first keeps the
+//     main-table slot; later ones go to a small exact-match spill list that
+//     lookups scan only after a key hit (find returns the main j; the spill
+//     is exposed to the solver, which exact-matches every candidate).
+//   - query-time: a giant-step value that is not a baby step at all may
+//     still collide with a stored key. The solver therefore verifies every
+//     candidate against the full stored element limbs and continues the
+//     scan on mismatch; the table never decides a match on its own.
+type babyTable struct {
+	keys  []uint64
+	vals  []int64 // baby-step index + 1; 0 marks an empty slot
+	mask  uint64  // len(keys) − 1
+	shift uint    // 64 − log2(len(keys)), for the multiply-shift hash
+	spill []spillEntry
+}
+
+// spillEntry records a baby step whose low-64 key duplicates an earlier
+// one. Exact disambiguation happens in the solver via the element limbs.
+type spillEntry struct {
+	key uint64
+	j   int64
+}
+
+// fibMul is 2^64/φ, the multiply-shift ("Fibonacci") hash constant; the
+// low limb of a Montgomery representative is close to uniform, and the
+// golden-ratio multiply spreads any residual structure across the high
+// bits that the shift keeps.
+const fibMul = 0x9E3779B97F4A7C15
+
+// newBabyTable sizes an empty table for n entries at load factor ≤ 1/2.
+func newBabyTable(n int64) *babyTable {
+	size := uint64(8)
+	shift := uint(61)
+	for size < uint64(2*n) {
+		size <<= 1
+		shift--
+	}
+	return &babyTable{
+		keys:  make([]uint64, size),
+		vals:  make([]int64, size),
+		mask:  size - 1,
+		shift: shift,
+	}
+}
+
+// slot returns the home slot of key.
+func (t *babyTable) slot(key uint64) uint64 { return (key * fibMul) >> t.shift }
+
+// insert records key → j. Duplicate keys fall back to the spill list;
+// distinct keys probe linearly for a free slot. Build-time only — the
+// table must not be mutated once shared across goroutines.
+func (t *babyTable) insert(key uint64, j int64) {
+	s := t.slot(key)
+	for t.vals[s] != 0 {
+		if t.keys[s] == key {
+			t.spill = append(t.spill, spillEntry{key: key, j: j})
+			return
+		}
+		s = (s + 1) & t.mask
+	}
+	t.keys[s] = key
+	t.vals[s] = j + 1
+}
+
+// find returns the main-table baby-step index stored under key, or −1 when
+// the key is absent. A non-negative result is a candidate only: the caller
+// must exact-match the full element and, on mismatch, try the spill
+// entries with the same key.
+func (t *babyTable) find(key uint64) int64 {
+	s := t.slot(key)
+	for t.vals[s] != 0 {
+		if t.keys[s] == key {
+			return t.vals[s] - 1
+		}
+		s = (s + 1) & t.mask
+	}
+	return -1
+}

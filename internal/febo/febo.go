@@ -266,29 +266,44 @@ func DecryptDiv(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, y int64, solver 
 
 // DecryptGroupElement computes g^{x Δ y} without the final discrete log.
 func DecryptGroupElement(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64) (*big.Int, error) {
+	num, den, err := DecryptParts(pk, fk, ct, op, y)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Params.Div(num, den), nil
+}
+
+// DecryptParts splits DecryptGroupElement into its numerator (the
+// ciphertext term) and denominator (the function key), so batch callers
+// can invert many denominators with one modular inversion (Montgomery's
+// trick in securemat's chunked decryption pipeline). den is always freshly
+// allocated and safe to invert in place; num may alias ciphertext state
+// and must be treated as read-only.
+func DecryptParts(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64) (num, den *big.Int, err error) {
 	if pk == nil {
-		return nil, fmt.Errorf("%w: nil public key", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: nil public key", ErrMalformed)
 	}
 	if fk == nil || fk.K == nil {
-		return nil, fmt.Errorf("%w: empty function key", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: empty function key", ErrMalformed)
 	}
 	if ct == nil || ct.Ct == nil {
-		return nil, fmt.Errorf("%w: empty ciphertext", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: empty ciphertext", ErrMalformed)
 	}
 	p := pk.Params
+	den = new(big.Int).Set(fk.K)
 	var yb big.Int
 	switch op {
 	case OpAdd, OpSub:
-		return p.Div(ct.Ct, fk.K), nil
+		return ct.Ct, den, nil
 	case OpMul:
-		return p.Div(p.Exp(ct.Ct, yb.SetInt64(y)), fk.K), nil
+		return p.Exp(ct.Ct, yb.SetInt64(y)), den, nil
 	case OpDiv:
 		yInv, err := p.InvScalar(yb.SetInt64(y))
 		if err != nil {
-			return nil, fmt.Errorf("febo: decrypt: %w", err)
+			return nil, nil, fmt.Errorf("febo: decrypt: %w", err)
 		}
-		return p.Div(p.Exp(ct.Ct, yInv), fk.K), nil
+		return p.Exp(ct.Ct, yInv), den, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
+		return nil, nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
 	}
 }

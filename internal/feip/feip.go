@@ -215,19 +215,36 @@ func Decrypt(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, y []int64, s
 // without the final discrete-log step. The secure-matrix layer uses it when
 // it wants to batch dlog lookups.
 func DecryptGroupElement(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, y []int64) (*big.Int, error) {
+	num, den, err := DecryptParts(mpk, ct, fk, y)
+	if err != nil {
+		return nil, err
+	}
+	return mpk.Params.Div(num, den), nil
+}
+
+// DecryptParts computes the numerator Π ct_i^{y_i} and the denominator
+// ct_0^{sk_f} of DecryptGroupElement without combining them. Batch callers
+// (securemat's chunked decryption pipeline) collect the denominators of
+// many cells and invert them together with one modular inversion
+// (Montgomery's trick) instead of one extended GCD per cell. Both return
+// values are freshly allocated, so the caller may invert den in place.
+func DecryptParts(mpk *MasterPublicKey, ct *Ciphertext, fk *FunctionKey, y []int64) (num, den *big.Int, err error) {
 	if mpk == nil {
-		return nil, fmt.Errorf("%w: nil public key", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: nil public key", ErrMalformed)
+	}
+	if fk == nil || fk.K == nil {
+		return nil, nil, fmt.Errorf("%w: empty function key", ErrMalformed)
 	}
 	if ct == nil || len(ct.Ct) != len(y) {
-		return nil, fmt.Errorf("%w: ciphertext dimension", ErrDimension)
+		return nil, nil, fmt.Errorf("%w: ciphertext dimension", ErrDimension)
 	}
 	p := mpk.Params
 	// Simultaneous multi-exponentiation shares one squaring ladder across
 	// all η coordinates; the naive per-coordinate Exp paid a full-size
 	// ladder for every negative y_i.
-	num := p.MultiExpInt64(ct.Ct, y)
-	den := p.Exp(ct.Ct0, fk.K)
-	return p.Div(num, den), nil
+	num = p.MultiExpInt64(ct.Ct, y)
+	den = p.Exp(ct.Ct0, fk.K)
+	return num, den, nil
 }
 
 // InnerProduct is the plaintext functionality f(x, y) = ⟨x, y⟩; reference

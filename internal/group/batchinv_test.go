@@ -1,0 +1,116 @@
+package group
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchInvMatchesInv(t *testing.T) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		rng := rand.New(rand.NewSource(11))
+		for _, n := range []int{1, 2, 3, 17, 100} {
+			xs := make([]*big.Int, n)
+			want := make([]*big.Int, n)
+			for i := range xs {
+				e, err := params.RandScalar(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				xs[i] = params.PowG(e)
+				want[i] = params.Inv(xs[i])
+			}
+			if err := params.BatchInv(xs, nil); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			for i := range xs {
+				if xs[i].Cmp(want[i]) != 0 {
+					t.Fatalf("%s n=%d: BatchInv[%d] = %v, want %v", params, n, i, xs[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchInvReusesScratch(t *testing.T) {
+	params := TestParams()
+	prefix := make([]big.Int, 8)
+	for trial := 0; trial < 3; trial++ {
+		xs := []*big.Int{big.NewInt(2), big.NewInt(3), big.NewInt(5)}
+		want := []*big.Int{params.Inv(xs[0]), params.Inv(xs[1]), params.Inv(xs[2])}
+		if err := params.BatchInv(xs, prefix); err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if xs[i].Cmp(want[i]) != 0 {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBatchInvEmpty(t *testing.T) {
+	if err := TestParams().BatchInv(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchInvZeroElement(t *testing.T) {
+	params := TestParams()
+	a, b := big.NewInt(7), big.NewInt(11)
+	orig := []*big.Int{new(big.Int).Set(a), big.NewInt(0), new(big.Int).Set(b)}
+	xs := []*big.Int{a, big.NewInt(0), b}
+	if err := params.BatchInv(xs, nil); !errors.Is(err, ErrNotInvertible) {
+		t.Fatalf("err = %v, want ErrNotInvertible", err)
+	}
+	// The contract: no element was modified on error.
+	for i := range xs {
+		if xs[i].Cmp(orig[i]) != 0 {
+			t.Errorf("xs[%d] modified on error: %v -> %v", i, orig[i], xs[i])
+		}
+	}
+}
+
+func BenchmarkBatchInv(b *testing.B) {
+	params := TestParams()
+	rng := rand.New(rand.NewSource(12))
+	const n = 64
+	src := make([]*big.Int, n)
+	for i := range src {
+		e, _ := params.RandScalar(rng)
+		src[i] = params.PowG(e)
+	}
+	xs := make([]*big.Int, n)
+	vals := make([]big.Int, n)
+	prefix := make([]big.Int, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range src {
+			xs[j] = vals[j].Set(src[j])
+		}
+		if err := params.BatchInv(xs, prefix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeqInv is the displaced competitor: one ModInverse per element.
+func BenchmarkSeqInv(b *testing.B) {
+	params := TestParams()
+	rng := rand.New(rand.NewSource(12))
+	const n = 64
+	src := make([]*big.Int, n)
+	for i := range src {
+		e, _ := params.RandScalar(rng)
+		src[i] = params.PowG(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range src {
+			params.Inv(src[j])
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Montgomery-domain modular multiplication.
+//
+// The exponentiation engine's remaining floor is the per-multiplication
+// QuoRem reduction: math/big's division is several times more expensive
+// than its multiplication at the 64–256-bit operand sizes of this
+// codebase, and the giant-step loop of the discrete-log solver plus the
+// Straus ladder of MultiExp are nothing but long chains of dependent
+// modular multiplications. MontCtx removes the division entirely by
+// mapping elements into the Montgomery domain — x·R mod P with R = 2^{64k}
+// for a k-limb modulus — where a multiplication reduces with shifts and
+// multiplications only (CIOS, Koç et al., "Analyzing and Comparing
+// Montgomery Multiplication Algorithms").
+//
+// Elements in the Montgomery domain are raw little-endian uint64 limb
+// slices of fixed length Limbs(), not big.Ints: the hot loops stay free of
+// math/big's per-operation normalization and allocation, and the low limb
+// doubles as the hash key of the discrete-log solver's baby-step table.
+// A MontCtx is immutable after construction and safe for concurrent use;
+// MulMont writes only through dst.
+
+// montStackLimbs is the largest modulus (in 64-bit limbs) for which
+// MulMont's accumulator lives on the stack. Larger moduli — far beyond the
+// paper's 256-bit group — still work but allocate per call.
+const montStackLimbs = 16
+
+// MontCtx holds the precomputed constants for Montgomery arithmetic
+// modulo one fixed odd modulus.
+type MontCtx struct {
+	p  *big.Int // the modulus
+	k  int      // limb count of p
+	pw []uint64 // little-endian limbs of p
+	n0 uint64   // -p^{-1} mod 2^64
+	r2 []uint64 // R^2 mod p, the ToMont multiplier
+	r1 []uint64 // R mod p, i.e. 1 in the Montgomery domain
+}
+
+// NewMontCtx builds a Montgomery context for the odd modulus p. Group
+// moduli are safe primes, so oddness is no restriction; even moduli are
+// rejected because p must be invertible mod 2^64.
+func NewMontCtx(p *big.Int) (*MontCtx, error) {
+	if p == nil || p.Sign() <= 0 || p.Bit(0) == 0 {
+		return nil, fmt.Errorf("group: Montgomery context requires a positive odd modulus, got %v", p)
+	}
+	k := (p.BitLen() + 63) / 64
+	c := &MontCtx{p: new(big.Int).Set(p), k: k, pw: make([]uint64, k)}
+	packLimbs(c.pw, p)
+	// n0 = -p^{-1} mod 2^64 by Newton iteration: inv ≡ p0^{-1} mod 8 holds
+	// for inv = p0 (odd squares are 1 mod 8), and every step doubles the
+	// number of correct low bits: 3 → 6 → 12 → 24 → 48 → 96 ≥ 64.
+	p0 := c.pw[0]
+	inv := p0
+	for i := 0; i < 5; i++ {
+		inv *= 2 - p0*inv
+	}
+	c.n0 = -inv
+	// R mod p and R^2 mod p with one-time big.Int divisions.
+	r := new(big.Int).Lsh(one, uint(64*k))
+	c.r1 = make([]uint64, k)
+	packLimbs(c.r1, new(big.Int).Mod(r, p))
+	c.r2 = make([]uint64, k)
+	packLimbs(c.r2, new(big.Int).Mod(new(big.Int).Mul(r, r), p))
+	return c, nil
+}
+
+// Modulus returns (a copy of) the context's modulus.
+func (c *MontCtx) Modulus() *big.Int { return new(big.Int).Set(c.p) }
+
+// Limbs returns the number of 64-bit limbs of every Montgomery-domain
+// element handled by this context.
+func (c *MontCtx) Limbs() int { return c.k }
+
+// Elem allocates a zeroed Montgomery-domain element.
+func (c *MontCtx) Elem() []uint64 { return make([]uint64, c.k) }
+
+// SetOne writes the Montgomery form of 1 (R mod p) into dst.
+func (c *MontCtx) SetOne(dst []uint64) { copy(dst, c.r1) }
+
+// ToMont converts x into the Montgomery domain: dst = x·R mod p. Negative
+// or unreduced inputs are reduced first, so any big.Int is accepted.
+func (c *MontCtx) ToMont(dst []uint64, x *big.Int) {
+	if x.Sign() < 0 || x.Cmp(c.p) >= 0 {
+		x = new(big.Int).Mod(x, c.p)
+	}
+	var stack [montStackLimbs]uint64
+	var xs []uint64
+	if c.k <= montStackLimbs {
+		xs = stack[:c.k]
+	} else {
+		xs = make([]uint64, c.k)
+	}
+	packLimbs(xs, x)
+	c.MulMont(dst, xs, c.r2)
+}
+
+// FromMont converts x out of the Montgomery domain, returning the standard
+// representative x·R^{-1} mod p as a freshly allocated big.Int.
+func (c *MontCtx) FromMont(x []uint64) *big.Int {
+	// REDC(x) = MulMont(x, 1): the plain 1, not R mod p.
+	var stack, oneStack [montStackLimbs]uint64
+	var out, oneL []uint64
+	if c.k <= montStackLimbs {
+		out, oneL = stack[:c.k], oneStack[:c.k]
+	} else {
+		out, oneL = make([]uint64, c.k), make([]uint64, c.k)
+	}
+	oneL[0] = 1
+	c.MulMont(out, x, oneL)
+	return unpackLimbs(out)
+}
+
+// MulMont computes dst = a·b·R^{-1} mod p (CIOS). a and b must be
+// Montgomery-domain elements of length Limbs() with value < p; dst may
+// alias a and/or b. One MulMont of Montgomery forms yields the Montgomery
+// form of the product, so chains of multiplications never touch a
+// division.
+func (c *MontCtx) MulMont(dst, a, b []uint64) {
+	k := c.k
+	if k == 1 {
+		// Single-limb REDC: t = (a·b + m·p) / 2^64 with m chosen so the
+		// low word cancels; t < 2p, so one conditional subtraction (the
+		// carry c2 marks t ≥ 2^64, where the wrapping subtraction is
+		// still correct mod 2^64).
+		p0 := c.pw[0]
+		hi, lo := bits.Mul64(a[0], b[0])
+		m := lo * c.n0
+		mhi, mlo := bits.Mul64(m, p0)
+		_, carry := bits.Add64(lo, mlo, 0)
+		t, c2 := bits.Add64(hi, mhi, carry)
+		if c2 != 0 || t >= p0 {
+			t -= p0
+		}
+		dst[0] = t
+		return
+	}
+	var stack [montStackLimbs + 2]uint64
+	var t []uint64
+	if k+2 <= len(stack) {
+		t = stack[:k+2]
+	} else {
+		t = make([]uint64, k+2)
+	}
+	p := c.pw
+	for i := 0; i < k; i++ {
+		// t += a[i]·b. Each inner step computes t[j] + a[i]·b[j] + carry,
+		// which fits 128 bits: (2^64−1)² + 2(2^64−1) = 2^128 − 1.
+		var carry uint64
+		ai := a[i]
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(ai, b[j])
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, t[j], 0)
+			lo, c2 = bits.Add64(lo, carry, 0)
+			t[j] = lo
+			carry = hi + c1 + c2
+		}
+		var c1 uint64
+		t[k], c1 = bits.Add64(t[k], carry, 0)
+		t[k+1] = c1
+		// Reduce: add m·p with m chosen so the low limb cancels, then
+		// shift one limb right (the t[j-1] writes).
+		m := t[0] * c.n0
+		hi, lo := bits.Mul64(m, p[0])
+		_, c2 := bits.Add64(lo, t[0], 0)
+		carry = hi + c2
+		for j := 1; j < k; j++ {
+			hi, lo := bits.Mul64(m, p[j])
+			var c3, c4 uint64
+			lo, c3 = bits.Add64(lo, t[j], 0)
+			lo, c4 = bits.Add64(lo, carry, 0)
+			t[j-1] = lo
+			carry = hi + c3 + c4
+		}
+		var c3 uint64
+		t[k-1], c3 = bits.Add64(t[k], carry, 0)
+		t[k] = t[k+1] + c3
+	}
+	// t < 2p, so at most one conditional subtraction normalizes it.
+	sub := t[k] != 0
+	if !sub {
+		sub = true
+		for j := k - 1; j >= 0; j-- {
+			if t[j] != p[j] {
+				sub = t[j] > p[j]
+				break
+			}
+		}
+	}
+	if sub {
+		var borrow uint64
+		for j := 0; j < k; j++ {
+			dst[j], borrow = bits.Sub64(t[j], p[j], borrow)
+		}
+	} else {
+		copy(dst, t[:k])
+	}
+}
+
+// Mont returns the lazily built Montgomery context for the group modulus
+// P, shared by every goroutine like GTable. It panics when P is even —
+// impossible for a validated Params (P is a safe prime).
+func (p *Params) Mont() *MontCtx {
+	p.montOnce.Do(func() {
+		c, err := NewMontCtx(p.P)
+		if err != nil {
+			panic(err)
+		}
+		p.mont = c
+	})
+	return p.mont
+}
+
+// packLimbs writes the little-endian 64-bit limbs of the non-negative x
+// into dst, zero-padding to len(dst). It is portable across big.Word
+// sizes; the 32-bit branch is compile-time dead code on 64-bit platforms.
+func packLimbs(dst []uint64, x *big.Int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	words := x.Bits()
+	if bits.UintSize == 64 {
+		for i, w := range words {
+			dst[i] = uint64(w)
+		}
+	} else {
+		for i, w := range words {
+			dst[i/2] |= uint64(w) << (32 * uint(i%2))
+		}
+	}
+}
+
+// unpackLimbs converts little-endian 64-bit limbs into a freshly
+// allocated big.Int.
+func unpackLimbs(limbs []uint64) *big.Int {
+	if bits.UintSize == 64 {
+		words := make([]big.Word, len(limbs))
+		for i, l := range limbs {
+			words[i] = big.Word(l)
+		}
+		// SetBits is unchecked: normalize by trimming high zero words.
+		n := len(words)
+		for n > 0 && words[n-1] == 0 {
+			n--
+		}
+		return new(big.Int).SetBits(words[:n])
+	}
+	buf := make([]byte, 8*len(limbs))
+	for i, l := range limbs {
+		off := len(buf) - 8*(i+1)
+		for b := 0; b < 8; b++ {
+			buf[off+7-b] = byte(l >> (8 * uint(b)))
+		}
+	}
+	return new(big.Int).SetBytes(buf)
+}

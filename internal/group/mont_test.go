@@ -1,0 +1,181 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randOdd returns a random odd modulus of exactly bits bits.
+func randOdd(rng *rand.Rand, bits int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(bits-1))
+	r := new(big.Int).Rand(rng, m)
+	m.Or(m, r)
+	m.SetBit(m, 0, 1)
+	return m
+}
+
+// TestMontMulMatchesBigInt pins MulMont against (a·b) mod p for random odd
+// moduli across limb counts, including the >montStackLimbs allocation path.
+func TestMontMulMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bits := range []int{8, 63, 64, 65, 127, 128, 256, 257, 512, 1024, 1100} {
+		c, err := NewMontCtx(randOdd(rng, bits))
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		p := c.Modulus()
+		for trial := 0; trial < 50; trial++ {
+			a := new(big.Int).Rand(rng, p)
+			b := new(big.Int).Rand(rng, p)
+			am, bm, rm := c.Elem(), c.Elem(), c.Elem()
+			c.ToMont(am, a)
+			c.ToMont(bm, b)
+			c.MulMont(rm, am, bm)
+			got := c.FromMont(rm)
+			want := new(big.Int).Mul(a, b)
+			want.Mod(want, p)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("bits=%d: MulMont(%v, %v) = %v, want %v", bits, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMontRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bits := range []int{64, 256} {
+		c, err := NewMontCtx(randOdd(rng, bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Modulus()
+		for trial := 0; trial < 100; trial++ {
+			x := new(big.Int).Rand(rng, p)
+			xm := c.Elem()
+			c.ToMont(xm, x)
+			if got := c.FromMont(xm); got.Cmp(x) != 0 {
+				t.Fatalf("bits=%d: round trip of %v = %v", bits, x, got)
+			}
+		}
+	}
+}
+
+// ToMont must accept negative and ≥p inputs (it reduces them first).
+func TestMontToMontReducesInput(t *testing.T) {
+	c, err := NewMontCtx(big.NewInt(1000003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{-1, -1000003, 1000003, 2000007, 0} {
+		xm := c.Elem()
+		xb := big.NewInt(x)
+		c.ToMont(xm, xb)
+		want := new(big.Int).Mod(xb, c.Modulus())
+		if got := c.FromMont(xm); got.Cmp(want) != 0 {
+			t.Errorf("ToMont(%d) round-trips to %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMontOne(t *testing.T) {
+	c, err := NewMontCtx(big.NewInt(1_000_000_007))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := c.Elem()
+	c.SetOne(one)
+	if got := c.FromMont(one); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("FromMont(SetOne) = %v", got)
+	}
+	// 1 is the multiplicative identity in the Montgomery domain.
+	x := big.NewInt(123456789)
+	xm, rm := c.Elem(), c.Elem()
+	c.ToMont(xm, x)
+	c.MulMont(rm, xm, one)
+	if got := c.FromMont(rm); got.Cmp(x) != 0 {
+		t.Errorf("x·1 = %v, want %v", got, x)
+	}
+}
+
+// MulMont's aliasing contract: dst may be a and/or b.
+func TestMontMulAliasing(t *testing.T) {
+	c, err := NewMontCtx(TestParams().P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := big.NewInt(987654321)
+	want := new(big.Int).Mul(x, x)
+	want.Mod(want, c.Modulus())
+	xm := c.Elem()
+	c.ToMont(xm, x)
+	c.MulMont(xm, xm, xm) // square in place
+	if got := c.FromMont(xm); got.Cmp(want) != 0 {
+		t.Errorf("in-place square = %v, want %v", got, want)
+	}
+}
+
+func TestNewMontCtxRejectsBadModuli(t *testing.T) {
+	for _, m := range []*big.Int{nil, big.NewInt(0), big.NewInt(-7), big.NewInt(10)} {
+		if _, err := NewMontCtx(m); err == nil {
+			t.Errorf("NewMontCtx(%v) accepted", m)
+		}
+	}
+}
+
+// The per-Params context is built once and shared; its arithmetic must
+// agree with Params.Mul for both the test and the paper group.
+func TestParamsMontMatchesMul(t *testing.T) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		c := params.Mont()
+		if c != params.Mont() {
+			t.Fatal("Mont() rebuilt the context")
+		}
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 30; trial++ {
+			a := new(big.Int).Rand(rng, params.P)
+			b := new(big.Int).Rand(rng, params.P)
+			am, bm := c.Elem(), c.Elem()
+			c.ToMont(am, a)
+			c.ToMont(bm, b)
+			c.MulMont(am, am, bm)
+			if got := c.FromMont(am); got.Cmp(params.Mul(a, b)) != 0 {
+				t.Fatalf("%s: MulMont disagrees with Mul", params)
+			}
+		}
+	}
+}
+
+func BenchmarkMulMont(b *testing.B) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		b.Run(params.String(), func(b *testing.B) {
+			c := params.Mont()
+			x, _ := params.RandScalar(rand.New(rand.NewSource(4)))
+			xm := c.Elem()
+			c.ToMont(xm, params.PowG(x))
+			dst := c.Elem()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MulMont(dst, xm, xm)
+			}
+		})
+	}
+}
+
+// BenchmarkModMulBig is the displaced competitor: one big.Int Mul + QuoRem.
+func BenchmarkModMulBig(b *testing.B) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		b.Run(params.String(), func(b *testing.B) {
+			x, _ := params.RandScalar(rand.New(rand.NewSource(4)))
+			g := params.PowG(x)
+			var tmp, q, r big.Int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tmp.Mul(g, g)
+				q.QuoRem(&tmp, params.P, &r)
+			}
+		})
+	}
+}

@@ -84,6 +84,11 @@ func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
 // strausProd computes Π bases[i]^exps[i] for non-negative exponents < Q by
 // interleaved windowed exponentiation: one shared squaring ladder of
 // max-bits height, with per-base digit tables of 2^w−1 entries.
+//
+// The whole ladder runs in the Montgomery domain: the digit tables are one
+// flat limb slab built with MulMont, and every squaring and digit
+// multiplication reduces without a division. Only the initial per-base
+// ToMont and the final FromMont touch big.Int arithmetic.
 func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
 	if len(bases) == 0 {
 		return big.NewInt(1)
@@ -103,36 +108,40 @@ func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
 	case maxBits <= 32:
 		w = 3
 	}
-	// pow[j][d-1] = bases[j]^d for d in 1..2^w−1.
-	var tmp, q big.Int
-	pow := make([][]*big.Int, len(bases))
+	mc := p.Mont()
+	k := mc.Limbs()
+	rows := (1 << w) - 1
+	// tab[(j·rows + d−1)·k : …+k] = bases[j]^d in Montgomery form.
+	tab := make([]uint64, len(bases)*rows*k)
 	for j, b := range bases {
-		row := make([]*big.Int, (1<<w)-1)
-		row[0] = b
-		for d := 2; d < 1<<w; d++ {
-			e := new(big.Int)
-			tmp.Mul(row[d-2], b)
-			q.QuoRem(&tmp, p.P, e)
-			row[d-1] = e
+		row := tab[j*rows*k:]
+		mc.ToMont(row[:k], b)
+		for d := 2; d <= rows; d++ {
+			mc.MulMont(row[(d-1)*k:d*k], row[(d-2)*k:(d-1)*k], row[:k])
 		}
-		pow[j] = row
 	}
-	acc := big.NewInt(1)
+	acc := make([]uint64, k)
 	started := false
 	for i := (maxBits - 1) / w; i >= 0; i-- {
 		if started {
 			for s := 0; s < w; s++ {
-				tmp.Mul(acc, acc)
-				q.QuoRem(&tmp, p.P, acc)
+				mc.MulMont(acc, acc, acc)
 			}
 		}
 		for j, e := range exps {
 			if d := windowDigit(e, i, w); d != 0 {
-				tmp.Mul(acc, pow[j][d-1])
-				q.QuoRem(&tmp, p.P, acc)
-				started = true
+				entry := tab[(j*rows+int(d)-1)*k:]
+				if !started {
+					copy(acc, entry[:k])
+					started = true
+				} else {
+					mc.MulMont(acc, acc, entry[:k])
+				}
 			}
 		}
 	}
-	return acc
+	if !started {
+		return big.NewInt(1) // every digit zero: exponents were all 0 mod Q
+	}
+	return mc.FromMont(acc)
 }

@@ -1,0 +1,101 @@
+// Batched decryption pipeline.
+//
+// Every secure computation ends with one group division and one bounded
+// discrete log per output cell. Computed cell-at-a-time (the previous
+// forEachCell path), each cell pays a full extended-GCD modular inversion
+// for its denominator and the worker pool pays one channel round-trip per
+// cell. This file replaces that with a chunked pipeline: workers drain
+// contiguous chunks of cells, compute all (numerator, denominator) pairs
+// of a chunk, invert the chunk's denominators together with a single
+// modular inversion (Montgomery's trick, group.BatchInv), and only then
+// run the dlog lookups. Worker-local scratch persists across every chunk
+// a worker drains, so the steady state allocates nothing per cell beyond
+// what the underlying schemes return.
+
+package securemat
+
+import (
+	"fmt"
+	"math/big"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/group"
+)
+
+// cellParts computes the numerator and denominator of one output cell's
+// decryption, as produced by feip.DecryptParts / febo.DecryptParts. The
+// returned den must be safe to invert in place.
+type cellParts func(i, j int) (num, den *big.Int, err error)
+
+// batchScratch is the per-worker state of the decryption pipeline.
+type batchScratch struct {
+	nums   []*big.Int
+	dens   []*big.Int
+	prefix []big.Int // group.BatchInv prefix products
+	tmp    big.Int
+	q      big.Int
+	rem    big.Int
+}
+
+// decryptBatched fills z[i][j] for every cell of a rows×cols grid from the
+// per-cell group-element parts, using workers parallel workers (< 2 =
+// sequential, < 0 = DefaultParallelism) and Montgomery's-trick batch
+// inversion over each chunk of denominators.
+func decryptBatched(p *group.Params, solver *dlog.Solver, rows, cols, workers int, parts cellParts, z [][]int64) error {
+	total := rows * cols
+	if total == 0 {
+		return nil
+	}
+	if workers < 0 {
+		workers = DefaultParallelism()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > total {
+		workers = total
+	}
+	// Chunks big enough to amortize the one inversion per chunk (the trick
+	// turns n inversions into one inversion + 3(n−1) muls), small enough
+	// to keep all workers busy on ragged workloads.
+	chunk := (total + 4*workers - 1) / (4 * workers)
+	if chunk < 16 {
+		chunk = 16
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	newScratch := func() *batchScratch {
+		return &batchScratch{
+			nums:   make([]*big.Int, 0, chunk),
+			dens:   make([]*big.Int, 0, chunk),
+			prefix: make([]big.Int, chunk),
+		}
+	}
+	doChunk := func(start, end int, sc *batchScratch) error {
+		sc.nums = sc.nums[:0]
+		sc.dens = sc.dens[:0]
+		for idx := start; idx < end; idx++ {
+			num, den, err := parts(idx/cols, idx%cols)
+			if err != nil {
+				return fmt.Errorf("securemat: cell (%d,%d): %w", idx/cols, idx%cols, err)
+			}
+			sc.nums = append(sc.nums, num)
+			sc.dens = append(sc.dens, den)
+		}
+		if err := p.BatchInv(sc.dens, sc.prefix); err != nil {
+			return fmt.Errorf("securemat: batch inversion: %w", err)
+		}
+		for t, idx := 0, start; idx < end; t, idx = t+1, idx+1 {
+			sc.tmp.Mul(sc.nums[t], sc.dens[t])
+			sc.q.QuoRem(&sc.tmp, p.P, &sc.rem)
+			v, err := solver.Lookup(&sc.rem)
+			if err != nil {
+				return fmt.Errorf("securemat: cell (%d,%d): %w", idx/cols, idx%cols, err)
+			}
+			z[idx/cols][idx%cols] = v
+		}
+		return nil
+	}
+	return forEachChunk(total, chunk, workers, newScratch, doChunk)
+}

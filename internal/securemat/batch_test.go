@@ -1,0 +1,122 @@
+package securemat_test
+
+// Tests for the chunked batched-decryption pipeline: the Montgomery's-trick
+// batch inversion and per-worker scratch must be invisible — every
+// parallelism setting produces the plaintext result, and errors surface
+// with their cell coordinates from any chunk.
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
+)
+
+// A matrix large enough for many chunks across several workers, decrypted
+// at every parallelism level, must match the plaintext product exactly.
+func TestBatchedDecryptMatchesPlaintextAcrossParallelism(t *testing.T) {
+	auth, solver := newFixture(t, 20*100*100+1)
+	rng := rand.New(rand.NewSource(42))
+	const inner, cols, wRows = 20, 37, 11 // wRows*cols = 407 cells: many chunks
+	x := randMatrix(rng, inner, cols, -9, 9)
+	w := randMatrix(rng, wRows, inner, -9, 9)
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainDot(w, x)
+	for _, par := range []int{1, 2, 3, 8, -1} {
+		z, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if !matEqual(z, want) {
+			t.Fatalf("par=%d: batched decrypt diverges from plaintext", par)
+		}
+	}
+}
+
+// Element-wise decrypt through the pipeline: negative values, zeros, and
+// results at the solver bound survive the batch inversion.
+func TestBatchedElementwiseEdgeValues(t *testing.T) {
+	auth, solver := newFixture(t, 200)
+	x := [][]int64{{-100, 0, 100}, {1, -1, 99}}
+	y := [][]int64{{-100, 0, 100}, {-1, 1, 101}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		z, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+			securemat.ComputeOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		want := [][]int64{{-200, 0, 200}, {0, 0, 200}}
+		if !matEqual(z, want) {
+			t.Fatalf("par=%d: z = %v, want %v", par, z, want)
+		}
+	}
+}
+
+// A cell whose result overflows the solver bound must fail with that
+// cell's coordinates, sequentially and in parallel.
+func TestBatchedDecryptReportsFailingCell(t *testing.T) {
+	auth, _ := newFixture(t, 1)
+	tiny, err := dlog.NewSolver(group.TestParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]int64{{1, 1, 1, 9}} // last column overflows bound 3
+	w := [][]int64{{1}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		_, err := securemat.SecureDot(auth, enc, keys, w, tiny, securemat.ComputeOptions{Parallelism: par})
+		if !errors.Is(err, dlog.ErrNotFound) {
+			t.Fatalf("par=%d: err = %v, want ErrNotFound", par, err)
+		}
+		if !strings.Contains(err.Error(), "cell (0,3)") {
+			t.Fatalf("par=%d: err %q does not name the failing cell", par, err)
+		}
+	}
+}
+
+// A parts-stage error (division decrypt with y = 0) must carry cell
+// coordinates too — it fails before the batch inversion runs.
+func TestBatchedDecryptPartsStageError(t *testing.T) {
+	auth, solver := newFixture(t, 100)
+	x := [][]int64{{8, 6}}
+	y := [][]int64{{2, 3}}
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseDiv, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]int64{{2, 0}} // zero divisor at decrypt time
+	if _, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseDiv, bad, solver,
+		securemat.ComputeOptions{Parallelism: 1}); err == nil || !strings.Contains(err.Error(), "cell (0,1)") {
+		t.Fatalf("err = %v, want parts error naming cell (0,1)", err)
+	}
+}

@@ -56,6 +56,41 @@ func BenchmarkSecureDotStage(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedDecrypt measures the chunked batched-decryption pipeline
+// (per-worker scratch + Montgomery's-trick denominator inversion) over a
+// full secure matrix product, across worker counts — the paper's parallel
+// "P" curves at the securemat level.
+func BenchmarkBatchedDecrypt(b *testing.B) {
+	const (
+		inner = 32
+		cols  = 32
+		wRows = 4
+	)
+	auth, solver := newFixture(b, int64(inner)*100+1)
+	rng := rand.New(rand.NewSource(9))
+	x := randMatrix(rng, inner, cols, -9, 9)
+	w := randMatrix(rng, wRows, inner, -9, 9)
+	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys, err := securemat.DotKeys(auth, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+					securemat.ComputeOptions{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSecureElementwiseStage(b *testing.B) {
 	const size = 100
 	auth, solver := newFixture(b, 101*101)

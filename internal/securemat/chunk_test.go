@@ -1,0 +1,84 @@
+package securemat
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// forEachChunk must visit every index exactly once, for any chunk/worker
+// geometry including ragged final chunks.
+func TestForEachChunkCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ total, chunk, workers int }{
+		{1, 1, 1}, {10, 3, 1}, {10, 3, 4}, {100, 16, 4},
+		{97, 16, 8}, {16, 16, 4}, {5, 100, 2}, {64, 1, 3},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.total)
+		err := forEachChunk(tc.total, tc.chunk, tc.workers, func() struct{} { return struct{}{} },
+			func(start, end int, _ struct{}) error {
+				if start < 0 || end > tc.total || start >= end {
+					t.Errorf("%+v: bad chunk [%d,%d)", tc, start, end)
+				}
+				mu.Lock()
+				for i := start; i < end; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("%+v: index %d visited %d times", tc, i, n)
+			}
+		}
+	}
+}
+
+// Scratch is built once per worker, not once per chunk.
+func TestForEachChunkScratchPerWorker(t *testing.T) {
+	var mu sync.Mutex
+	built := 0
+	newScratch := func() *int {
+		mu.Lock()
+		built++
+		mu.Unlock()
+		return new(int)
+	}
+	const workers = 3
+	if err := forEachChunk(300, 10, workers, newScratch, func(start, end int, sc *int) error {
+		*sc++ // worker-local: no race by construction
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if built > workers {
+		t.Errorf("newScratch ran %d times for %d workers", built, workers)
+	}
+}
+
+func TestForEachChunkPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := forEachChunk(1000, 8, workers, func() struct{} { return struct{}{} },
+			func(start, end int, _ struct{}) error {
+				if start >= 96 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachChunkEmpty(t *testing.T) {
+	if err := forEachChunk(0, 4, 4, func() struct{} { return struct{}{} },
+		func(int, int, struct{}) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -348,14 +348,10 @@ func SecureDot(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, w 
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
 	z := newMatrix(wRows, enc.Cols)
-	err = forEachCell(wRows, enc.Cols, opts.Parallelism, func(i, j int) error {
-		v, err := feip.Decrypt(mpk, enc.ColCts[j], keys[i], w[i], solver)
-		if err != nil {
-			return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
-		}
-		z[i][j] = v
-		return nil
-	})
+	err = decryptBatched(mpk.Params, solver, wRows, enc.Cols, opts.Parallelism,
+		func(i, j int) (num, den *big.Int, err error) {
+			return feip.DecryptParts(mpk, enc.ColCts[j], keys[i], w[i])
+		}, z)
 	if err != nil {
 		return nil, err
 	}
@@ -385,14 +381,10 @@ func SecureDotRows(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
 	g := newMatrix(dRows, enc.Rows)
-	err = forEachCell(dRows, enc.Rows, opts.Parallelism, func(i, k int) error {
-		v, err := feip.Decrypt(mpk, enc.RowCts[k], keys[i], d[i], solver)
-		if err != nil {
-			return fmt.Errorf("securemat: cell (%d,%d): %w", i, k, err)
-		}
-		g[i][k] = v
-		return nil
-	})
+	err = decryptBatched(mpk.Params, solver, dRows, enc.Rows, opts.Parallelism,
+		func(i, k int) (num, den *big.Int, err error) {
+			return feip.DecryptParts(mpk, enc.RowCts[k], keys[i], d[i])
+		}, g)
 	if err != nil {
 		return nil, err
 	}
@@ -425,14 +417,10 @@ func SecureElementwise(ks KeyService, enc *EncryptedMatrix, keys [][]*febo.Funct
 		return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
 	}
 	z := newMatrix(rows, cols)
-	err = forEachCell(rows, cols, opts.Parallelism, func(i, j int) error {
-		v, err := febo.Decrypt(pk, keys[i][j], enc.Elems[i][j], op, y[i][j], solver)
-		if err != nil {
-			return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
-		}
-		z[i][j] = v
-		return nil
-	})
+	err = decryptBatched(pk.Params, solver, rows, cols, opts.Parallelism,
+		func(i, j int) (num, den *big.Int, err error) {
+			return febo.DecryptParts(pk, keys[i][j], enc.Elems[i][j], op, y[i][j])
+		}, z)
 	if err != nil {
 		return nil, err
 	}
