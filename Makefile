@@ -8,7 +8,7 @@ GO        ?= go
 COUNT     ?= 5
 BENCHTIME ?= 1s
 
-.PHONY: check fmt-check build vet test race bench
+.PHONY: check fmt-check build vet test race bench bench-json
 
 check: fmt-check build vet test
 
@@ -33,9 +33,9 @@ race:
 		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/
 
 # Hot-path benchmarks: group-level multiplication/exponentiation atoms,
-# FEIP primitive costs, the dlog solver (sequential + shared-table
-# parallel), the securemat batched-decrypt pipeline, and the paper's
-# Fig. 3 element-wise pipeline.
+# FEIP primitive costs (sequential + shared-key parallel encryption), the
+# dlog solver (sequential + shared-table parallel), the securemat batched
+# encrypt/decrypt pipelines, and the paper's Fig. 3 element-wise pipeline.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64|BenchmarkMulMont|BenchmarkBatchInv' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/group/
@@ -43,6 +43,20 @@ bench:
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/feip/
 	$(GO) test -run '^$$' -bench 'BenchmarkLookup' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/dlog/
-	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt' \
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt|BenchmarkEncryptParallel' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
+
+# Machine-readable perf snapshot: one short pass over the full bench suite,
+# folded into BENCH_pr3.json (qualified benchmark name → ns/op, B/op,
+# allocs/op) by cmd/benchjson. Commit the refreshed snapshot when a PR
+# changes the perf story; diff two snapshots (or two CI artifacts) to see
+# the trajectory without parsing benchmark text.
+BENCH_JSON      ?= BENCH_pr3.json
+JSON_COUNT      ?= 1
+JSON_BENCHTIME  ?= 10x
+bench-json:
+	@$(MAKE) --no-print-directory bench COUNT=$(JSON_COUNT) BENCHTIME=$(JSON_BENCHTIME) > $(BENCH_JSON).txt
+	@$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt
+	@rm -f $(BENCH_JSON).txt
+	@echo "wrote $(BENCH_JSON)"

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a stable,
+// machine-readable JSON snapshot so the repo's performance trajectory can
+// be tracked without parsing benchstat text: `make bench-json` pipes the
+// full hot-path benchmark suite through it and writes BENCH_pr<N>.json.
+//
+// Input is read from stdin. Lines that are not benchmark results (build
+// noise, make echo, PASS/ok trailers) are ignored; `pkg:` headers qualify
+// benchmark names so identically named benchmarks from different packages
+// (feip/febo/elgamal all have BenchmarkEncrypt) stay distinct. When the
+// same qualified benchmark appears multiple times (-count > 1), the
+// minimum ns/op is kept — the least-noise estimate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, qualified by package.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test output and returns the qualified results sorted by
+// name.
+func parse(r io.Reader) ([]Result, error) {
+	best := map[string]Result{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if pkg != "" {
+			res.Name = pkg + "." + res.Name
+		}
+		if prev, seen := best[res.Name]; !seen || res.NsPerOp < prev.NsPerOp {
+			best[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  T ns/op [B B/op] [A allocs/op]`
+// line, reporting ok=false for anything else.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix the bench runner appends.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.NsPerOp = ns
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return res, seenNs
+}

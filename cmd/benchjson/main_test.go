@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `go test -run '^$' -bench 'BenchmarkEncrypt' ./internal/feip/
+goos: linux
+goarch: amd64
+pkg: cryptonn/internal/feip
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEncrypt/eta=784-4         	    8516	    259353 ns/op
+BenchmarkEncrypt/eta=784-4         	    9000	    250001 ns/op
+BenchmarkDecrypt/eta=100-4         	   40000	     29000 ns/op	   12345 B/op	     678 allocs/op
+PASS
+ok  	cryptonn/internal/feip	4.182s
+pkg: cryptonn/internal/febo
+BenchmarkEncrypt-4   	  413322	      1228.5 ns/op
+not a bench line
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	enc, ok := byName["cryptonn/internal/feip.BenchmarkEncrypt/eta=784"]
+	if !ok {
+		t.Fatalf("missing qualified feip encrypt result: %+v", results)
+	}
+	if enc.NsPerOp != 250001 {
+		t.Errorf("duplicate benchmark kept ns/op = %v, want the minimum 250001", enc.NsPerOp)
+	}
+	dec := byName["cryptonn/internal/feip.BenchmarkDecrypt/eta=100"]
+	if dec.BytesPerOp != 12345 || dec.AllocsPerOp != 678 {
+		t.Errorf("benchmem fields = %d B/op %d allocs/op", dec.BytesPerOp, dec.AllocsPerOp)
+	}
+	febo := byName["cryptonn/internal/febo.BenchmarkEncrypt"]
+	if febo.NsPerOp != 1228.5 {
+		t.Errorf("febo ns/op = %v", febo.NsPerOp)
+	}
+	if febo.Iterations != 413322 {
+		t.Errorf("febo iterations = %d", febo.Iterations)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"Benchmark",
+		"BenchmarkX-4 12",
+		"BenchmarkX-4 notanumber 5 ns/op",
+		"ok  	cryptonn/internal/feip	4.182s",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"cryptonn/internal/group"
 )
@@ -52,16 +53,84 @@ type Solver struct {
 	steps  int64 // number of giant steps
 	k      int   // limbs per element
 	// elems[j*k : (j+1)*k] is g^j in Montgomery form: the exact-match
-	// backing store for the hash table's 64-bit candidate keys.
+	// backing store for the hash table's 64-bit candidate keys. elems,
+	// tab and giantM may be shared with other solvers of the same Params
+	// (see coreFor); shiftM is per-solver.
 	elems  []uint64
 	tab    *babyTable
 	giantM []uint64 // g^{-m}, Montgomery form
 	shiftM []uint64 // g^{Bound}, Montgomery form: maps [-B, B] onto [0, 2B]
 }
 
+// solverCore is the bound-independent part of a solver: the baby-step
+// elements, their hash table, and the matching giant step g^{-m}. A core
+// built for m baby steps serves any solver needing ≤ m of them — the
+// giant-step stride only has to match the table height, not the bound —
+// so solvers over the same group share one core instead of each rebuilding
+// identical tables.
+type solverCore struct {
+	m      int64
+	elems  []uint64
+	tab    *babyTable
+	giantM []uint64
+}
+
+// maxCachedCores bounds the per-Params core cache. Production processes
+// hold one or two groups, so the cap only matters for workloads that mint
+// Params endlessly (test suites); past it the cache resets and tables are
+// simply rebuilt on demand, keeping memory bounded.
+const maxCachedCores = 64
+
+var (
+	coreMu sync.Mutex
+	// cores caches the largest core built per Params. Keyed by pointer
+	// identity: Params are long-lived, never copied once in use (their own
+	// documented contract), and pointer keys keep independently created
+	// groups — even with equal constants, as throughout the tests —
+	// isolated from each other.
+	cores = map[*group.Params]*solverCore{}
+)
+
+// coreFor returns a baby-step core for params with at least mNeed entries,
+// building and caching it when no cached core is tall enough. Construction
+// runs under the cache lock, so concurrent solver setup over one group
+// builds the table exactly once.
+func coreFor(params *group.Params, mc *group.MontCtx, mNeed int64) *solverCore {
+	coreMu.Lock()
+	defer coreMu.Unlock()
+	if c := cores[params]; c != nil && c.m >= mNeed {
+		return c
+	}
+	if len(cores) >= maxCachedCores {
+		cores = map[*group.Params]*solverCore{}
+	}
+	k := mc.Limbs()
+	c := &solverCore{
+		m:      mNeed,
+		elems:  make([]uint64, mNeed*int64(k)),
+		tab:    newBabyTable(mNeed),
+		giantM: mc.Elem(),
+	}
+	gM := mc.Elem()
+	mc.ToMont(gM, params.G)
+	cur := mc.Elem()
+	mc.SetOne(cur)
+	for j := int64(0); j < mNeed; j++ {
+		copy(c.elems[j*int64(k):], cur)
+		c.tab.insert(cur[0], j)
+		mc.MulMont(cur, cur, gM)
+	}
+	// cur is now g^m; its inverse is the giant step.
+	mc.ToMont(c.giantM, params.Inv(mc.FromMont(cur)))
+	cores[params] = c
+	return c
+}
+
 // NewSolver builds a solver for logs in [-bound, bound]. Table construction
-// costs O(sqrt(bound)) group operations and memory; subsequent lookups cost
-// O(sqrt(bound)) multiplications in the worst case.
+// costs O(sqrt(bound)) group operations and memory — paid once per group:
+// solvers over the same Params share one baby-step table, and a solver
+// whose bound fits an already-built table reuses it outright. Subsequent
+// lookups cost O(sqrt(bound)) multiplications in the worst case.
 func NewSolver(params *group.Params, bound int64) (*Solver, error) {
 	if params == nil {
 		return nil, errors.New("dlog: nil group parameters")
@@ -72,30 +141,19 @@ func NewSolver(params *group.Params, bound int64) (*Solver, error) {
 	n := 2*bound + 1 // size of the shifted search range [0, 2*bound]
 	m := int64(math.Ceil(math.Sqrt(float64(n))))
 	mc := params.Mont()
-	k := mc.Limbs()
+	core := coreFor(params, mc, m)
 	s := &Solver{
 		params: params,
 		mont:   mc,
 		bound:  bound,
-		m:      m,
-		steps:  (n + m - 1) / m,
-		k:      k,
-		elems:  make([]uint64, m*int64(k)),
-		tab:    newBabyTable(m),
-		giantM: mc.Elem(),
+		m:      core.m,
+		steps:  (n + core.m - 1) / core.m,
+		k:      mc.Limbs(),
+		elems:  core.elems,
+		tab:    core.tab,
+		giantM: core.giantM,
 		shiftM: mc.Elem(),
 	}
-	gM := mc.Elem()
-	mc.ToMont(gM, params.G)
-	cur := mc.Elem()
-	mc.SetOne(cur)
-	for j := int64(0); j < m; j++ {
-		copy(s.elems[j*int64(k):], cur)
-		s.tab.insert(cur[0], j)
-		mc.MulMont(cur, cur, gM)
-	}
-	// cur is now g^m; its inverse is the giant step.
-	mc.ToMont(s.giantM, params.Inv(mc.FromMont(cur)))
 	mc.ToMont(s.shiftM, params.PowGInt64(bound)) // table-backed fixed-base power
 	return s, nil
 }
@@ -125,8 +183,32 @@ func (s *Solver) Lookup(h *big.Int) (int64, error) {
 	} else {
 		gamma = make([]uint64, k)
 	}
-	// Shift the signed range onto [0, 2*bound]: h' = h * g^bound = g^{x+bound}.
 	s.mont.ToMont(gamma, h)
+	return s.lookupMont(gamma)
+}
+
+// LookupMont is Lookup for an element already in Montgomery form (a slice
+// of group.MontCtx Limbs() length), as produced by the Montgomery-domain
+// decryption pipelines — the query stays in-domain from ciphertext to
+// table probe with no big.Int round trip. x is left unmodified.
+func (s *Solver) LookupMont(x []uint64) (int64, error) {
+	k := s.k
+	var stack [lookupStackLimbs]uint64
+	var gamma []uint64
+	if k <= len(stack) {
+		gamma = stack[:k]
+	} else {
+		gamma = make([]uint64, k)
+	}
+	copy(gamma, x[:k])
+	return s.lookupMont(gamma)
+}
+
+// lookupMont runs the giant-step scan on gamma (Montgomery form),
+// overwriting it.
+func (s *Solver) lookupMont(gamma []uint64) (int64, error) {
+	k := s.k
+	// Shift the signed range onto [0, 2*bound]: h' = h * g^bound = g^{x+bound}.
 	s.mont.MulMont(gamma, gamma, s.shiftM)
 	for i := int64(0); i <= s.steps; i++ {
 		if j := s.tab.find(gamma[0]); j >= 0 {

@@ -348,3 +348,98 @@ func BenchmarkLookupParallel(b *testing.B) {
 		}
 	})
 }
+
+// TestSolverSharesCore: two solvers over the same Params must share one
+// baby-step core when the second one's bound fits the already-built table
+// — the whole point of the per-Params core cache.
+func TestSolverSharesCore(t *testing.T) {
+	params := group.TestParams()
+	large, err := NewSolver(params, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewSolver(params, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.tab != large.tab {
+		t.Fatal("solvers over one Params did not share the baby-step table")
+	}
+	if small.m != large.m {
+		t.Fatalf("shared-core solver has m=%d, core has %d", small.m, large.m)
+	}
+	// A bound that outgrows the cached core rebuilds (and re-caches) a
+	// bigger one.
+	huge, err := NewSolver(params, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.tab == large.tab {
+		t.Fatal("outgrown core was not rebuilt")
+	}
+	reuse, err := NewSolver(params, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse.tab != huge.tab {
+		t.Fatal("later solver did not pick up the enlarged core")
+	}
+}
+
+// TestSolverReusedCoreCorrectness exercises a solver running on a core
+// built for a much larger bound: the taller table changes m and the giant
+// stride, so exhaustive and boundary lookups (±Bound exactly) plus
+// out-of-range rejection must still hold.
+func TestSolverReusedCoreCorrectness(t *testing.T) {
+	params := group.TestParams()
+	if _, err := NewSolver(params, 250_000); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(params, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(-50); x <= 50; x++ {
+		got, err := s.Lookup(params.PowGInt64(x))
+		if err != nil {
+			t.Fatalf("Lookup(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("Lookup(g^%d) = %d", x, got)
+		}
+	}
+	for _, x := range []int64{51, -51, 40_000} {
+		if _, err := s.Lookup(params.PowGInt64(x)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Lookup(g^%d) err = %v, want ErrNotFound", x, err)
+		}
+	}
+}
+
+// TestLookupMontMatchesLookup pins the Montgomery-form entry point against
+// the big.Int one, and checks the query slice is left intact.
+func TestLookupMontMatchesLookup(t *testing.T) {
+	params := group.TestParams()
+	s := newTestSolver(t, 1000)
+	mc := params.Mont()
+	for _, x := range []int64{-1000, -37, 0, 41, 999, 1000} {
+		h := params.PowGInt64(x)
+		hm := mc.Elem()
+		mc.ToMont(hm, h)
+		before := append([]uint64(nil), hm...)
+		got, err := s.LookupMont(hm)
+		if err != nil {
+			t.Fatalf("LookupMont(g^%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("LookupMont(g^%d) = %d", x, got)
+		}
+		for i := range hm {
+			if hm[i] != before[i] {
+				t.Fatal("LookupMont modified its input")
+			}
+		}
+	}
+	if _, err := s.LookupMont(make([]uint64, mc.Limbs())); !errors.Is(err, ErrNotFound) {
+		t.Errorf("LookupMont(0) err = %v, want ErrNotFound", err)
+	}
+}

@@ -98,16 +98,28 @@ func Setup(params *group.Params, r io.Reader) (*PublicKey, *SecretKey, error) {
 	return &PublicKey{Params: params, H: params.PowG(s)}, &SecretKey{S: s}, nil
 }
 
-// Encrypt encrypts a signed integer message in the exponent.
+// Encrypt encrypts a signed integer message in the exponent. Both
+// components run in the Montgomery domain end-to-end (fixed-base limb
+// chains for g^r and h^r, the dense Montgomery cache for g^m) and convert
+// out once each.
 func Encrypt(pk *PublicKey, m int64, r io.Reader) (*Ciphertext, error) {
 	nonce, err := pk.Params.RandScalar(r)
 	if err != nil {
 		return nil, fmt.Errorf("elgamal: sampling nonce: %w", err)
 	}
 	p := pk.Params
+	gt := p.GTable()
+	mc := p.Mont()
+	k := mc.Limbs()
+	buf := make([]uint64, 3*k)
+	c1, c2, gm := buf[:k], buf[k:2*k], buf[2*k:]
+	gt.PowMont(c1, nonce)
+	pk.table().PowMont(c2, nonce)
+	gt.PowInt64Mont(gm, m)
+	mc.MulMont(c2, c2, gm)
 	return &Ciphertext{
-		C1: p.PowG(nonce),
-		C2: p.Mul(pk.table().Pow(nonce), p.PowGInt64(m)),
+		C1: mc.FromMont(c1),
+		C2: mc.FromMont(c2),
 	}, nil
 }
 

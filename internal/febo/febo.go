@@ -171,6 +171,11 @@ func Setup(params *group.Params, r io.Reader) (*PublicKey, *SecretKey, error) {
 }
 
 // Encrypt encrypts the signed integer x, returning (cmt, ct).
+//
+// Both components are computed in the Montgomery domain: g^r and h^r come
+// off the fixed-base tables as raw limb chains, g^x from the generator
+// table's dense Montgomery cache (x is a fixed-point plaintext), and each
+// component converts out of the domain exactly once.
 func Encrypt(pk *PublicKey, x int64, r io.Reader) (*Ciphertext, error) {
 	if pk == nil || pk.H == nil {
 		return nil, fmt.Errorf("%w: empty public key", ErrMalformed)
@@ -180,19 +185,30 @@ func Encrypt(pk *PublicKey, x int64, r io.Reader) (*Ciphertext, error) {
 	if err != nil {
 		return nil, fmt.Errorf("febo: encrypt: %w", err)
 	}
-	// h^r through the key's fixed-base table; g^x through the generator
-	// table's dense small-exponent cache (x is a fixed-point plaintext).
 	gt := p.GTable()
-	hr := pk.table().Pow(nonce)
+	mc := p.Mont()
+	k := mc.Limbs()
+	buf := make([]uint64, 3*k)
+	cmt, ct, gx := buf[:k], buf[k:2*k], buf[2*k:]
+	gt.PowMont(cmt, nonce)
+	pk.table().PowMont(ct, nonce)
+	gt.PowInt64Mont(gx, x)
+	mc.MulMont(ct, ct, gx)
 	return &Ciphertext{
-		Cmt: gt.Pow(nonce),
-		Ct:  p.Mul(hr, gt.PowInt64(x)),
+		Cmt: mc.FromMont(cmt),
+		Ct:  mc.FromMont(ct),
 	}, nil
 }
 
 // KeyDerive issues the function key for computing x Δ y against the
 // ciphertext whose commitment is cmt. Division requires y to be invertible
 // mod q (in particular y ≠ 0).
+//
+// The key is assembled in the Montgomery domain: cmt converts in once, the
+// cmt^{s·…} ladder is windowed limb multiplication (ExpMont), and for the
+// multiplicative ops the two ladders of (cmt^s)^y collapse into one with
+// the exponent product s·y (respectively s·y⁻¹) reduced mod Q — valid
+// because a validated commitment lies in the order-Q subgroup.
 func KeyDerive(params *group.Params, sk *SecretKey, cmt *big.Int, op Op, y int64) (*FunctionKey, error) {
 	if sk == nil || sk.S == nil {
 		return nil, fmt.Errorf("%w: empty secret key", ErrMalformed)
@@ -200,23 +216,37 @@ func KeyDerive(params *group.Params, sk *SecretKey, cmt *big.Int, op Op, y int64
 	if cmt == nil || !params.IsElement(cmt) {
 		return nil, fmt.Errorf("%w: commitment not a group element", ErrMalformed)
 	}
-	cmtS := params.Exp(cmt, sk.S) // g^{rs}
+	mc := params.Mont()
+	k := mc.Limbs()
+	buf := make([]uint64, 2*k)
+	cmtM, gy := buf[:k], buf[k:]
+	mc.ToMont(cmtM, cmt)
 	var yb big.Int
 	switch op {
-	case OpAdd:
+	case OpAdd, OpSub:
+		mc.ExpMont(cmtM, cmtM, sk.S) // g^{rs}
 		// Negate via big.Int: -y overflows for y = math.MinInt64.
 		yb.SetInt64(y)
-		return &FunctionKey{K: params.Mul(cmtS, params.PowG(yb.Neg(&yb)))}, nil
-	case OpSub:
-		return &FunctionKey{K: params.Mul(cmtS, params.PowGInt64(y))}, nil
+		if op == OpAdd {
+			yb.Neg(&yb)
+		}
+		params.GTable().PowMont(gy, &yb)
+		mc.MulMont(cmtM, cmtM, gy)
+		return &FunctionKey{K: mc.FromMont(cmtM)}, nil
 	case OpMul:
-		return &FunctionKey{K: params.Exp(cmtS, yb.SetInt64(y))}, nil
+		// cmt^{s·y mod Q} = (cmt^s)^y for an order-Q commitment.
+		e := yb.SetInt64(y)
+		e.Mul(e, sk.S)
+		mc.ExpMont(cmtM, cmtM, params.ReduceScalar(e))
+		return &FunctionKey{K: mc.FromMont(cmtM)}, nil
 	case OpDiv:
 		yInv, err := params.InvScalar(yb.SetInt64(y))
 		if err != nil {
 			return nil, fmt.Errorf("febo: division key: %w", err)
 		}
-		return &FunctionKey{K: params.Exp(cmtS, yInv)}, nil
+		yInv.Mul(yInv, sk.S)
+		mc.ExpMont(cmtM, cmtM, params.ReduceScalar(yInv))
+		return &FunctionKey{K: mc.FromMont(cmtM)}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
 	}

@@ -94,3 +94,27 @@ func BenchmarkDecrypt(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEncryptParallel pins multi-core encryption scaling: many
+// goroutines encrypting under one shared master public key (the immutable
+// fixed-base tables are the shared state). On a single-vCPU box this
+// tracks BenchmarkEncrypt; on a multi-core box the per-op time should
+// divide by the core count.
+func BenchmarkEncryptParallel(b *testing.B) {
+	const eta = 784
+	params := group.TestParams()
+	mpk, _, err := feip.Setup(params, eta, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpk.Precompute()
+	x, _ := benchVectors(eta, 1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := feip.Encrypt(mpk, x, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

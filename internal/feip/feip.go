@@ -164,6 +164,14 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 }
 
 // Encrypt encrypts the signed integer vector x under mpk.
+//
+// The whole ciphertext is computed in the Montgomery domain: the nonce is
+// recoded once into signed windows (shared by all η per-key tables, which
+// have the same width), every h_i^r·g^{x_i} chain is pure limb
+// multiplication against the precomputed tables, the η+1 negative-digit
+// accumulators of the signed recoding are inverted together with a single
+// modular inversion (Montgomery's trick), and each coordinate converts out
+// of the domain exactly once.
 func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) {
 	if mpk == nil || len(mpk.H) == 0 {
 		return nil, fmt.Errorf("%w: empty public key", ErrMalformed)
@@ -176,16 +184,37 @@ func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) 
 	if err != nil {
 		return nil, fmt.Errorf("feip: encrypt: %w", err)
 	}
-	// h_i^r through the per-key fixed-base tables; g^{x_i} through the
-	// generator table's dense small-exponent cache.
 	tabs := mpk.tables()
 	gt := p.GTable()
-	ct := make([]*big.Int, len(x))
+	mc := p.Mont()
+	k := mc.Limbs()
+	eta := len(x)
+	hDigits := tabs[0].Recode(nonce, nil)
+	gDigits := gt.Recode(nonce, nil)
+	// pos[i] accumulates the ciphertext coordinate, neg[i] the negative
+	// signed digits' product; slot eta holds ct_0 = g^r.
+	pos := make([]uint64, (eta+1)*k)
+	neg := make([]uint64, (eta+1)*k)
+	gx := make([]uint64, k)
 	for i, xi := range x {
-		hr := tabs[i].Pow(nonce)
-		ct[i] = p.Mul(hr, gt.PowInt64(xi))
+		pi, ni := pos[i*k:(i+1)*k], neg[i*k:(i+1)*k]
+		tabs[i].PowRecoded(pi, ni, hDigits)
+		gt.PowInt64Mont(gx, xi)
+		mc.MulMont(pi, pi, gx)
 	}
-	return &Ciphertext{Ct0: gt.Pow(nonce), Ct: ct}, nil
+	gt.PowRecoded(pos[eta*k:], neg[eta*k:], gDigits)
+	if _, err := mc.BatchInvMont(neg, nil); err != nil {
+		return nil, fmt.Errorf("feip: encrypt: %w", err)
+	}
+	ct := make([]*big.Int, eta)
+	for i := range ct {
+		pi := pos[i*k : (i+1)*k]
+		mc.MulMont(pi, pi, neg[i*k:(i+1)*k])
+		ct[i] = mc.FromMont(pi)
+	}
+	p0 := pos[eta*k:]
+	mc.MulMont(p0, p0, neg[eta*k:])
+	return &Ciphertext{Ct0: mc.FromMont(p0), Ct: ct}, nil
 }
 
 // Decrypt recovers ⟨x, y⟩ from a ciphertext of x and the function key for

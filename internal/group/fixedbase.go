@@ -1,6 +1,7 @@
 package group
 
 import (
+	"fmt"
 	"math/big"
 	"sync"
 )
@@ -14,27 +15,41 @@ import (
 // radix-2^w precomputation (Brauer; see HAC §14.6.3) replaces the
 // square-and-multiply ladder with pure table multiplications:
 //
-//	base^e = Π_i base^{d_i·2^{w·i}}   where e = Σ d_i·2^{w·i}, 0 ≤ d_i < 2^w
+//	base^e = Π_i base^{d_i·2^{w·i}}   where e = Σ d_i·2^{w·i}
 //
-// Each factor base^{d·2^{w·i}} is precomputed, so Pow costs at most
-// ⌈bits(Q)/w⌉ modular multiplications and zero squarings, versus a full
-// Montgomery ladder for the generic big.Int.Exp. Building a table costs
-// ⌈bits(Q)/w⌉·(2^w−1) multiplications; at w=4 that is roughly three naive
-// exponentiations, paying for itself after the third use of the base.
+// Two refinements keep both the table and the evaluation minimal:
 //
-// Two window widths are used. Per-key tables (the h_i) use w=4 — ≈30 KiB
-// per base for a 256-bit group, cheap enough to build lazily per master
-// public key. The per-Params generator table uses w=8 — bigger to build
-// (≈20 naive exponentiations) and ≈260 KiB for a 256-bit group, but g is
-// the one base shared by every scheme, solver and benchmark in the
-// process, so the deeper table's halved multiplication count wins.
+//   - The precomputed points live in the Montgomery domain as one flat
+//     uint64 limb slab (MontCtx), so every lookup-and-multiply is a raw
+//     CIOS limb multiplication with no per-step QuoRem division and no
+//     big.Int bookkeeping. Only the final conversion of a result touches
+//     big.Int arithmetic.
+//   - Exponents are recoded into signed digits d_i ∈ [−2^{w−1}+1, 2^{w−1}]
+//     (RecodeSigned), so a window row needs only the 2^{w−1} positive
+//     entries instead of 2^w−1 — half the storage, which is what lets the
+//     per-key tables run w=5 instead of w=4 in the same memory. Negative
+//     digits multiply into a separate accumulator whose single inversion
+//     batch callers amortize across a whole ciphertext (BatchInvMont);
+//     single-shot callers (Pow, PowMont) avoid the inversion entirely by
+//     splitting an unsigned digit d > 2^{w−1} into the stored entries for
+//     2^{w−1} and d−2^{w−1}, at most two multiplications per window.
+//
+// Two window widths are used. Per-key tables (the h_i) use w=5 — the same
+// memory the previous unsigned w=4 tables took, one fewer multiplication
+// per window. The per-Params generator table uses w=8: g is the one base
+// shared by every scheme, solver and benchmark in the process, so the
+// deeper table's halved multiplication count wins.
 
 const (
 	// fixedBaseWindow is the default radix (bits per digit) for per-key
-	// tables built with NewFixedBaseTable.
-	fixedBaseWindow = 4
+	// tables built with NewFixedBaseTable. Signed digits store 2^{w-1}
+	// entries per window, so w=5 fits the memory of an unsigned w=4 table.
+	fixedBaseWindow = 5
 	// generatorWindow is the radix of the per-Params generator table.
 	generatorWindow = 8
+	// maxRecodeWindow bounds window widths so signed digits (≤ 2^{w-1})
+	// and the carry arithmetic fit comfortably in int16.
+	maxRecodeWindow = 14
 )
 
 // DenseDefault is the dense-cache bound used for the generator table: the
@@ -46,24 +61,30 @@ const DenseDefault = 1024
 // FixedBaseTable holds windowed precomputation for one base, plus an
 // optional dense cache of base^k for small |k|. Tables are immutable after
 // construction and safe for concurrent use by any number of goroutines;
-// Pow never writes shared state and always returns a freshly allocated
-// result.
+// no Pow variant writes shared state.
 type FixedBaseTable struct {
 	params *Params
+	mc     *MontCtx
 	base   *big.Int
 	w      int // window width in bits
-	// win[i][d-1] = base^(d · 2^{w·i}) mod P for d in 1..2^w−1, covering
-	// every exponent in [0, Q).
-	win [][]*big.Int
-	// dense[k] = base^k and denseInv[k] = base^{−k} for 0 ≤ k ≤ denseBound;
+	half   int // 2^{w-1}: signed digits per window row
+	k      int // limbs per Montgomery-domain element
+	nw     int // window rows, including the signed-recoding carry row
+	// slab[(i*half + d-1)*k : …+k] = base^{d·2^{w·i}} mod P in Montgomery
+	// form, for d in 1..half.
+	slab []uint64
+	// dense[x] = base^x and denseInv[x] = base^{−x} for 0 ≤ x ≤ denseBound;
+	// denseM/denseInvM are the same values as Montgomery limb slabs. All
 	// nil when the table was built without a dense cache.
-	dense    []*big.Int
-	denseInv []*big.Int
+	dense     []*big.Int
+	denseInv  []*big.Int
+	denseM    []uint64
+	denseInvM []uint64
 }
 
 // NewFixedBaseTable precomputes a windowed exponentiation table for base,
 // which must be an element of the order-Q subgroup (true of every group
-// element in this codebase; Pow's exponent reduction mod Q relies on
+// element in this codebase; the exponent reduction mod Q relies on
 // base^Q = 1). denseBound > 0 additionally caches base^k for every
 // |k| ≤ denseBound, which callers with tiny plaintext exponents (g^{x_i})
 // want; pass 0 for bases that only see full-size exponents (h_i^r).
@@ -71,43 +92,68 @@ func (p *Params) NewFixedBaseTable(base *big.Int, denseBound int) *FixedBaseTabl
 	return p.newFixedBaseTable(base, denseBound, fixedBaseWindow)
 }
 
+// NewFixedBaseTableWindow is NewFixedBaseTable with an explicit window
+// width in [2, 14]. Short-lived tables amortized over few exponentiations
+// (securemat's per-column denominator tables) want a shallower window than
+// the per-key default.
+func (p *Params) NewFixedBaseTableWindow(base *big.Int, denseBound, w int) (*FixedBaseTable, error) {
+	if w < 2 || w > maxRecodeWindow {
+		return nil, fmt.Errorf("group: fixed-base window %d outside [2, %d]", w, maxRecodeWindow)
+	}
+	return p.newFixedBaseTable(base, denseBound, w), nil
+}
+
 func (p *Params) newFixedBaseTable(base *big.Int, denseBound, w int) *FixedBaseTable {
-	nw := (p.Q.BitLen() + w - 1) / w
-	win := make([][]*big.Int, nw)
+	mc := p.Mont()
+	k := mc.Limbs()
+	half := 1 << (w - 1)
+	nw := p.recodeWindows(w)
+	t := &FixedBaseTable{
+		params: p,
+		mc:     mc,
+		base:   new(big.Int).Set(base),
+		w:      w,
+		half:   half,
+		k:      k,
+		nw:     nw,
+		slab:   make([]uint64, nw*half*k),
+	}
 	// winBase walks base^{2^{w·i}}; row d is built by repeated
-	// multiplication, and the next winBase is row[2^w−1]·winBase =
-	// base^{2^{w·(i+1)}} — no modular squarings anywhere.
-	winBase := new(big.Int).Mod(base, p.P)
-	var tmp, q big.Int
+	// multiplication, and the next winBase is row[half]² =
+	// (base^{2^{w-1}·2^{w·i}})² — one squaring, no divisions anywhere.
+	winBase := mc.Elem()
+	mc.ToMont(winBase, base)
 	for i := 0; i < nw; i++ {
-		row := make([]*big.Int, (1<<w)-1)
-		row[0] = winBase
-		for d := 2; d < 1<<w; d++ {
-			e := new(big.Int)
-			tmp.Mul(row[d-2], winBase)
-			q.QuoRem(&tmp, p.P, e)
-			row[d-1] = e
+		row := t.slab[i*half*k:]
+		copy(row[:k], winBase)
+		for d := 2; d <= half; d++ {
+			mc.MulMont(row[(d-1)*k:d*k], row[(d-2)*k:(d-1)*k], winBase)
 		}
-		win[i] = row
 		if i+1 < nw {
-			next := new(big.Int)
-			tmp.Mul(row[len(row)-1], winBase)
-			q.QuoRem(&tmp, p.P, next)
-			winBase = next
+			last := row[(half-1)*k : half*k]
+			mc.MulMont(winBase, last, last)
 		}
 	}
-	t := &FixedBaseTable{params: p, base: new(big.Int).Set(base), w: w, win: win}
 	if denseBound > 0 {
+		t.denseM = make([]uint64, (denseBound+1)*k)
 		t.dense = make([]*big.Int, denseBound+1)
+		baseM := t.slab[:k] // base^{2^0·1}
+		mc.SetOne(t.denseM[:k])
 		t.dense[0] = big.NewInt(1)
-		for k := 1; k <= denseBound; k++ {
-			t.dense[k] = p.Mul(t.dense[k-1], base)
+		for x := 1; x <= denseBound; x++ {
+			mc.MulMont(t.denseM[x*k:(x+1)*k], t.denseM[(x-1)*k:x*k], baseM)
+			t.dense[x] = mc.FromMont(t.denseM[x*k : (x+1)*k])
 		}
 		if inv := p.Inv(base); inv != nil {
+			t.denseInvM = make([]uint64, (denseBound+1)*k)
 			t.denseInv = make([]*big.Int, denseBound+1)
+			invM := mc.Elem()
+			mc.ToMont(invM, inv)
+			mc.SetOne(t.denseInvM[:k])
 			t.denseInv[0] = big.NewInt(1)
-			for k := 1; k <= denseBound; k++ {
-				t.denseInv[k] = p.Mul(t.denseInv[k-1], inv)
+			for x := 1; x <= denseBound; x++ {
+				mc.MulMont(t.denseInvM[x*k:(x+1)*k], t.denseInvM[(x-1)*k:x*k], invM)
+				t.denseInv[x] = mc.FromMont(t.denseInvM[x*k : (x+1)*k])
 			}
 		}
 	}
@@ -129,6 +175,166 @@ func (t *FixedBaseTable) DenseBound() int {
 	return len(t.dense) - 1
 }
 
+// recodeWindows returns the signed-digit count for window width w: one
+// digit per w bits of Q plus the recoding carry digit.
+func (p *Params) recodeWindows(w int) int {
+	return (p.Q.BitLen()+w-1)/w + 1
+}
+
+// RecodeSigned recodes an exponent into signed radix-2^w digits
+// d_i ∈ [−2^{w−1}+1, 2^{w−1}] with e ≡ Σ d_i·2^{w·i} (mod Q). Exponents of
+// any sign and size are accepted and reduced into [0, Q) first. The digit
+// count depends only on (Q, w), so one recoding drives PowRecoded against
+// every table of the same width — feip encryption recodes its nonce once
+// for all η per-key tables. buf is reused when its capacity suffices.
+func (p *Params) RecodeSigned(e *big.Int, w int, buf []int16) []int16 {
+	if w < 1 || w > maxRecodeWindow {
+		panic(fmt.Sprintf("group: recode window %d outside [1, %d]", w, maxRecodeWindow))
+	}
+	if e.Sign() < 0 || e.Cmp(p.Q) >= 0 {
+		e = new(big.Int).Mod(e, p.Q)
+	}
+	nw := p.recodeWindows(w)
+	if cap(buf) < nw {
+		buf = make([]int16, nw)
+	}
+	buf = buf[:nw]
+	half := 1 << (w - 1)
+	carry := 0
+	for i := 0; i < nw-1; i++ {
+		d := int(windowDigit(e, i, w)) + carry
+		if d > half {
+			d -= 1 << w
+			carry = 1
+		} else {
+			carry = 0
+		}
+		buf[i] = int16(d)
+	}
+	buf[nw-1] = int16(carry)
+	return buf
+}
+
+// Recode recodes an exponent into signed digits for this table's window
+// width; see Params.RecodeSigned.
+func (t *FixedBaseTable) Recode(e *big.Int, buf []int16) []int16 {
+	return t.params.RecodeSigned(e, t.w, buf)
+}
+
+// PowRecoded accumulates the signed-window factors of a recoded exponent
+// into two Montgomery-domain products: pos collects the positive digits'
+// table entries and neg the negative digits' (so the represented value is
+// pos/neg; an empty product is written as 1). Both pos and neg must be
+// caller slices of Limbs() length. digits must come from Recode/
+// RecodeSigned with this table's window width.
+//
+// Splitting the sign instead of inverting per digit is what lets batch
+// callers — every coordinate of an Encrypt, every denominator of a secure
+// matrix product — collapse all their inversions into one BatchInvMont.
+func (t *FixedBaseTable) PowRecoded(pos, neg []uint64, digits []int16) {
+	mc, k, half := t.mc, t.k, t.half
+	posStarted, negStarted := false, false
+	for i, d := range digits {
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			entry := t.slab[(i*half+int(d)-1)*k:]
+			if !posStarted {
+				copy(pos[:k], entry[:k])
+				posStarted = true
+			} else {
+				mc.MulMont(pos, pos, entry[:k])
+			}
+		} else {
+			entry := t.slab[(i*half+int(-d)-1)*k:]
+			if !negStarted {
+				copy(neg[:k], entry[:k])
+				negStarted = true
+			} else {
+				mc.MulMont(neg, neg, entry[:k])
+			}
+		}
+	}
+	if !posStarted {
+		mc.SetOne(pos)
+	}
+	if !negStarted {
+		mc.SetOne(neg)
+	}
+}
+
+// PowMont computes base^exp into dst as a Montgomery-domain element of
+// Limbs() length. Exponents of any sign and size are accepted (reduced
+// into [0, Q), relying on the subgroup contract base^Q = 1). The
+// evaluation is inversion-free: an unsigned digit d > 2^{w−1} is split
+// into the stored entries for 2^{w−1} and d−2^{w−1}, so a single
+// exponentiation costs at most two limb multiplications per window and
+// never a division. Batch callers that can amortize one inversion across
+// many exponentiations use Recode + PowRecoded + BatchInvMont instead.
+func (t *FixedBaseTable) PowMont(dst []uint64, exp *big.Int) {
+	if t.denseM != nil && exp.IsInt64() {
+		if t.denseLookupMont(dst, exp.Int64()) {
+			return
+		}
+	}
+	e := exp
+	if e.Sign() < 0 || e.Cmp(t.params.Q) >= 0 {
+		e = new(big.Int).Mod(exp, t.params.Q)
+	}
+	mc, k, half := t.mc, t.k, t.half
+	started := false
+	nw := (e.BitLen() + t.w - 1) / t.w
+	for i := 0; i < nw; i++ {
+		d := int(windowDigit(e, i, t.w))
+		for d > 0 {
+			part := d
+			if part > half {
+				part = half
+			}
+			entry := t.slab[(i*half+part-1)*k:]
+			if !started {
+				copy(dst[:k], entry[:k])
+				started = true
+			} else {
+				mc.MulMont(dst, dst, entry[:k])
+			}
+			d -= part
+		}
+	}
+	if !started {
+		mc.SetOne(dst) // exp ≡ 0 mod Q
+	}
+}
+
+// PowInt64Mont is PowMont for a machine-integer exponent; values inside
+// the dense cache are a single limb copy.
+func (t *FixedBaseTable) PowInt64Mont(dst []uint64, x int64) {
+	if t.denseLookupMont(dst, x) {
+		return
+	}
+	var e big.Int
+	e.SetInt64(x)
+	t.PowMont(dst, &e)
+}
+
+// denseLookupMont serves x from the Montgomery dense cache, reporting
+// whether it hit.
+func (t *FixedBaseTable) denseLookupMont(dst []uint64, x int64) bool {
+	k := t.k
+	if x >= 0 && t.denseM != nil && x <= int64(t.DenseBound()) {
+		copy(dst[:k], t.denseM[int(x)*k:])
+		return true
+	}
+	// x > -bound (rather than -x < bound) keeps math.MinInt64 off the
+	// cache path, where -x overflows.
+	if x < 0 && t.denseInvM != nil && x > -int64(len(t.denseInv)) {
+		copy(dst[:k], t.denseInvM[int(-x)*k:])
+		return true
+	}
+	return false
+}
+
 // Pow computes base^exp mod P. Exponents of any sign and size are
 // accepted: they are reduced into [0, Q), so for the subgroup bases the
 // table contract requires, Pow agrees with Params.Exp on every input.
@@ -137,31 +343,15 @@ func (t *FixedBaseTable) Pow(exp *big.Int) *big.Int {
 	if r := t.denseLookup(exp); r != nil {
 		return r
 	}
-	e := exp
-	if e.Sign() < 0 || e.Cmp(t.params.Q) >= 0 {
-		e = new(big.Int).Mod(exp, t.params.Q)
+	var stack [montStackLimbs]uint64
+	var dst []uint64
+	if t.k <= montStackLimbs {
+		dst = stack[:t.k]
+	} else {
+		dst = make([]uint64, t.k)
 	}
-	acc := new(big.Int)
-	var tmp, q big.Int
-	started := false
-	nw := (e.BitLen() + t.w - 1) / t.w
-	for i := 0; i < nw; i++ {
-		d := windowDigit(e, i, t.w)
-		if d == 0 {
-			continue
-		}
-		if !started {
-			acc.Set(t.win[i][d-1])
-			started = true
-			continue
-		}
-		tmp.Mul(acc, t.win[i][d-1])
-		q.QuoRem(&tmp, t.params.P, acc)
-	}
-	if !started {
-		return acc.SetInt64(1) // exp ≡ 0 mod Q
-	}
-	return acc
+	t.PowMont(dst, exp)
+	return t.mc.FromMont(dst)
 }
 
 // PowInt64 computes base^x for a machine integer x; the hot path for
@@ -170,8 +360,6 @@ func (t *FixedBaseTable) PowInt64(x int64) *big.Int {
 	if 0 <= x && x < int64(len(t.dense)) {
 		return new(big.Int).Set(t.dense[x])
 	}
-	// x > -len (rather than -x < len) keeps math.MinInt64 off the cache
-	// path, where -x overflows.
 	if x < 0 && x > -int64(len(t.denseInv)) {
 		return new(big.Int).Set(t.denseInv[-x])
 	}

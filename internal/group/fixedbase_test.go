@@ -120,6 +120,130 @@ func TestFixedBaseTableResultIsFresh(t *testing.T) {
 	}
 }
 
+// TestRecodeSignedReconstructs pins the signed-window recoding: for every
+// window width and both group sizes, Σ d_i·2^{w·i} must reconstruct the
+// exponent reduced into [0, Q), with every digit inside (−2^{w−1}, 2^{w−1}]
+// — the invariant that lets a window row store only 2^{w−1} entries.
+func TestRecodeSignedReconstructs(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(bits)))
+			exps := edgeExponents(params, 32)
+			for i := 0; i < 100; i++ {
+				e := new(big.Int).Rand(rng, params.Q)
+				if i%3 == 1 {
+					e.Neg(e)
+				}
+				if i%5 == 2 {
+					e.Add(e, params.Q)
+				}
+				exps = append(exps, e)
+			}
+			var buf []int16
+			for _, w := range []int{2, 4, 5, 8} {
+				half := int16(1) << (w - 1)
+				for _, e := range exps {
+					buf = params.RecodeSigned(e, w, buf)
+					acc := new(big.Int)
+					term := new(big.Int)
+					for i, d := range buf {
+						if d > half || d <= -half {
+							t.Fatalf("w=%d: digit %d of %v out of range", w, d, e)
+						}
+						term.SetInt64(int64(d))
+						term.Lsh(term, uint(w*i))
+						acc.Add(acc, term)
+					}
+					want := new(big.Int).Mod(e, params.Q)
+					if acc.Cmp(want) != 0 {
+						t.Fatalf("w=%d: recode(%v) reconstructs %v, want %v", w, e, acc, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPowMontFamilyMatchesNaiveExp pins every Montgomery-domain entry point
+// of the table — PowMont, PowInt64Mont, and the signed Recode+PowRecoded
+// batch path — against the naive Exp on negative, zero, ≥Q and dense-bound
+// boundary exponents in both the 64- and 256-bit groups.
+func TestPowMontFamilyMatchesNaiveExp(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := params.Mont()
+			k := mc.Limbs()
+			const denseBound = 32
+			tab := params.NewFixedBaseTable(params.G, denseBound)
+			rng := rand.New(rand.NewSource(int64(bits) + 1))
+			exps := edgeExponents(params, denseBound)
+			for i := 0; i < 100; i++ {
+				e := new(big.Int).Rand(rng, params.Q)
+				if i%3 == 1 {
+					e.Neg(e)
+				}
+				if i%4 == 2 {
+					e.Add(e, params.Q)
+				}
+				exps = append(exps, e)
+			}
+			dst := make([]uint64, k)
+			pos := make([]uint64, k)
+			neg := make([]uint64, k)
+			var digits []int16
+			for _, e := range exps {
+				want := naiveExp(params, params.G, e)
+				tab.PowMont(dst, e)
+				if got := mc.FromMont(dst); got.Cmp(want) != 0 {
+					t.Fatalf("PowMont(%v) = %v, want %v", e, got, want)
+				}
+				if e.IsInt64() {
+					tab.PowInt64Mont(dst, e.Int64())
+					if got := mc.FromMont(dst); got.Cmp(want) != 0 {
+						t.Fatalf("PowInt64Mont(%d) = %v, want %v", e.Int64(), got, want)
+					}
+				}
+				digits = tab.Recode(e, digits)
+				tab.PowRecoded(pos, neg, digits)
+				got := params.Div(mc.FromMont(pos), mc.FromMont(neg))
+				if got.Cmp(want) != 0 {
+					t.Fatalf("PowRecoded(%v) = %v, want %v", e, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestNewFixedBaseTableWindowBounds checks the exported window-width
+// validation and that every accepted width computes correctly.
+func TestNewFixedBaseTableWindowBounds(t *testing.T) {
+	params := group.TestParams()
+	for _, w := range []int{1, 0, -3, 15, 99} {
+		if _, err := params.NewFixedBaseTableWindow(params.G, 0, w); err == nil {
+			t.Errorf("window %d accepted", w)
+		}
+	}
+	e := big.NewInt(123456789)
+	want := naiveExp(params, params.G, e)
+	for _, w := range []int{2, 3, 7, 14} {
+		tab, err := params.NewFixedBaseTableWindow(params.G, 0, w)
+		if err != nil {
+			t.Fatalf("window %d rejected: %v", w, err)
+		}
+		if got := tab.Pow(e); got.Cmp(want) != 0 {
+			t.Fatalf("w=%d: Pow mismatch", w)
+		}
+	}
+}
+
 // TestGTableConcurrent hammers the lazily built generator table from many
 // goroutines; run with -race to prove the sync.Once construction and the
 // immutable-table reads are safe (the thread-safety contract the FE layers

@@ -203,6 +203,113 @@ func (c *MontCtx) MulMont(dst, a, b []uint64) {
 	}
 }
 
+// InvMont computes dst = x^{-1} in the Montgomery domain (i.e. the
+// Montgomery form of the standard inverse). dst may alias x. The one
+// extended-GCD inversion is the price batch callers amortize with
+// BatchInvMont; single callers (a lone PowRecoded combine) pay it here.
+func (c *MontCtx) InvMont(dst, x []uint64) error {
+	inv := new(big.Int).ModInverse(c.FromMont(x), c.p)
+	if inv == nil {
+		return ErrNotInvertible
+	}
+	c.ToMont(dst, inv)
+	return nil
+}
+
+// BatchInvMont replaces every k-limb element of the flat slab xs (whose
+// length must be a multiple of Limbs()) with its Montgomery-domain inverse,
+// using Montgomery's trick: one extended-GCD inversion plus 3(n−1) limb
+// multiplications for n elements. It is the in-domain counterpart of
+// Params.BatchInv, used by the encryption engine to fold the signed-window
+// negative-digit accumulators of a whole ciphertext (and by the securemat
+// denominator cache) into a single inversion.
+//
+// scratch is optional caller scratch of at least len(xs) limbs; it is
+// allocated when too small and returned either way so workers can reuse one
+// slab across calls. On error no element of xs has been modified.
+func (c *MontCtx) BatchInvMont(xs, scratch []uint64) ([]uint64, error) {
+	k := c.k
+	if len(xs)%k != 0 {
+		panic("group: BatchInvMont slab length not a multiple of Limbs()")
+	}
+	n := len(xs) / k
+	if n == 0 {
+		return scratch, nil
+	}
+	if len(scratch) < n*k {
+		scratch = make([]uint64, n*k)
+	}
+	pre := scratch
+	copy(pre[:k], xs[:k])
+	for i := 1; i < n; i++ {
+		c.MulMont(pre[i*k:(i+1)*k], pre[(i-1)*k:i*k], xs[i*k:(i+1)*k])
+	}
+	invBig := new(big.Int).ModInverse(c.FromMont(pre[(n-1)*k:n*k]), c.p)
+	if invBig == nil {
+		return scratch, ErrNotInvertible
+	}
+	var invStack, tmpStack [montStackLimbs]uint64
+	var inv, tmp []uint64
+	if k <= montStackLimbs {
+		inv, tmp = invStack[:k], tmpStack[:k]
+	} else {
+		inv, tmp = make([]uint64, k), make([]uint64, k)
+	}
+	c.ToMont(inv, invBig)
+	for i := n - 1; i >= 1; i-- {
+		xi := xs[i*k : (i+1)*k]
+		// xi^{-1} = inv(x_0···x_i)·(x_0···x_{i-1}); fold the old xi into
+		// the running inverse before overwriting it.
+		copy(tmp, xi)
+		c.MulMont(xi, inv, pre[(i-1)*k:i*k])
+		c.MulMont(inv, inv, tmp)
+	}
+	copy(xs[:k], inv)
+	return scratch, nil
+}
+
+// ExpMont computes dst = base^e in the Montgomery domain for a variable
+// base (no precomputed table) and a non-negative exponent, by left-to-right
+// radix-2^4 windowed square-and-multiply over MulMont. Callers with signed
+// or unreduced exponents reduce them mod the group order first. dst may
+// alias base.
+func (c *MontCtx) ExpMont(dst, base []uint64, e *big.Int) {
+	if e.Sign() < 0 {
+		panic("group: ExpMont requires a non-negative exponent")
+	}
+	k := c.k
+	if e.Sign() == 0 {
+		c.SetOne(dst)
+		return
+	}
+	const w = 4
+	tab := make([]uint64, (1<<w-1)*k)
+	copy(tab[:k], base)
+	for d := 2; d < 1<<w; d++ {
+		c.MulMont(tab[(d-1)*k:d*k], tab[(d-2)*k:(d-1)*k], tab[:k])
+	}
+	started := false
+	for i := (e.BitLen() + w - 1) / w; i >= 0; i-- {
+		if started {
+			for s := 0; s < w; s++ {
+				c.MulMont(dst, dst, dst)
+			}
+		}
+		if d := windowDigit(e, i, w); d != 0 {
+			entry := tab[(int(d)-1)*k : int(d)*k]
+			if !started {
+				copy(dst, entry)
+				started = true
+			} else {
+				c.MulMont(dst, dst, entry)
+			}
+		}
+	}
+	if !started {
+		c.SetOne(dst)
+	}
+}
+
 // Mont returns the lazily built Montgomery context for the group modulus
 // P, shared by every goroutine like GTable. It panics when P is even —
 // impossible for a validated Params (P is a safe prime).

@@ -179,3 +179,106 @@ func BenchmarkModMulBig(b *testing.B) {
 		})
 	}
 }
+
+// TestBatchInvMontMatchesInv pins the Montgomery-domain batch inversion
+// against per-element ModInverse across batch sizes (including the
+// single-element batch) and both group sizes.
+func TestBatchInvMontMatchesInv(t *testing.T) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		c := params.Mont()
+		k := c.Limbs()
+		rng := rand.New(rand.NewSource(11))
+		var scratch []uint64
+		for _, n := range []int{1, 2, 3, 17, 64} {
+			vals := make([]*big.Int, n)
+			xs := make([]uint64, n*k)
+			for i := range vals {
+				e := new(big.Int).Rand(rng, params.Q)
+				vals[i] = params.PowG(e)
+				c.ToMont(xs[i*k:(i+1)*k], vals[i])
+			}
+			var err error
+			if scratch, err = c.BatchInvMont(xs, scratch); err != nil {
+				t.Fatalf("%s n=%d: %v", params, n, err)
+			}
+			for i := range vals {
+				got := c.FromMont(xs[i*k : (i+1)*k])
+				if want := params.Inv(vals[i]); got.Cmp(want) != 0 {
+					t.Fatalf("%s n=%d: element %d inverse mismatch", params, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchInvMontZeroFailsUntouched checks the error path: a zero element
+// must report ErrNotInvertible and leave the slab unmodified.
+func TestBatchInvMontZeroFailsUntouched(t *testing.T) {
+	params := TestParams()
+	c := params.Mont()
+	k := c.Limbs()
+	xs := make([]uint64, 3*k)
+	c.ToMont(xs[:k], big.NewInt(7))
+	// xs[k:2k] stays zero — not invertible.
+	c.ToMont(xs[2*k:], big.NewInt(9))
+	before := append([]uint64(nil), xs...)
+	if _, err := c.BatchInvMont(xs, nil); err != ErrNotInvertible {
+		t.Fatalf("err = %v, want ErrNotInvertible", err)
+	}
+	for i := range xs {
+		if xs[i] != before[i] {
+			t.Fatal("slab modified on error")
+		}
+	}
+}
+
+// TestInvMont pins the single-element Montgomery inversion.
+func TestInvMont(t *testing.T) {
+	params := TestParams()
+	c := params.Mont()
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		v := params.PowG(new(big.Int).Rand(rng, params.Q))
+		vm := c.Elem()
+		c.ToMont(vm, v)
+		if err := c.InvMont(vm, vm); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.FromMont(vm); got.Cmp(params.Inv(v)) != 0 {
+			t.Fatal("InvMont mismatch")
+		}
+	}
+}
+
+// TestExpMontMatchesExp pins the variable-base Montgomery ladder against
+// big.Int Exp for zero, one, boundary and random exponents.
+func TestExpMontMatchesExp(t *testing.T) {
+	for _, params := range []*Params{TestParams(), PaperParams()} {
+		c := params.Mont()
+		rng := rand.New(rand.NewSource(13))
+		base := params.PowG(big.NewInt(987654321))
+		bm := c.Elem()
+		c.ToMont(bm, base)
+		exps := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(15), big.NewInt(16),
+			new(big.Int).Sub(params.Q, big.NewInt(1)), new(big.Int).Set(params.Q),
+		}
+		for i := 0; i < 30; i++ {
+			exps = append(exps, new(big.Int).Rand(rng, params.Q))
+		}
+		dst := c.Elem()
+		for _, e := range exps {
+			c.ExpMont(dst, bm, e)
+			want := new(big.Int).Exp(base, e, params.P)
+			if got := c.FromMont(dst); got.Cmp(want) != 0 {
+				t.Fatalf("%s: ExpMont(%v) mismatch", params, e)
+			}
+		}
+		// dst may alias base.
+		c.ExpMont(bm, bm, big.NewInt(5))
+		want := new(big.Int).Exp(base, big.NewInt(5), params.P)
+		if got := c.FromMont(bm); got.Cmp(want) != 0 {
+			t.Fatal("aliased ExpMont mismatch")
+		}
+	}
+}

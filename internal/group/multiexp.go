@@ -19,7 +19,10 @@ import (
 //
 // Signs are handled by splitting the product: Π over positive exponents
 // times the inverse of Π over |negative| exponents, which costs a single
-// modular inversion instead of per-coordinate full-size exponents.
+// modular inversion instead of per-coordinate full-size exponents. The
+// Montgomery-domain entry point returns the two halves unreduced so batch
+// callers (securemat's decryption pipeline) can fold even that inversion
+// into their per-chunk BatchInvMont.
 
 // MultiExp computes Π bases[i]^exps[i] mod P. Exponents may be negative,
 // zero, or ≥ Q; each factor agrees with Params.Exp on the same inputs
@@ -28,16 +31,61 @@ import (
 // bases and exps must have equal length (MultiExp panics otherwise, the
 // same contract as a mismatched index). An empty product is 1.
 func (p *Params) MultiExp(bases, exps []*big.Int) *big.Int {
+	posB, posE, negB, negE := p.splitSigned(bases, exps)
+	mc := p.Mont()
+	pos := mc.Elem()
+	p.strausProdMont(pos, posB, posE, nil)
+	if len(negB) == 0 {
+		return mc.FromMont(pos)
+	}
+	neg := mc.Elem()
+	p.strausProdMont(neg, negB, negE, nil)
+	return p.Div(mc.FromMont(pos), mc.FromMont(neg))
+}
+
+// MultiExpInt64 is MultiExp for machine-integer exponents; it converts via
+// one backing slab instead of a big.NewInt per coordinate, which matters
+// because FEIP decryption calls it once per output matrix cell.
+func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
+	vals := make([]big.Int, len(exps))
+	ptrs := make([]*big.Int, len(exps))
+	for i, e := range exps {
+		ptrs[i] = vals[i].SetInt64(e)
+	}
+	return p.MultiExp(bases, ptrs)
+}
+
+// MultiExpInt64MontParts computes the sign-split halves of Π bases[i]^exps[i]
+// in the Montgomery domain: pos receives Π over positive exponents, neg the
+// Π over |negative| exponents (each 1 when its partition is empty), so the
+// full product is pos/neg. Both must be caller slices of Mont().Limbs()
+// length. scratch is optional table scratch, grown as needed and returned
+// for reuse — the securemat decryption workers call this once per output
+// cell and keep one slab per worker. bases and exps must have equal length
+// (panics otherwise, like MultiExp).
+func (p *Params) MultiExpInt64MontParts(pos, neg []uint64, bases []*big.Int, exps []int64, scratch []uint64) []uint64 {
+	vals := make([]big.Int, len(exps))
+	ptrs := make([]*big.Int, len(exps))
+	for i, e := range exps {
+		ptrs[i] = vals[i].SetInt64(e)
+	}
+	posB, posE, negB, negE := p.splitSigned(bases, ptrs)
+	scratch = p.strausProdMont(pos, posB, posE, scratch)
+	scratch = p.strausProdMont(neg, negB, negE, scratch)
+	return scratch
+}
+
+// splitSigned partitions (base, exponent) pairs into a positive and a
+// negative product, keeping exponent magnitudes small: a small negative y
+// must become (base^{-1})^{|y|} via the split, not a full-size y mod Q.
+// The scratch slab keeps normalization from allocating per element. Zero
+// (mod Q) exponents are dropped. bases and exps must have equal length.
+func (p *Params) splitSigned(bases, exps []*big.Int) (posB, posE, negB, negE []*big.Int) {
 	if len(bases) != len(exps) {
 		panic("group: MultiExp length mismatch")
 	}
-	// Partition into a positive and a negative product, keeping exponent
-	// magnitudes small: a small negative y must become (base^{-1})^{|y|}
-	// via the split, not a full-size y mod Q. scratch is a single slab so
-	// normalization does not allocate per element.
-	posB := make([]*big.Int, 0, len(bases))
-	posE := make([]*big.Int, 0, len(bases))
-	var negB, negE []*big.Int
+	posB = make([]*big.Int, 0, len(bases))
+	posE = make([]*big.Int, 0, len(bases))
 	scratch := make([]big.Int, len(exps))
 	for i, e := range exps {
 		if e.Sign() == 0 {
@@ -62,36 +110,24 @@ func (p *Params) MultiExp(bases, exps []*big.Int) *big.Int {
 			posE = append(posE, abs)
 		}
 	}
-	pos := p.strausProd(posB, posE)
-	if len(negB) == 0 {
-		return pos
-	}
-	return p.Div(pos, p.strausProd(negB, negE))
+	return posB, posE, negB, negE
 }
 
-// MultiExpInt64 is MultiExp for machine-integer exponents; it converts via
-// one backing slab instead of a big.NewInt per coordinate, which matters
-// because FEIP decryption calls it once per output matrix cell.
-func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
-	vals := make([]big.Int, len(exps))
-	ptrs := make([]*big.Int, len(exps))
-	for i, e := range exps {
-		ptrs[i] = vals[i].SetInt64(e)
-	}
-	return p.MultiExp(bases, ptrs)
-}
-
-// strausProd computes Π bases[i]^exps[i] for non-negative exponents < Q by
+// strausProdMont computes Π bases[i]^exps[i] for non-negative exponents
+// < Q into dst as a Montgomery-domain element (1 for an empty product), by
 // interleaved windowed exponentiation: one shared squaring ladder of
 // max-bits height, with per-base digit tables of 2^w−1 entries.
 //
 // The whole ladder runs in the Montgomery domain: the digit tables are one
 // flat limb slab built with MulMont, and every squaring and digit
 // multiplication reduces without a division. Only the initial per-base
-// ToMont and the final FromMont touch big.Int arithmetic.
-func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
+// ToMont touches big.Int arithmetic. scratch backs the digit tables; it is
+// grown when too small and returned for reuse.
+func (p *Params) strausProdMont(dst []uint64, bases, exps []*big.Int, scratch []uint64) []uint64 {
+	mc := p.Mont()
 	if len(bases) == 0 {
-		return big.NewInt(1)
+		mc.SetOne(dst)
+		return scratch
 	}
 	maxBits := 0
 	for _, e := range exps {
@@ -108,11 +144,13 @@ func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
 	case maxBits <= 32:
 		w = 3
 	}
-	mc := p.Mont()
 	k := mc.Limbs()
 	rows := (1 << w) - 1
 	// tab[(j·rows + d−1)·k : …+k] = bases[j]^d in Montgomery form.
-	tab := make([]uint64, len(bases)*rows*k)
+	if need := len(bases) * rows * k; len(scratch) < need {
+		scratch = make([]uint64, need)
+	}
+	tab := scratch
 	for j, b := range bases {
 		row := tab[j*rows*k:]
 		mc.ToMont(row[:k], b)
@@ -120,28 +158,27 @@ func (p *Params) strausProd(bases, exps []*big.Int) *big.Int {
 			mc.MulMont(row[(d-1)*k:d*k], row[(d-2)*k:(d-1)*k], row[:k])
 		}
 	}
-	acc := make([]uint64, k)
 	started := false
 	for i := (maxBits - 1) / w; i >= 0; i-- {
 		if started {
 			for s := 0; s < w; s++ {
-				mc.MulMont(acc, acc, acc)
+				mc.MulMont(dst, dst, dst)
 			}
 		}
 		for j, e := range exps {
 			if d := windowDigit(e, i, w); d != 0 {
 				entry := tab[(j*rows+int(d)-1)*k:]
 				if !started {
-					copy(acc, entry[:k])
+					copy(dst[:k], entry[:k])
 					started = true
 				} else {
-					mc.MulMont(acc, acc, entry[:k])
+					mc.MulMont(dst, dst, entry[:k])
 				}
 			}
 		}
 	}
 	if !started {
-		return big.NewInt(1) // every digit zero: exponents were all 0 mod Q
+		mc.SetOne(dst) // every digit zero: exponents were all 0 mod Q
 	}
-	return mc.FromMont(acc)
+	return scratch
 }

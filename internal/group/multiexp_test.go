@@ -127,3 +127,46 @@ func TestMultiExpInt64MatchesMultiExp(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiExpInt64MontPartsMatchesNaive pins the Montgomery-domain
+// sign-split halves: pos/neg must equal the naive product, with the split
+// exactly covering positive and negative exponents.
+func TestMultiExpInt64MontPartsMatchesNaive(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := params.Mont()
+			k := mc.Limbs()
+			rng := rand.New(rand.NewSource(int64(bits) + 42))
+			pos := make([]uint64, k)
+			neg := make([]uint64, k)
+			var scratch []uint64
+			for trial := 0; trial < 30; trial++ {
+				n := 1 + rng.Intn(12)
+				bases := randomBases(params, rng, n)
+				exps := make([]int64, n)
+				eBig := make([]*big.Int, n)
+				for i := range exps {
+					exps[i] = rng.Int63n(2001) - 1000
+					if trial%4 == 1 && i == 0 {
+						exps[i] = 0
+					}
+					eBig[i] = big.NewInt(exps[i])
+				}
+				scratch = params.MultiExpInt64MontParts(pos, neg, bases, exps, scratch)
+				got := params.Div(mc.FromMont(pos), mc.FromMont(neg))
+				if want := naiveProduct(params, bases, eBig); got.Cmp(want) != 0 {
+					t.Fatalf("trial %d: pos/neg = %v, want %v", trial, got, want)
+				}
+			}
+			// Empty and all-zero products are 1/1.
+			params.MultiExpInt64MontParts(pos, neg, nil, nil, nil)
+			if mc.FromMont(pos).Cmp(big.NewInt(1)) != 0 || mc.FromMont(neg).Cmp(big.NewInt(1)) != 0 {
+				t.Fatal("empty product != 1")
+			}
+		})
+	}
+}

@@ -116,3 +116,33 @@ func BenchmarkSecureElementwiseStage(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEncryptParallel measures the chunked parallel client-side
+// pre-processing (columns + dual rows + elements) across worker counts —
+// the encryption-side counterpart of BenchmarkBatchedDecrypt's "P" curves.
+func BenchmarkEncryptParallel(b *testing.B) {
+	const (
+		rows = 32
+		cols = 32
+	)
+	auth, _ := newFixture(b, int64(rows)*100+1)
+	rng := rand.New(rand.NewSource(17))
+	x := randMatrix(rng, rows, cols, -9, 9)
+	// Warm the key-service tables so every variant measures steady state.
+	if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{WithRows: true}); err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{
+					WithRows:    true,
+					Parallelism: par,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

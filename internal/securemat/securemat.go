@@ -168,8 +168,9 @@ func (e *EncryptedMatrix) HasElems() bool { return e != nil && e.Elems != nil }
 // HasRows reports whether the dual row-orientation ciphertexts are present.
 func (e *EncryptedMatrix) HasRows() bool { return e != nil && e.RowCts != nil }
 
-// EncryptOptions selects which ciphertext forms Encrypt produces. The zero
-// value reproduces Algorithm 1 exactly (columns + elements).
+// EncryptOptions selects which ciphertext forms Encrypt produces and how
+// much client-side parallelism to spend. The zero value reproduces
+// Algorithm 1 exactly (columns + elements, sequential).
 type EncryptOptions struct {
 	// SkipElems omits the per-element FEBO ciphertexts (saves one
 	// exponentiation pair per element when only dot-products are needed).
@@ -177,6 +178,12 @@ type EncryptOptions struct {
 	// WithRows additionally encrypts each row under FEIP (dual
 	// orientation for secure gradient computation).
 	WithRows bool
+	// Parallelism is the number of encryption workers, with the same
+	// semantics as ComputeOptions.Parallelism: values < 2 select the
+	// sequential path, negative values mean DefaultParallelism. The
+	// fixed-base tables the workers share are immutable after Precompute,
+	// so any worker count is safe.
+	Parallelism int
 }
 
 // Encrypt is the pre-process-encryption function of Algorithm 1 (lines
@@ -185,31 +192,48 @@ type EncryptOptions struct {
 //
 // The FEIP public key is requested at dimension Rows for columns (and
 // dimension Cols for the dual rows); the FEBO public key protects single
-// elements.
+// elements. Column, row and element encryptions are each independent, so
+// they drain on the chunked worker pipeline when opts.Parallelism asks for
+// workers — the client-side counterpart of the parallel decryption path.
 func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix, error) {
 	rows, cols, err := Shape(x)
 	if err != nil {
 		return nil, err
 	}
+	workers := opts.Parallelism
+	if workers < 0 {
+		workers = DefaultParallelism()
+	}
 	colMPK, err := ks.FEIPPublic(rows)
 	if err != nil {
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
-	// Build the per-h_i fixed-base tables once, outside the per-column
-	// loop; every column encryption below then runs on the fast path.
+	// Build the per-h_i fixed-base tables once, before the workers fan
+	// out; every column encryption below then runs on the shared
+	// read-only fast path.
 	colMPK.Precompute()
 	enc := &EncryptedMatrix{Rows: rows, Cols: cols}
 	enc.ColCts = make([]*feip.Ciphertext, cols)
-	colBuf := make([]int64, rows)
-	for j := 0; j < cols; j++ {
-		for i := 0; i < rows; i++ {
-			colBuf[i] = x[i][j]
-		}
-		ct, err := feip.Encrypt(colMPK, colBuf, nil)
-		if err != nil {
-			return nil, fmt.Errorf("securemat: encrypting column %d: %w", j, err)
-		}
-		enc.ColCts[j] = ct
+	// One column per chunk: a column encryption is η+1 exponentiations,
+	// plenty to amortize the chunk hand-off. The scratch is the per-worker
+	// column gather buffer.
+	err = forEachChunk(cols, 1, workers,
+		func() []int64 { return make([]int64, rows) },
+		func(start, end int, colBuf []int64) error {
+			for j := start; j < end; j++ {
+				for i := 0; i < rows; i++ {
+					colBuf[i] = x[i][j]
+				}
+				ct, err := feip.Encrypt(colMPK, colBuf, nil)
+				if err != nil {
+					return fmt.Errorf("securemat: encrypting column %d: %w", j, err)
+				}
+				enc.ColCts[j] = ct
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if opts.WithRows {
 		rowMPK, err := ks.FEIPPublic(cols)
@@ -218,12 +242,20 @@ func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix,
 		}
 		rowMPK.Precompute()
 		enc.RowCts = make([]*feip.Ciphertext, rows)
-		for i := 0; i < rows; i++ {
-			ct, err := feip.Encrypt(rowMPK, x[i], nil)
-			if err != nil {
-				return nil, fmt.Errorf("securemat: encrypting row %d: %w", i, err)
-			}
-			enc.RowCts[i] = ct
+		err = forEachChunk(rows, 1, workers,
+			func() struct{} { return struct{}{} },
+			func(start, end int, _ struct{}) error {
+				for i := start; i < end; i++ {
+					ct, err := feip.Encrypt(rowMPK, x[i], nil)
+					if err != nil {
+						return fmt.Errorf("securemat: encrypting row %d: %w", i, err)
+					}
+					enc.RowCts[i] = ct
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if !opts.SkipElems {
@@ -233,15 +265,27 @@ func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix,
 		}
 		boPK.Precompute()
 		enc.Elems = make([][]*febo.Ciphertext, rows)
-		for i := 0; i < rows; i++ {
-			enc.Elems[i] = make([]*febo.Ciphertext, cols)
-			for j := 0; j < cols; j++ {
-				ct, err := febo.Encrypt(boPK, x[i][j], nil)
-				if err != nil {
-					return nil, fmt.Errorf("securemat: encrypting element (%d,%d): %w", i, j, err)
+		buf := make([]*febo.Ciphertext, rows*cols)
+		for i := range enc.Elems {
+			enc.Elems[i] = buf[i*cols : (i+1)*cols : (i+1)*cols]
+		}
+		// Element encryptions are two exponentiations each — chunk a few
+		// together so the pipeline overhead stays negligible.
+		err = forEachChunk(rows*cols, 16, workers,
+			func() struct{} { return struct{}{} },
+			func(start, end int, _ struct{}) error {
+				for idx := start; idx < end; idx++ {
+					i, j := idx/cols, idx%cols
+					ct, err := febo.Encrypt(boPK, x[i][j], nil)
+					if err != nil {
+						return fmt.Errorf("securemat: encrypting element (%d,%d): %w", i, j, err)
+					}
+					enc.Elems[i][j] = ct
 				}
-				enc.Elems[i][j] = ct
-			}
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return enc, nil
@@ -348,11 +392,7 @@ func SecureDot(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, w 
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
 	z := newMatrix(wRows, enc.Cols)
-	err = decryptBatched(mpk.Params, solver, wRows, enc.Cols, opts.Parallelism,
-		func(i, j int) (num, den *big.Int, err error) {
-			return feip.DecryptParts(mpk, enc.ColCts[j], keys[i], w[i])
-		}, z)
-	if err != nil {
+	if err := decryptDotBatched(mpk.Params, solver, enc.ColCts, keys, w, opts.Parallelism, z); err != nil {
 		return nil, err
 	}
 	return z, nil
@@ -381,11 +421,7 @@ func SecureDotRows(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey
 		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
 	}
 	g := newMatrix(dRows, enc.Rows)
-	err = decryptBatched(mpk.Params, solver, dRows, enc.Rows, opts.Parallelism,
-		func(i, k int) (num, den *big.Int, err error) {
-			return feip.DecryptParts(mpk, enc.RowCts[k], keys[i], d[i])
-		}, g)
-	if err != nil {
+	if err := decryptDotBatched(mpk.Params, solver, enc.RowCts, keys, d, opts.Parallelism, g); err != nil {
 		return nil, err
 	}
 	return g, nil
