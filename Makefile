@@ -7,10 +7,11 @@
 GO        ?= go
 COUNT     ?= 5
 BENCHTIME ?= 1s
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check fmt-check build vet test race bench bench-json
+.PHONY: check fmt-check build vet staticcheck test race bench bench-json
 
-check: fmt-check build vet test
+check: fmt-check build vet staticcheck test
 
 # Formatting gate: CI fails the build when gofmt would rewrite anything.
 fmt-check:
@@ -22,6 +23,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. The tool is pinned in CI; locally the target
+# skips with a hint when the binary is absent, so `make check` works on a
+# fresh machine without network access.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -43,16 +54,16 @@ bench:
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/feip/
 	$(GO) test -run '^$$' -bench 'BenchmarkLookup' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/dlog/
-	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt|BenchmarkEncryptParallel' \
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt|BenchmarkEncryptParallel|BenchmarkSecureElementwise$$|BenchmarkEngineDotKeyCache' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
 
 # Machine-readable perf snapshot: one short pass over the full bench suite,
-# folded into BENCH_pr3.json (qualified benchmark name → ns/op, B/op,
+# folded into BENCH_pr4.json (qualified benchmark name → ns/op, B/op,
 # allocs/op) by cmd/benchjson. Commit the refreshed snapshot when a PR
 # changes the perf story; diff two snapshots (or two CI artifacts) to see
 # the trajectory without parsing benchmark text.
-BENCH_JSON      ?= BENCH_pr3.json
+BENCH_JSON      ?= BENCH_pr4.json
 JSON_COUNT      ?= 1
 JSON_BENCHTIME  ?= 10x
 bench-json:

@@ -55,6 +55,18 @@ func benchSolver(b *testing.B, bound int64) *dlog.Solver {
 	return solver
 }
 
+// benchEngine builds a secure compute session over a fresh authority. The
+// dot-key cache is disabled so the key-derivation panels keep measuring
+// derivation (the cache's hit path has its own benchmark in securemat).
+func benchEngine(b *testing.B, solver *dlog.Solver) *securemat.Engine {
+	b.Helper()
+	eng, err := securemat.NewEngine(benchAuthority(b), securemat.EngineOptions{Solver: solver, DotKeyCache: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
 func randMat(rng *rand.Rand, rows, cols int, lo, hi int64) [][]int64 {
 	m := make([][]int64, rows)
 	for i := range m {
@@ -74,42 +86,41 @@ func elementwisePanels(b *testing.B, f securemat.Function) {
 	const size = 200 // elements per op (the paper's x-axis, scaled)
 	ranges := []experiments.ValueRange{{Lo: -10, Hi: 10}, {Lo: -100, Hi: 100}, {Lo: -1000, Hi: 1000}}
 	for _, r := range ranges {
-		auth := benchAuthority(b)
 		bound := 2 * r.Hi
 		if f == securemat.ElementwiseMul {
 			bound = r.Hi*r.Hi + 1
 		}
-		solver := benchSolver(b, bound)
+		eng := benchEngine(b, benchSolver(b, bound))
 		rng := rand.New(rand.NewSource(7))
 		x := randMat(rng, 1, size, r.Lo, r.Hi)
 		y := randMat(rng, 1, size, r.Lo, r.Hi)
 
-		enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+		enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		keys, err := securemat.ElementwiseKeys(auth, enc, f, y)
+		keys, err := eng.ElementwiseKeys(enc, f, y)
 		if err != nil {
 			b.Fatal(err)
 		}
 
 		b.Run(fmt.Sprintf("a_encrypt/range=%s", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{}); err != nil {
+				if _, err := eng.Encrypt(x, securemat.EncryptOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("b_keyderive/range=%s", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.ElementwiseKeys(auth, enc, f, y); err != nil {
+				if _, err := eng.ElementwiseKeys(enc, f, y); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("c_compute_seq/range=%s", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.SecureElementwise(auth, enc, keys, f, y, solver,
+				if _, err := eng.SecureElementwise(enc, keys, f, y,
 					securemat.ComputeOptions{Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
@@ -117,7 +128,7 @@ func elementwisePanels(b *testing.B, f securemat.Function) {
 		})
 		b.Run(fmt.Sprintf("d_compute_par/range=%s", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.SecureElementwise(auth, enc, keys, f, y, solver,
+				if _, err := eng.SecureElementwise(enc, keys, f, y,
 					securemat.ComputeOptions{Parallelism: -1}); err != nil {
 					b.Fatal(err)
 				}
@@ -150,17 +161,16 @@ func BenchmarkFig5(b *testing.B) {
 		{100, experiments.ValueRange{Lo: 1, Hi: 100}},
 	}
 	for _, c := range cases {
-		auth := benchAuthority(b)
-		solver := benchSolver(b, int64(c.l)*c.r.Hi*c.r.Hi+1)
+		eng := benchEngine(b, benchSolver(b, int64(c.l)*c.r.Hi*c.r.Hi+1))
 		rng := rand.New(rand.NewSource(11))
 		x := randMat(rng, c.l, count, c.r.Lo, c.r.Hi)
 		w := randMat(rng, 1, c.l, c.r.Lo, c.r.Hi)
 
-		enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+		enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 		if err != nil {
 			b.Fatal(err)
 		}
-		keys, err := securemat.DotKeys(auth, w)
+		keys, err := eng.DotKeys(w)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,21 +178,21 @@ func BenchmarkFig5(b *testing.B) {
 
 		b.Run("a_encrypt/"+suffix, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true}); err != nil {
+				if _, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("b_keyderive/"+suffix, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.DotKeys(auth, w); err != nil {
+				if _, err := eng.DotKeys(w); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("c_compute_seq/"+suffix, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+				if _, err := eng.SecureDot(enc, keys, w,
 					securemat.ComputeOptions{Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
@@ -190,7 +200,7 @@ func BenchmarkFig5(b *testing.B) {
 		})
 		b.Run("d_compute_par/"+suffix, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+				if _, err := eng.SecureDot(enc, keys, w,
 					securemat.ComputeOptions{Parallelism: -1}); err != nil {
 					b.Fatal(err)
 				}
@@ -218,7 +228,6 @@ func newTrainFixture(b *testing.B) *trainFixture {
 		hidden   = 8
 		batch    = 10
 	)
-	auth := benchAuthority(b)
 	codec := fixedpoint.Default()
 	mk := func(seed int64) *nn.Model {
 		m, err := nn.NewMLP(features, mnist.Classes, []int{hidden}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(seed)))
@@ -227,18 +236,16 @@ func newTrainFixture(b *testing.B) *trainFixture {
 		}
 		return m
 	}
-	bound := core.SolverBound(codec, features, 1, 4, 1)
-	if g := core.SolverBound(codec, batch, 1, 4, 100); g > bound {
-		bound = g
-	}
-	solver := benchSolver(b, bound)
-	trainer, err := core.NewTrainer(mk(3), auth, solver, core.Config{
+	bound := max(core.SolverBound(codec, features, 1, 4, 1),
+		core.SolverBound(codec, batch, 1, 4, 100))
+	eng := benchEngine(b, benchSolver(b, bound))
+	trainer, err := core.NewTrainer(mk(3), eng, core.Config{
 		Codec: codec, Parallelism: 1, MaxWeight: 4, GradScale: 100,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	client, err := core.NewClient(auth, codec, nil)
+	client, err := core.NewClient(eng, codec, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -291,8 +298,7 @@ func BenchmarkFig6PlainStep(b *testing.B) {
 // (encryption) per batch — the cost the paper's training-time comparison
 // folds into the client.
 func BenchmarkFig6ClientEncrypt(b *testing.B) {
-	auth := benchAuthority(b)
-	client, err := core.NewClient(auth, fixedpoint.Default(), nil)
+	client, err := core.NewClient(benchEngine(b, nil), fixedpoint.Default(), nil)
 	if err != nil {
 		b.Fatal(err)
 	}

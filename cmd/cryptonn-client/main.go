@@ -22,6 +22,7 @@ import (
 
 	"cryptonn/internal/core"
 	"cryptonn/internal/mnist"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/wire"
 )
 
@@ -63,7 +64,11 @@ func run(args []string) error {
 		}
 		logger.Printf("label mapping enabled")
 	}
-	client, err := core.NewClient(keys, nil, lm)
+	eng, err := securemat.NewEngine(keys, securemat.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(eng, nil, lm)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"cryptonn/internal/core"
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/mnist"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 	"cryptonn/internal/wire"
 )
@@ -61,7 +62,11 @@ func run(args []string) error {
 			return err
 		}
 	}
-	client, err := core.NewClient(keys, fixedpoint.Default(), labels)
+	eng, err := securemat.NewEngine(keys, securemat.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(eng, fixedpoint.Default(), labels)
 	if err != nil {
 		return err
 	}

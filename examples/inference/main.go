@@ -38,6 +38,7 @@ import (
 	"cryptonn/internal/group"
 	"cryptonn/internal/mnist"
 	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 )
 
@@ -75,13 +76,17 @@ func run() error {
 		features, hidden)
 
 	// --- Setting 1: FE-based prediction, server learns the class. ---
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		return err
+	}
+	trainer, err := core.NewTrainer(model, eng, core.Config{
 		Codec: codec, Parallelism: 1, MaxWeight: 4,
 	})
 	if err != nil {
 		return err
 	}
-	client, err := core.NewClient(auth, codec, nil)
+	client, err := core.NewClient(eng, codec, nil)
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ import (
 	"cryptonn/internal/core"
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/service"
 	"cryptonn/internal/tensor"
 	"cryptonn/internal/wire"
@@ -145,7 +146,11 @@ func run() error {
 		return err
 	}
 	defer clientKeys.Close()
-	client, err := core.NewClient(clientKeys, fixedpoint.Default(), labels)
+	clientEng, err := securemat.NewEngine(clientKeys, securemat.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(clientEng, fixedpoint.Default(), labels)
 	if err != nil {
 		return err
 	}
@@ -190,7 +195,11 @@ func submitClinic(id int, authAddr, trainAddr string, labels *core.LabelMap, log
 		return err
 	}
 	defer keys.Close()
-	client, err := core.NewClient(keys, fixedpoint.Default(), labels)
+	eng, err := securemat.NewEngine(keys, securemat.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(eng, fixedpoint.Default(), labels)
 	if err != nil {
 		return err
 	}

@@ -105,6 +105,13 @@ func run() error {
 	fmt.Println()
 
 	fmt.Println("== 3. Secure matrix computation (Algorithm 1) ==")
+	// A secure compute session: the Engine owns the key-service handle,
+	// the solver, cached public keys and a dot-product function-key cache,
+	// so neither side re-threads them through every call.
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		return err
+	}
 	// The client's private matrix X (features × samples)...
 	X := [][]int64{
 		{1, 2, 3},
@@ -115,15 +122,11 @@ func run() error {
 		{1, 1},
 		{2, -1},
 	}
-	encX, err := securemat.Encrypt(auth, X, securemat.EncryptOptions{})
+	encX, err := eng.Encrypt(X, securemat.EncryptOptions{})
 	if err != nil {
 		return err
 	}
-	keys, err := securemat.DotKeys(auth, W)
-	if err != nil {
-		return err
-	}
-	Z, err := securemat.SecureDot(auth, encX, keys, W, solver, securemat.ComputeOptions{})
+	Z, err := eng.Dot(encX, W, securemat.ComputeOptions{})
 	if err != nil {
 		return err
 	}
@@ -137,11 +140,7 @@ func run() error {
 		{0, 1, 0},
 		{1, 0, 1},
 	}
-	ewKeys, err := securemat.ElementwiseKeys(auth, encX, securemat.ElementwiseSub, P)
-	if err != nil {
-		return err
-	}
-	D, err := securemat.SecureElementwise(auth, encX, ewKeys, securemat.ElementwiseSub, P, solver, securemat.ComputeOptions{})
+	D, err := eng.Elementwise(encX, securemat.ElementwiseSub, P, securemat.ComputeOptions{})
 	if err != nil {
 		return err
 	}

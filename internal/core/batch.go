@@ -11,24 +11,25 @@ import (
 )
 
 // Client is the data-owner side of Fig. 1: it holds the fixed-point codec,
-// the label map and a key service handle (public keys only) and produces
-// encrypted batches for the server.
+// the label map and a secure compute session (public keys only — clients
+// never decrypt, so the engine needs no solver) and produces encrypted
+// batches for the server.
 type Client struct {
-	Keys   securemat.KeyService
+	Engine *securemat.Engine
 	Codec  *fixedpoint.Codec
 	Labels *LabelMap
 }
 
 // NewClient assembles a client; a nil codec selects the paper's
 // two-decimal default and a nil label map selects identity masking.
-func NewClient(keys securemat.KeyService, codec *fixedpoint.Codec, labels *LabelMap) (*Client, error) {
-	if keys == nil {
-		return nil, errors.New("core: nil key service")
+func NewClient(engine *securemat.Engine, codec *fixedpoint.Codec, labels *LabelMap) (*Client, error) {
+	if engine == nil {
+		return nil, errors.New("core: nil engine")
 	}
 	if codec == nil {
 		codec = fixedpoint.Default()
 	}
-	return &Client{Keys: keys, Codec: codec, Labels: labels}, nil
+	return &Client{Engine: engine, Codec: codec, Labels: labels}, nil
 }
 
 // EncryptedBatch is one training batch as the server receives it: inputs
@@ -60,7 +61,7 @@ func (c *Client) EncryptBatch(x, y *tensor.Dense) (*EncryptedBatch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding inputs: %w", err)
 	}
-	encX, err := securemat.Encrypt(c.Keys, xi, securemat.EncryptOptions{SkipElems: true, WithRows: true})
+	encX, err := c.Engine.Encrypt(xi, securemat.EncryptOptions{SkipElems: true, WithRows: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: encrypting inputs: %w", err)
 	}
@@ -72,7 +73,7 @@ func (c *Client) EncryptBatch(x, y *tensor.Dense) (*EncryptedBatch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding labels: %w", err)
 	}
-	encY, err := securemat.Encrypt(c.Keys, yi, securemat.EncryptOptions{})
+	encY, err := c.Engine.Encrypt(yi, securemat.EncryptOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("core: encrypting labels: %w", err)
 	}
@@ -150,14 +151,16 @@ func (c *Client) EncryptConvBatch(x, y *tensor.Dense, inC, inH, inW, k, stride, 
 	}
 	numWindows := outH * outW
 	windowLen := inC * k * k
-	winMPK, err := c.Keys.FEIPPublic(windowLen)
+	winMPK, err := c.Engine.FEIPPublic(windowLen)
 	if err != nil {
-		return nil, fmt.Errorf("core: fetching FEIP key: %w", err)
+		return nil, err
 	}
-	posMPK, err := c.Keys.FEIPPublic(numWindows)
+	posMPK, err := c.Engine.FEIPPublic(numWindows)
 	if err != nil {
-		return nil, fmt.Errorf("core: fetching FEIP key: %w", err)
+		return nil, err
 	}
+	winMPK.Precompute()
+	posMPK.Precompute()
 
 	batch := &EncryptedConvBatch{
 		Windows:   make([][]*feip.Ciphertext, x.Cols),
@@ -211,7 +214,7 @@ func (c *Client) EncryptConvBatch(x, y *tensor.Dense, inC, inH, inW, k, stride, 
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding labels: %w", err)
 	}
-	batch.Y, err = securemat.Encrypt(c.Keys, yi, securemat.EncryptOptions{})
+	batch.Y, err = c.Engine.Encrypt(yi, securemat.EncryptOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("core: encrypting labels: %w", err)
 	}

@@ -36,11 +36,11 @@ func (t *Trainer) secureConvForward(layer0 *nn.ConvLayer, enc *EncryptedConvBatc
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding filters: %w", err)
 	}
-	keys, err := securemat.DotKeys(t.Keys, wInt)
+	keys, err := t.Engine.DotKeys(wInt)
 	if err != nil {
 		return nil, fmt.Errorf("core: secure convolution keys: %w", err)
 	}
-	mpk, err := t.Keys.FEIPPublic(enc.WindowLen())
+	mpk, err := t.Engine.FEIPPublic(enc.WindowLen())
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +53,7 @@ func (t *Trainer) secureConvForward(layer0 *nn.ConvLayer, enc *EncryptedConvBatc
 		rem := idx % (layer0.Filters * numWindows)
 		f := rem / numWindows
 		w := rem % numWindows
-		ip, err := feip.Decrypt(mpk, enc.Windows[s][w], keys[f], wInt[f], t.Solver)
+		ip, err := feip.Decrypt(mpk, enc.Windows[s][w], keys[f], wInt[f], t.Engine.Solver())
 		if err != nil {
 			return fmt.Errorf("core: secure conv cell (s=%d,f=%d,w=%d): %w", s, f, w, err)
 		}
@@ -74,7 +74,7 @@ func (t *Trainer) secureConvForward(layer0 *nn.ConvLayer, enc *EncryptedConvBatc
 func (t *Trainer) secureConvGradAccum(layer0 *nn.ConvLayer, enc *EncryptedConvBatch, dZ *tensor.Dense) error {
 	numWindows := enc.NumWindows()
 	windowLen := enc.WindowLen()
-	mpk, err := t.Keys.FEIPPublic(numWindows)
+	mpk, err := t.Engine.FEIPPublic(numWindows)
 	if err != nil {
 		return err
 	}
@@ -95,7 +95,7 @@ func (t *Trainer) secureConvGradAccum(layer0 *nn.ConvLayer, enc *EncryptedConvBa
 			if err != nil {
 				return fmt.Errorf("core: encoding dZ (s=%d,f=%d): %w", s, f, err)
 			}
-			fk, err := t.Keys.IPKey(vec)
+			fk, err := t.Engine.Keys().IPKey(vec)
 			if err != nil {
 				return fmt.Errorf("core: conv gradient key (s=%d,f=%d): %w", s, f, err)
 			}
@@ -112,7 +112,7 @@ func (t *Trainer) secureConvGradAccum(layer0 *nn.ConvLayer, enc *EncryptedConvBa
 		rem := idx % (layer0.Filters * windowLen)
 		f := rem / windowLen
 		a := rem % windowLen
-		ip, err := feip.Decrypt(mpk, enc.Positions[s][a], skeys[s][f].fk, skeys[s][f].vec, t.Solver)
+		ip, err := feip.Decrypt(mpk, enc.Positions[s][a], skeys[s][f].fk, skeys[s][f].vec, t.Engine.Solver())
 		if err != nil {
 			return fmt.Errorf("core: secure conv grad (s=%d,f=%d,a=%d): %w", s, f, a, err)
 		}

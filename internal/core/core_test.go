@@ -12,10 +12,13 @@ import (
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
 	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 )
 
-func newFixture(t testing.TB, bound int64) (*authority.Authority, *dlog.Solver) {
+// newFixture builds a secure compute session over an in-process authority
+// with a solver at the given bound.
+func newFixture(t testing.TB, bound int64) *securemat.Engine {
 	t.Helper()
 	auth, err := authority.New(group.TestParams(), authority.AllowAll())
 	if err != nil {
@@ -25,7 +28,11 @@ func newFixture(t testing.TB, bound int64) (*authority.Authority, *dlog.Solver) 
 	if err != nil {
 		t.Fatalf("dlog.NewSolver: %v", err)
 	}
-	return auth, solver
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		t.Fatalf("securemat.NewEngine: %v", err)
+	}
+	return eng
 }
 
 // blobData builds a linearly separable-ish 3-class toy problem.
@@ -129,8 +136,8 @@ func TestLabelMap(t *testing.T) {
 }
 
 func TestEncryptBatchShapes(t *testing.T) {
-	auth, _ := newFixture(t, 1000)
-	client, err := core.NewClient(auth, nil, nil)
+	eng := newFixture(t, 1000)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,22 +167,22 @@ func TestEncryptBatchShapes(t *testing.T) {
 
 func TestNewClientValidation(t *testing.T) {
 	if _, err := core.NewClient(nil, nil, nil); err == nil {
-		t.Error("nil key service should fail")
+		t.Error("nil engine should fail")
 	}
 }
 
 func TestSecurePredictMatchesPlaintextForward(t *testing.T) {
-	auth, solver := newFixture(t, 50_000_000)
+	eng := newFixture(t, 50_000_000)
 	rng := rand.New(rand.NewSource(2))
 	model, err := nn.NewMLP(4, 3, []int{5}, nn.SoftmaxCrossEntropy{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(model, eng, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, nil, nil)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +218,7 @@ func TestCryptoNNTrainingParityWithPlaintext(t *testing.T) {
 	// The paper's core claim (Fig. 6 / Table III): a model trained through
 	// the secure steps reaches accuracy similar to the same model trained
 	// on plaintext. Train twin models from identical initialisation.
-	auth, solver := newFixture(t, 100_000_000)
+	eng := newFixture(t, 100_000_000)
 	const seed = 42
 	secureModel, err := nn.NewMLP(4, 3, []int{6}, nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(seed)))
 	if err != nil {
@@ -222,11 +229,11 @@ func TestCryptoNNTrainingParityWithPlaintext(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trainer, err := core.NewTrainer(secureModel, auth, solver, core.Config{ComputeLoss: true})
+	trainer, err := core.NewTrainer(secureModel, eng, core.Config{ComputeLoss: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, nil, nil)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +291,7 @@ func TestCryptoNNTrainingParityWithPlaintext(t *testing.T) {
 }
 
 func TestTrainingWithLabelMapLearnsPermutedClasses(t *testing.T) {
-	auth, solver := newFixture(t, 100_000_000)
+	eng := newFixture(t, 100_000_000)
 	lm, err := core.NewLabelMap(3, []byte("clinic-shared-key"))
 	if err != nil {
 		t.Fatal(err)
@@ -293,11 +300,11 @@ func TestTrainingWithLabelMapLearnsPermutedClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(model, eng, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, nil, lm)
+	client, err := core.NewClient(eng, nil, lm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,16 +343,16 @@ func TestTrainingWithLabelMapLearnsPermutedClasses(t *testing.T) {
 
 func TestMSEHeadBinaryClassifier(t *testing.T) {
 	// The §III-D walkthrough: sigmoid output, half squared error.
-	auth, solver := newFixture(t, 100_000_000)
+	eng := newFixture(t, 100_000_000)
 	model, err := nn.NewBinaryClassifier(2, 4, rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(model, eng, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, nil, nil)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +384,7 @@ func TestMSEHeadBinaryClassifier(t *testing.T) {
 }
 
 func TestCryptoCNNTrainsTinyConvNet(t *testing.T) {
-	auth, solver := newFixture(t, 100_000_000)
+	eng := newFixture(t, 100_000_000)
 	rng := rand.New(rand.NewSource(6))
 	conv, err := nn.NewConv(1, 6, 6, 2, 3, 1, 1, rng)
 	if err != nil {
@@ -408,11 +415,11 @@ func TestCryptoCNNTrainsTinyConvNet(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(model, eng, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, nil, nil)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,13 +458,13 @@ func TestCryptoCNNTrainsTinyConvNet(t *testing.T) {
 }
 
 func TestTrainerRejectsWrongLayerKinds(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	eng := newFixture(t, 1000)
 	rng := rand.New(rand.NewSource(1))
 	mlp, err := nn.NewMLP(4, 3, nil, nn.SoftmaxCrossEntropy{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trainer, err := core.NewTrainer(mlp, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(mlp, eng, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +475,7 @@ func TestTrainerRejectsWrongLayerKinds(t *testing.T) {
 		t.Error("conv predict on dense model should fail")
 	}
 	// Feature mismatch.
-	client, err := core.NewClient(auth, nil, nil)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,20 +496,20 @@ func TestTrainerRejectsWrongLayerKinds(t *testing.T) {
 }
 
 func TestNewTrainerValidation(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	eng := newFixture(t, 1000)
 	rng := rand.New(rand.NewSource(1))
 	m, err := nn.NewMLP(2, 2, nil, nn.SoftmaxCrossEntropy{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.NewTrainer(nil, auth, solver, core.Config{}); err == nil {
+	if _, err := core.NewTrainer(nil, eng, core.Config{}); err == nil {
 		t.Error("nil model should fail")
 	}
-	if _, err := core.NewTrainer(m, nil, solver, core.Config{}); err == nil {
-		t.Error("nil keys should fail")
+	if _, err := core.NewTrainer(m, nil, core.Config{}); err == nil {
+		t.Error("nil engine should fail")
 	}
-	if _, err := core.NewTrainer(m, auth, nil, core.Config{}); err == nil {
-		t.Error("nil solver should fail")
+	if _, err := core.NewTrainer(m, eng.WithSolver(nil), core.Config{}); err == nil {
+		t.Error("engine without solver should fail")
 	}
 }
 
@@ -520,8 +527,8 @@ func TestSolverBound(t *testing.T) {
 }
 
 func TestEncryptConvBatchGeometryValidation(t *testing.T) {
-	auth, _ := newFixture(t, 1000)
-	client, err := core.NewClient(auth, nil, nil)
+	eng := newFixture(t, 1000)
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,13 +22,13 @@
 // One gap in the paper is filled explicitly here (see DESIGN.md §4): the
 // first layer's weight gradient dW = dZ·Xᵀ also involves the encrypted X.
 // We realize it with the same FEIP machinery over a second, row-oriented
-// encryption of X (securemat.SecureDotRows), so training truly never
-// touches plaintext inputs.
+// encryption of X (securemat.Engine.SecureDotRows), so training truly
+// never touches plaintext inputs.
 //
 // Division of roles follows Fig. 1: clients produce EncryptedBatch values
 // (EncryptBatch / EncryptConvBatch) and hold the LabelMap; the server runs
-// the Trainer, which talks to the authority only through
-// securemat.KeyService.
+// the Trainer. Both sides talk to the authority only through a
+// securemat.Engine session wrapping a securemat.KeyService.
 //
 // # Performance: the exponentiation engine
 //

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"cryptonn/internal/dlog"
 	"cryptonn/internal/feip"
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/nn"
@@ -56,11 +55,13 @@ func (c *Config) fillDefaults() {
 
 // Trainer runs CryptoNN training (Algorithm 2) on the server: it owns the
 // plaintext model parameters, consumes encrypted batches, and touches
-// inputs and labels only through the secure computation scheme.
+// inputs and labels only through the secure compute engine.
 type Trainer struct {
-	Model  *nn.Model
-	Keys   securemat.KeyService
-	Solver *dlog.Solver
+	Model *nn.Model
+	// Engine is the secure compute session: it carries the key-service
+	// connection, the resolved public keys, the dot-key cache and the
+	// discrete-log solver every secure step uses.
+	Engine *securemat.Engine
 	cfg    Config
 }
 
@@ -76,14 +77,18 @@ type Result struct {
 	Output *tensor.Dense
 }
 
-// NewTrainer assembles a trainer. The solver bound must dominate every
+// NewTrainer assembles a trainer around a secure compute session. The
+// engine must carry a discrete-log solver whose bound dominates every
 // secure result; SolverBound helps pick one.
-func NewTrainer(model *nn.Model, keys securemat.KeyService, solver *dlog.Solver, cfg Config) (*Trainer, error) {
-	if model == nil || keys == nil || solver == nil {
-		return nil, errors.New("core: nil model, key service or solver")
+func NewTrainer(model *nn.Model, engine *securemat.Engine, cfg Config) (*Trainer, error) {
+	if model == nil || engine == nil {
+		return nil, errors.New("core: nil model or engine")
+	}
+	if engine.Solver() == nil {
+		return nil, errors.New("core: engine has no dlog solver")
 	}
 	cfg.fillDefaults()
-	return &Trainer{Model: model, Keys: keys, Solver: solver, cfg: cfg}, nil
+	return &Trainer{Model: model, Engine: engine, cfg: cfg}, nil
 }
 
 // SolverBound returns a discrete-log bound sufficient for CryptoNN
@@ -133,12 +138,7 @@ func (t *Trainer) secureFeedForward(layer0 *nn.DenseLayer, enc *EncryptedBatch) 
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding W: %w", err)
 	}
-	keys, err := securemat.DotKeys(t.Keys, wInt)
-	if err != nil {
-		return nil, fmt.Errorf("core: secure feed-forward keys: %w", err)
-	}
-	zInt, err := securemat.SecureDot(t.Keys, enc.X, keys, wInt, t.Solver,
-		securemat.ComputeOptions{Parallelism: t.cfg.Parallelism})
+	zInt, err := t.Engine.Dot(enc.X, wInt, securemat.ComputeOptions{Parallelism: t.cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("core: secure feed-forward: %w", err)
 	}
@@ -157,11 +157,7 @@ func (t *Trainer) secureOutputDiff(enc *EncryptedBatch, p *tensor.Dense) (*tenso
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding P: %w", err)
 	}
-	keys, err := securemat.ElementwiseKeys(t.Keys, enc.Y, securemat.ElementwiseSub, pInt)
-	if err != nil {
-		return nil, fmt.Errorf("core: secure evaluation keys: %w", err)
-	}
-	diffInt, err := securemat.SecureElementwise(t.Keys, enc.Y, keys, securemat.ElementwiseSub, pInt, t.Solver,
+	diffInt, err := t.Engine.Elementwise(enc.Y, securemat.ElementwiseSub, pInt,
 		securemat.ComputeOptions{Parallelism: t.cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("core: secure evaluation: %w", err)
@@ -173,7 +169,7 @@ func (t *Trainer) secureOutputDiff(enc *EncryptedBatch, p *tensor.Dense) (*tenso
 // secureCrossEntropy computes L = −(1/m)Σ_j ⟨y_j, log p_j⟩ via FEIP over
 // the encrypted label columns (§III-E2).
 func (t *Trainer) secureCrossEntropy(enc *EncryptedBatch, p *tensor.Dense) (float64, error) {
-	mpk, err := t.Keys.FEIPPublic(enc.Classes)
+	mpk, err := t.Engine.FEIPPublic(enc.Classes)
 	if err != nil {
 		return 0, err
 	}
@@ -187,11 +183,11 @@ func (t *Trainer) secureCrossEntropy(enc *EncryptedBatch, p *tensor.Dense) (floa
 		if err != nil {
 			return 0, fmt.Errorf("core: encoding log p: %w", err)
 		}
-		fk, err := t.Keys.IPKey(vec)
+		fk, err := t.Engine.Keys().IPKey(vec)
 		if err != nil {
 			return 0, fmt.Errorf("core: loss key for sample %d: %w", j, err)
 		}
-		ip, err := feip.Decrypt(mpk, enc.Y.ColCts[j], fk, vec, t.Solver)
+		ip, err := feip.Decrypt(mpk, enc.Y.ColCts[j], fk, vec, t.Engine.Solver())
 		if err != nil {
 			return 0, fmt.Errorf("core: secure loss sample %d: %w", j, err)
 		}
@@ -209,12 +205,13 @@ func (t *Trainer) secureFirstLayerGrad(layer0 *nn.DenseLayer, enc *EncryptedBatc
 	if err != nil {
 		return fmt.Errorf("core: encoding dZ: %w", err)
 	}
-	keys, err := securemat.DotKeys(t.Keys, dzInt)
+	// dZ is unique per batch by construction — derive its keys outside the
+	// session cache so gradient traffic cannot evict a serving model's W.
+	keys, err := t.Engine.DotKeysUncached(dzInt)
 	if err != nil {
 		return fmt.Errorf("core: secure gradient keys: %w", err)
 	}
-	gInt, err := securemat.SecureDotRows(t.Keys, enc.X, keys, dzInt, t.Solver,
-		securemat.ComputeOptions{Parallelism: t.cfg.Parallelism})
+	gInt, err := t.Engine.SecureDotRows(enc.X, keys, dzInt, securemat.ComputeOptions{Parallelism: t.cfg.Parallelism})
 	if err != nil {
 		return fmt.Errorf("core: secure gradient: %w", err)
 	}

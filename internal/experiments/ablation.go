@@ -108,6 +108,10 @@ func AblationDotComposition(cfg DotCompositionConfig) (*DotCompositionResult, er
 		}
 	}
 
+	base, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
 	ipSolver, err := dlog.NewSolver(params, int64(cfg.Inner)*cfg.MaxVal*cfg.MaxVal+1)
 	if err != nil {
 		return nil, err
@@ -116,8 +120,9 @@ func AblationDotComposition(cfg DotCompositionConfig) (*DotCompositionResult, er
 	if err != nil {
 		return nil, err
 	}
+	ipEng, mulEng := base.WithSolver(ipSolver), base.WithSolver(mulSolver)
 
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := base.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -128,11 +133,11 @@ func AblationDotComposition(cfg DotCompositionConfig) (*DotCompositionResult, er
 
 	// Path 1: native FEIP dot-product (Algorithm 1's dedicated branch).
 	start := time.Now()
-	ipKeys, err := securemat.DotKeys(auth, w)
+	ipKeys, err := ipEng.DotKeys(w)
 	if err != nil {
 		return nil, err
 	}
-	z, err := securemat.SecureDot(auth, enc, ipKeys, w, ipSolver, securemat.ComputeOptions{Parallelism: 1})
+	z, err := ipEng.SecureDot(enc, ipKeys, w, securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -160,11 +165,11 @@ func AblationDotComposition(cfg DotCompositionConfig) (*DotCompositionResult, er
 				y[k][j] = w[i][k]
 			}
 		}
-		keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseMul, y)
+		keys, err := mulEng.ElementwiseKeys(enc, securemat.ElementwiseMul, y)
 		if err != nil {
 			return nil, err
 		}
-		prods, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseMul, y, mulSolver,
+		prods, err := mulEng.SecureElementwise(enc, keys, securemat.ElementwiseMul, y,
 			securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			return nil, err
@@ -246,14 +251,18 @@ func AblationParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	x := randMatrix(rng, cfg.Length, cfg.Count, ValueRange{1, cfg.MaxVal})
-	w := randMatrix(rng, 1, cfg.Length, ValueRange{1, cfg.MaxVal})
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
 	if err != nil {
 		return nil, err
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := randMatrix(rng, cfg.Length, cfg.Count, ValueRange{1, cfg.MaxVal})
+	w := randMatrix(rng, 1, cfg.Length, ValueRange{1, cfg.MaxVal})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		return nil, err
+	}
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +271,7 @@ func AblationParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
 	var base time.Duration
 	for _, workers := range cfg.Workers {
 		start := time.Now()
-		if _, err := securemat.SecureDot(auth, enc, keys, w, solver,
+		if _, err := eng.SecureDot(enc, keys, w,
 			securemat.ComputeOptions{Parallelism: workers}); err != nil {
 			return nil, err
 		}
@@ -333,26 +342,30 @@ func AblationGroupBits(cfg GroupBitsConfig) ([]GroupBitsPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+		if err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		x := randMatrix(rng, 1, cfg.Elements, ValueRange{-cfg.MaxVal, cfg.MaxVal})
 		y := randMatrix(rng, 1, cfg.Elements, ValueRange{-cfg.MaxVal, cfg.MaxVal})
 
 		start := time.Now()
-		enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+		enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 		if err != nil {
 			return nil, err
 		}
 		encDur := time.Since(start)
 
 		start = time.Now()
-		keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+		keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, y)
 		if err != nil {
 			return nil, err
 		}
 		keyDur := time.Since(start)
 
 		start = time.Now()
-		z, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+		z, err := eng.SecureElementwise(enc, keys, securemat.ElementwiseAdd, y,
 			securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			return nil, err

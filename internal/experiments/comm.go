@@ -10,6 +10,7 @@ import (
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
 	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 )
 
@@ -77,11 +78,18 @@ func CommOverhead(cfg CommConfig) (*CommResult, error) {
 		return nil, err
 	}
 	codec := fixedpoint.Default()
-	bound := maxI64(
+	bound := max(
 		core.SolverBound(codec, cfg.Features, 1, 4, 1),
 		core.SolverBound(codec, cfg.Batch, 1, 4, 100),
 	)
 	solver, err := dlog.NewSolver(params, bound)
+	if err != nil {
+		return nil, err
+	}
+	// The engine's dot-key cache is disabled here: this experiment reads
+	// the authority's issuance counters, so every iteration must pay its
+	// raw key traffic (the quantity the paper's formula predicts).
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver, DotKeyCache: -1})
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +98,11 @@ func CommOverhead(cfg CommConfig) (*CommResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{Codec: codec, MaxWeight: 4})
+	trainer, err := core.NewTrainer(model, eng, core.Config{Codec: codec, MaxWeight: 4})
 	if err != nil {
 		return nil, err
 	}
-	client, err := core.NewClient(auth, codec, nil)
+	client, err := core.NewClient(eng, codec, nil)
 	if err != nil {
 		return nil, err
 	}

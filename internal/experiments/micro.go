@@ -100,6 +100,10 @@ func microSweep(cfg MicroConfig, f securemat.Function) ([]MicroPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	base, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var points []MicroPoint
@@ -117,8 +121,9 @@ func microSweep(cfg MicroConfig, f securemat.Function) ([]MicroPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		eng := base.WithSolver(solver)
 		for _, size := range cfg.Sizes {
-			p, err := microPoint(auth, solver, rng, f, size, r, cfg.Parallelism)
+			p, err := microPoint(eng, rng, f, size, r, cfg.Parallelism)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: size %d range %s: %w", size, r, err)
 			}
@@ -128,35 +133,35 @@ func microSweep(cfg MicroConfig, f securemat.Function) ([]MicroPoint, error) {
 	return points, nil
 }
 
-func microPoint(auth *authority.Authority, solver *dlog.Solver, rng *rand.Rand, f securemat.Function, size int, r ValueRange, par int) (MicroPoint, error) {
+func microPoint(eng *securemat.Engine, rng *rand.Rand, f securemat.Function, size int, r ValueRange, par int) (MicroPoint, error) {
 	// Lay the elements out as a 1×size matrix, like the paper's flat
 	// element-count x-axis.
 	x := randMatrix(rng, 1, size, r)
 	y := randMatrix(rng, 1, size, r)
 
 	start := time.Now()
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		return MicroPoint{}, err
 	}
 	encDur := time.Since(start)
 
 	start = time.Now()
-	keys, err := securemat.ElementwiseKeys(auth, enc, f, y)
+	keys, err := eng.ElementwiseKeys(enc, f, y)
 	if err != nil {
 		return MicroPoint{}, err
 	}
 	keyDur := time.Since(start)
 
 	start = time.Now()
-	seq, err := securemat.SecureElementwise(auth, enc, keys, f, y, solver, securemat.ComputeOptions{Parallelism: 1})
+	seq, err := eng.SecureElementwise(enc, keys, f, y, securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		return MicroPoint{}, err
 	}
 	seqDur := time.Since(start)
 
 	start = time.Now()
-	parRes, err := securemat.SecureElementwise(auth, enc, keys, f, y, solver, securemat.ComputeOptions{Parallelism: par})
+	parRes, err := eng.SecureElementwise(enc, keys, f, y, securemat.ComputeOptions{Parallelism: par})
 	if err != nil {
 		return MicroPoint{}, err
 	}
@@ -249,6 +254,10 @@ func Fig5(cfg DotConfig) ([]DotPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	base, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var points []DotPoint
@@ -259,8 +268,9 @@ func Fig5(cfg DotConfig) ([]DotPoint, error) {
 			if err != nil {
 				return nil, err
 			}
+			eng := base.WithSolver(solver)
 			for _, count := range cfg.Counts {
-				p, err := dotPoint(auth, solver, rng, count, l, r, cfg.Parallelism)
+				p, err := dotPoint(eng, rng, count, l, r, cfg.Parallelism)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: dot count %d l %d %s: %w", count, l, r, err)
 				}
@@ -271,35 +281,35 @@ func Fig5(cfg DotConfig) ([]DotPoint, error) {
 	return points, nil
 }
 
-func dotPoint(auth *authority.Authority, solver *dlog.Solver, rng *rand.Rand, count, l int, r ValueRange, par int) (DotPoint, error) {
+func dotPoint(eng *securemat.Engine, rng *rand.Rand, count, l int, r ValueRange, par int) (DotPoint, error) {
 	// X is (l × count): one vector per column, exactly the secure matrix
 	// layout; W is a single weight row.
 	x := randMatrix(rng, l, count, r)
 	w := randMatrix(rng, 1, l, r)
 
 	start := time.Now()
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		return DotPoint{}, err
 	}
 	encDur := time.Since(start)
 
 	start = time.Now()
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		return DotPoint{}, err
 	}
 	keyDur := time.Since(start)
 
 	start = time.Now()
-	seq, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	seq, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		return DotPoint{}, err
 	}
 	seqDur := time.Since(start)
 
 	start = time.Now()
-	parRes, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: par})
+	parRes, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: par})
 	if err != nil {
 		return DotPoint{}, err
 	}

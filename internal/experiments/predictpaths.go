@@ -25,6 +25,7 @@ import (
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
 	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 )
 
@@ -123,13 +124,17 @@ func AblationPredictionPaths(cfg PredictPathsConfig) (*PredictPathsResult, error
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := core.NewTrainer(model, eng, core.Config{
 		Codec: codec, Parallelism: cfg.Parallelism, MaxWeight: 4,
 	})
 	if err != nil {
 		return nil, err
 	}
-	client, err := core.NewClient(auth, codec, nil)
+	client, err := core.NewClient(eng, codec, nil)
 	if err != nil {
 		return nil, err
 	}

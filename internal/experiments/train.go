@@ -218,7 +218,7 @@ func newTrainRun(cfg TrainConfig) (*trainRun, error) {
 		coreCfg = core.Config{Codec: codec, Parallelism: cfg.Parallelism, MaxWeight: 4, GradScale: 100}
 		forward := core.SolverBound(codec, cfg.features(), 1, 4, 1)
 		grad := core.SolverBound(codec, cfg.BatchSize, 1, 4, 100)
-		bound = maxI64(forward, grad)
+		bound = max(forward, grad)
 	case ArchCNN:
 		mk := func(seed int64) (*nn.Model, error) {
 			if cfg.Pool == 1 {
@@ -240,21 +240,25 @@ func newTrainRun(cfg TrainConfig) (*trainRun, error) {
 		coreCfg = core.Config{Codec: codec, Parallelism: cfg.Parallelism, MaxWeight: 2, GradScale: 10}
 		forward := core.SolverBound(codec, convK*convK, 1, 2, 1)
 		grad := core.SolverBound(codec, cfg.features(), 1, 2, 10)
-		bound = maxI64(forward, grad)
+		bound = max(forward, grad)
 	default:
 		return nil, fmt.Errorf("experiments: unknown arch %q", cfg.Arch)
 	}
-	bound = maxI64(bound, core.SolverBound(codec, 1, 1, 25, 1)) // CE loss terms
+	bound = max(bound, core.SolverBound(codec, 1, 1, 25, 1)) // CE loss terms
 
 	solver, err := dlog.NewSolver(params, bound)
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := core.NewTrainer(secure, auth, solver, coreCfg)
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	client, err := core.NewClient(auth, codec, nil)
+	trainer, err := core.NewTrainer(secure, eng, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	client, err := core.NewClient(eng, codec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -461,11 +465,4 @@ func Table3(cfg TrainConfig) (*Table3Result, error) {
 		res.Overhead = float64(res.CryptoTime) / float64(res.PlainTime)
 	}
 	return res, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -337,3 +337,82 @@ func DecryptParts(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64
 		return nil, nil, fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
 	}
 }
+
+// DecryptScratch carries the per-call working buffers of DecryptPartsMont
+// so a worker decrypting many cells reuses one set of allocations. The
+// zero value is ready to use; a DecryptScratch must not be shared between
+// concurrent decryptions.
+type DecryptScratch struct {
+	ct, tab []uint64
+}
+
+func (sc *DecryptScratch) ensure(k int) {
+	if cap(sc.ct) < k {
+		sc.ct = make([]uint64, k)
+	} else {
+		sc.ct = sc.ct[:k]
+	}
+}
+
+// DecryptPartsMont is DecryptParts entirely in the Montgomery domain: it
+// writes the numerator and denominator of g^{x Δ y} = num/den as raw limb
+// elements (length Limbs()) into the caller's num and den slices, so the
+// batched element-wise pipeline can fold a whole chunk's denominators into
+// one inversion (BatchInvMont) and feed the quotients straight to
+// dlog.LookupMont — no big.Int round-trip per cell.
+//
+// For Δ = × with y < 0 the inversion-free ladder computes ct^{|y|} and
+// folds it into the denominator (num becomes 1), preserving num/den; for
+// Δ = ÷ the exponent y⁻¹ mod q is full-size and runs the windowed ExpMont
+// ladder on sc's reusable table. den is written last-multiplied and safe to
+// invert in place; sc may be nil (one-shot allocations).
+func DecryptPartsMont(pk *PublicKey, fk *FunctionKey, ct *Ciphertext, op Op, y int64, num, den []uint64, sc *DecryptScratch) error {
+	if pk == nil {
+		return fmt.Errorf("%w: nil public key", ErrMalformed)
+	}
+	if fk == nil || fk.K == nil {
+		return fmt.Errorf("%w: empty function key", ErrMalformed)
+	}
+	if ct == nil || ct.Ct == nil {
+		return fmt.Errorf("%w: empty ciphertext", ErrMalformed)
+	}
+	p := pk.Params
+	mc := p.Mont()
+	if sc == nil {
+		sc = &DecryptScratch{}
+	}
+	sc.ensure(mc.Limbs())
+	mc.ToMont(den, fk.K)
+	switch op {
+	case OpAdd, OpSub:
+		mc.ToMont(num, ct.Ct)
+		return nil
+	case OpMul:
+		mc.ToMont(sc.ct, ct.Ct)
+		// uint64(-y) is the correct magnitude even for math.MinInt64: the
+		// int64 negation wraps to itself and converts to 2^63.
+		mag := uint64(y)
+		if y < 0 {
+			mag = uint64(-y)
+		}
+		mc.ExpMontUint64(num, sc.ct, mag)
+		if y < 0 {
+			// ct^y = (ct^{|y|})^{-1}: move the factor below the bar and let
+			// the chunk's batch inversion pay for it.
+			mc.MulMont(den, den, num)
+			mc.SetOne(num)
+		}
+		return nil
+	case OpDiv:
+		var yb big.Int
+		yInv, err := p.InvScalar(yb.SetInt64(y))
+		if err != nil {
+			return fmt.Errorf("febo: decrypt: %w", err)
+		}
+		mc.ToMont(sc.ct, ct.Ct)
+		sc.tab = mc.ExpMontScratch(num, sc.ct, yInv, sc.tab)
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrInvalidOp, int(op))
+	}
+}

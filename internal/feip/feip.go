@@ -163,6 +163,31 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 	return &FunctionKey{K: params.ReduceScalar(acc)}, nil
 }
 
+// EncryptScratch carries the per-call working slabs of Encrypt so a worker
+// encrypting many vectors under the same key (a securemat matrix, a
+// streaming batch) reuses one set of allocations. The zero value is ready
+// to use; an EncryptScratch must not be shared between concurrent
+// encryptions.
+type EncryptScratch struct {
+	pos, neg, gx, inv []uint64
+	hDigits, gDigits  []int16
+}
+
+func (sc *EncryptScratch) ensure(slots, k int) {
+	if need := slots * k; cap(sc.pos) < need {
+		sc.pos = make([]uint64, need)
+		sc.neg = make([]uint64, need)
+	} else {
+		sc.pos = sc.pos[:need]
+		sc.neg = sc.neg[:need]
+	}
+	if cap(sc.gx) < k {
+		sc.gx = make([]uint64, k)
+	} else {
+		sc.gx = sc.gx[:k]
+	}
+}
+
 // Encrypt encrypts the signed integer vector x under mpk.
 //
 // The whole ciphertext is computed in the Montgomery domain: the nonce is
@@ -173,6 +198,13 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 // modular inversion (Montgomery's trick), and each coordinate converts out
 // of the domain exactly once.
 func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) {
+	return EncryptWithScratch(mpk, x, r, nil)
+}
+
+// EncryptWithScratch is Encrypt with caller-pooled working slabs; sc may be
+// nil (one-shot allocation, identical to Encrypt). The returned ciphertext
+// never aliases the scratch.
+func EncryptWithScratch(mpk *MasterPublicKey, x []int64, r io.Reader, sc *EncryptScratch) (*Ciphertext, error) {
 	if mpk == nil || len(mpk.H) == 0 {
 		return nil, fmt.Errorf("%w: empty public key", ErrMalformed)
 	}
@@ -189,13 +221,16 @@ func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) 
 	mc := p.Mont()
 	k := mc.Limbs()
 	eta := len(x)
-	hDigits := tabs[0].Recode(nonce, nil)
-	gDigits := gt.Recode(nonce, nil)
+	if sc == nil {
+		sc = &EncryptScratch{}
+	}
+	sc.ensure(eta+1, k)
+	sc.hDigits = tabs[0].Recode(nonce, sc.hDigits)
+	sc.gDigits = gt.Recode(nonce, sc.gDigits)
+	hDigits, gDigits := sc.hDigits, sc.gDigits
 	// pos[i] accumulates the ciphertext coordinate, neg[i] the negative
 	// signed digits' product; slot eta holds ct_0 = g^r.
-	pos := make([]uint64, (eta+1)*k)
-	neg := make([]uint64, (eta+1)*k)
-	gx := make([]uint64, k)
+	pos, neg, gx := sc.pos, sc.neg, sc.gx
 	for i, xi := range x {
 		pi, ni := pos[i*k:(i+1)*k], neg[i*k:(i+1)*k]
 		tabs[i].PowRecoded(pi, ni, hDigits)
@@ -203,8 +238,9 @@ func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) 
 		mc.MulMont(pi, pi, gx)
 	}
 	gt.PowRecoded(pos[eta*k:], neg[eta*k:], gDigits)
-	if _, err := mc.BatchInvMont(neg, nil); err != nil {
-		return nil, fmt.Errorf("feip: encrypt: %w", err)
+	var invErr error
+	if sc.inv, invErr = mc.BatchInvMont(neg, sc.inv); invErr != nil {
+		return nil, fmt.Errorf("feip: encrypt: %w", invErr)
 	}
 	ct := make([]*big.Int, eta)
 	for i := range ct {

@@ -274,16 +274,29 @@ func (c *MontCtx) BatchInvMont(xs, scratch []uint64) ([]uint64, error) {
 // or unreduced exponents reduce them mod the group order first. dst may
 // alias base.
 func (c *MontCtx) ExpMont(dst, base []uint64, e *big.Int) {
+	c.ExpMontScratch(dst, base, e, nil)
+}
+
+// ExpMontScratch is ExpMont with a caller-provided window-table slab, so
+// loops that exponentiate many variable bases (the element-wise division
+// pipeline) reuse one allocation. The slab is grown when too small and
+// returned either way; pass nil on the first call and thread the result
+// through subsequent ones.
+func (c *MontCtx) ExpMontScratch(dst, base []uint64, e *big.Int, tab []uint64) []uint64 {
 	if e.Sign() < 0 {
 		panic("group: ExpMont requires a non-negative exponent")
 	}
 	k := c.k
 	if e.Sign() == 0 {
 		c.SetOne(dst)
-		return
+		return tab
 	}
 	const w = 4
-	tab := make([]uint64, (1<<w-1)*k)
+	if need := (1<<w - 1) * k; cap(tab) < need {
+		tab = make([]uint64, need)
+	} else {
+		tab = tab[:need]
+	}
 	copy(tab[:k], base)
 	for d := 2; d < 1<<w; d++ {
 		c.MulMont(tab[(d-1)*k:d*k], tab[(d-2)*k:(d-1)*k], tab[:k])
@@ -307,6 +320,27 @@ func (c *MontCtx) ExpMont(dst, base []uint64, e *big.Int) {
 	}
 	if !started {
 		c.SetOne(dst)
+	}
+	return tab
+}
+
+// ExpMontUint64 computes dst = base^e in the Montgomery domain for a
+// machine-integer exponent with a plain allocation-free square-and-multiply
+// ladder — the right tool for the small fixed-point multipliers of the
+// element-wise pipeline, where a window table would cost more to build than
+// the ladder saves. dst must not alias base.
+func (c *MontCtx) ExpMontUint64(dst, base []uint64, e uint64) {
+	if e == 0 {
+		c.SetOne(dst)
+		return
+	}
+	k := c.k
+	copy(dst[:k], base[:k])
+	for i := bits.Len64(e) - 2; i >= 0; i-- {
+		c.MulMont(dst, dst, dst)
+		if e&(1<<uint(i)) != 0 {
+			c.MulMont(dst, dst, base)
+		}
 	}
 }
 

@@ -6,19 +6,20 @@
 // for its denominator and the worker pool pays one channel round-trip per
 // cell. This file replaces that with a chunked pipeline: workers drain
 // contiguous chunks of cells, compute all (numerator, denominator) pairs
-// of a chunk, invert the chunk's denominators together with a single
-// modular inversion (Montgomery's trick, group.BatchInv), and only then
-// run the dlog lookups. Worker-local scratch persists across every chunk
-// a worker drains, so the steady state allocates nothing per cell beyond
-// what the underlying schemes return.
+// of a chunk as Montgomery-domain limb elements, invert the chunk's
+// denominators together with a single modular inversion (Montgomery's
+// trick, group.MontCtx.BatchInvMont), and only then run the dlog lookups
+// (LookupMont, never leaving the domain). Worker-local scratch persists
+// across every chunk a worker drains, so the steady state allocates
+// nothing per cell.
 
 package securemat
 
 import (
 	"fmt"
-	"math/big"
 
 	"cryptonn/internal/dlog"
+	"cryptonn/internal/febo"
 	"cryptonn/internal/feip"
 	"cryptonn/internal/group"
 )
@@ -64,12 +65,7 @@ func decryptDotBatched(p *group.Params, solver *dlog.Solver, cts []*feip.Ciphert
 	if workers < 0 {
 		workers = DefaultParallelism()
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > total {
-		workers = total
-	}
+	workers = min(max(workers, 1), total)
 	mc := p.Mont()
 	k := mc.Limbs()
 
@@ -148,35 +144,18 @@ func decryptDotBatched(p *group.Params, solver *dlog.Solver, cts []*feip.Ciphert
 // ragged workloads.
 func chunkSize(total, workers int) int {
 	chunk := (total + 4*workers - 1) / (4 * workers)
-	if chunk < 16 {
-		chunk = 16
-	}
-	if chunk > 256 {
-		chunk = 256
-	}
-	return chunk
+	return min(max(chunk, 16), 256)
 }
 
-// cellParts computes the numerator and denominator of one output cell's
-// decryption, as produced by feip.DecryptParts / febo.DecryptParts. The
-// returned den must be safe to invert in place.
-type cellParts func(i, j int) (num, den *big.Int, err error)
-
-// batchScratch is the per-worker state of the decryption pipeline.
-type batchScratch struct {
-	nums   []*big.Int
-	dens   []*big.Int
-	prefix []big.Int // group.BatchInv prefix products
-	tmp    big.Int
-	q      big.Int
-	rem    big.Int
-}
-
-// decryptBatched fills z[i][j] for every cell of a rows×cols grid from the
-// per-cell group-element parts, using workers parallel workers (< 2 =
-// sequential, < 0 = DefaultParallelism) and Montgomery's-trick batch
-// inversion over each chunk of denominators.
-func decryptBatched(p *group.Params, solver *dlog.Solver, rows, cols, workers int, parts cellParts, z [][]int64) error {
+// decryptElemBatched fills z[i][j] = x[i][j] Δ y[i][j] for the element-wise
+// FEBO decryptions, entirely in the Montgomery domain: per-cell numerator
+// and denominator come from febo.DecryptPartsMont as raw limb elements
+// (small-multiplier ladders for ×, the windowed ExpMont ladder for ÷), each
+// chunk's denominators collapse into one batched inversion, and the
+// quotients feed dlog.LookupMont without a big.Int round-trip — the same
+// pipeline shape as decryptDotBatched.
+func decryptElemBatched(pk *febo.PublicKey, solver *dlog.Solver, enc *EncryptedMatrix, keys [][]*febo.FunctionKey, op febo.Op, y [][]int64, workers int, z [][]int64) error {
+	rows, cols := enc.Rows, enc.Cols
 	total := rows * cols
 	if total == 0 {
 		return nil
@@ -184,38 +163,40 @@ func decryptBatched(p *group.Params, solver *dlog.Solver, rows, cols, workers in
 	if workers < 0 {
 		workers = DefaultParallelism()
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > total {
-		workers = total
-	}
+	workers = min(max(workers, 1), total)
+	mc := pk.Params.Mont()
+	k := mc.Limbs()
 	chunk := chunkSize(total, workers)
-	newScratch := func() *batchScratch {
-		return &batchScratch{
-			nums:   make([]*big.Int, 0, chunk),
-			dens:   make([]*big.Int, 0, chunk),
-			prefix: make([]big.Int, chunk),
+	type elemScratch struct {
+		nums []uint64 // per-cell numerators
+		dens []uint64 // per-cell denominators, inverted chunk-wide
+		inv  []uint64 // batch-inversion prefix scratch
+		fe   febo.DecryptScratch
+	}
+	newScratch := func() *elemScratch {
+		return &elemScratch{
+			nums: make([]uint64, chunk*k),
+			dens: make([]uint64, chunk*k),
 		}
 	}
-	doChunk := func(start, end int, sc *batchScratch) error {
-		sc.nums = sc.nums[:0]
-		sc.dens = sc.dens[:0]
-		for idx := start; idx < end; idx++ {
-			num, den, err := parts(idx/cols, idx%cols)
+	doChunk := func(start, end int, sc *elemScratch) error {
+		n := end - start
+		for t, idx := 0, start; idx < end; t, idx = t+1, idx+1 {
+			i, j := idx/cols, idx%cols
+			err := febo.DecryptPartsMont(pk, keys[i][j], enc.Elems[i][j], op, y[i][j],
+				sc.nums[t*k:(t+1)*k], sc.dens[t*k:(t+1)*k], &sc.fe)
 			if err != nil {
-				return fmt.Errorf("securemat: cell (%d,%d): %w", idx/cols, idx%cols, err)
+				return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
 			}
-			sc.nums = append(sc.nums, num)
-			sc.dens = append(sc.dens, den)
 		}
-		if err := p.BatchInv(sc.dens, sc.prefix); err != nil {
+		var err error
+		if sc.inv, err = mc.BatchInvMont(sc.dens[:n*k], sc.inv); err != nil {
 			return fmt.Errorf("securemat: batch inversion: %w", err)
 		}
 		for t, idx := 0, start; idx < end; t, idx = t+1, idx+1 {
-			sc.tmp.Mul(sc.nums[t], sc.dens[t])
-			sc.q.QuoRem(&sc.tmp, p.P, &sc.rem)
-			v, err := solver.Lookup(&sc.rem)
+			gamma := sc.dens[t*k : (t+1)*k]
+			mc.MulMont(gamma, gamma, sc.nums[t*k:(t+1)*k])
+			v, err := solver.LookupMont(gamma)
 			if err != nil {
 				return fmt.Errorf("securemat: cell (%d,%d): %w", idx/cols, idx%cols, err)
 			}

@@ -19,22 +19,22 @@ import (
 // A matrix large enough for many chunks across several workers, decrypted
 // at every parallelism level, must match the plaintext product exactly.
 func TestBatchedDecryptMatchesPlaintextAcrossParallelism(t *testing.T) {
-	auth, solver := newFixture(t, 20*100*100+1)
+	_, eng := newFixture(t, 20*100*100+1)
 	rng := rand.New(rand.NewSource(42))
 	const inner, cols, wRows = 20, 37, 11 // wRows*cols = 407 cells: many chunks
 	x := randMatrix(rng, inner, cols, -9, 9)
 	w := randMatrix(rng, wRows, inner, -9, 9)
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := plainDot(w, x)
 	for _, par := range []int{1, 2, 3, 8, -1} {
-		z, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: par})
+		z, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: par})
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}
@@ -47,19 +47,19 @@ func TestBatchedDecryptMatchesPlaintextAcrossParallelism(t *testing.T) {
 // Element-wise decrypt through the pipeline: negative values, zeros, and
 // results at the solver bound survive the batch inversion.
 func TestBatchedElementwiseEdgeValues(t *testing.T) {
-	auth, solver := newFixture(t, 200)
+	_, eng := newFixture(t, 200)
 	x := [][]int64{{-100, 0, 100}, {1, -1, 99}}
 	y := [][]int64{{-100, 0, 100}, {-1, 1, 101}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+	keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, y)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []int{1, 4} {
-		z, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+		z, err := eng.SecureElementwise(enc, keys, securemat.ElementwiseAdd, y,
 			securemat.ComputeOptions{Parallelism: par})
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
@@ -74,23 +74,23 @@ func TestBatchedElementwiseEdgeValues(t *testing.T) {
 // A cell whose result overflows the solver bound must fail with that
 // cell's coordinates, sequentially and in parallel.
 func TestBatchedDecryptReportsFailingCell(t *testing.T) {
-	auth, _ := newFixture(t, 1)
+	_, eng := newFixture(t, 1)
 	tiny, err := dlog.NewSolver(group.TestParams(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := [][]int64{{1, 1, 1, 9}} // last column overflows bound 3
 	w := [][]int64{{1}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []int{1, 4} {
-		_, err := securemat.SecureDot(auth, enc, keys, w, tiny, securemat.ComputeOptions{Parallelism: par})
+		_, err := eng.WithSolver(tiny).SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: par})
 		if !errors.Is(err, dlog.ErrNotFound) {
 			t.Fatalf("par=%d: err = %v, want ErrNotFound", par, err)
 		}
@@ -103,19 +103,19 @@ func TestBatchedDecryptReportsFailingCell(t *testing.T) {
 // A parts-stage error (division decrypt with y = 0) must carry cell
 // coordinates too — it fails before the batch inversion runs.
 func TestBatchedDecryptPartsStageError(t *testing.T) {
-	auth, solver := newFixture(t, 100)
+	_, eng := newFixture(t, 100)
 	x := [][]int64{{8, 6}}
 	y := [][]int64{{2, 3}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseDiv, y)
+	keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseDiv, y)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bad := [][]int64{{2, 0}} // zero divisor at decrypt time
-	if _, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseDiv, bad, solver,
+	if _, err := eng.SecureElementwise(enc, keys, securemat.ElementwiseDiv, bad,
 		securemat.ComputeOptions{Parallelism: 1}); err == nil || !strings.Contains(err.Error(), "cell (0,1)") {
 		t.Fatalf("err = %v, want parts error naming cell (0,1)", err)
 	}

@@ -19,7 +19,7 @@ func TestEncryptParallelRoundTrip(t *testing.T) {
 		cols  = 7
 		wRows = 3
 	)
-	auth, solver := newFixture(t, int64(inner)*100+1)
+	_, eng := newFixture(t, int64(inner)*100+1)
 	rng := rand.New(rand.NewSource(21))
 	x := randMatrix(rng, inner, cols, -9, 9)
 	w := randMatrix(rng, wRows, inner, -9, 9)
@@ -27,29 +27,29 @@ func TestEncryptParallelRoundTrip(t *testing.T) {
 	y := randMatrix(rng, inner, cols, -9, 9)
 	for _, par := range []int{-1, 0, 4} {
 		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
-			enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{
+			enc, err := eng.Encrypt(x, securemat.EncryptOptions{
 				WithRows:    true,
 				Parallelism: par,
 			})
 			if err != nil {
 				t.Fatalf("Encrypt: %v", err)
 			}
-			keys, err := securemat.DotKeys(auth, w)
+			keys, err := eng.DotKeys(w)
 			if err != nil {
 				t.Fatal(err)
 			}
-			z, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{})
+			z, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{})
 			if err != nil {
 				t.Fatalf("SecureDot: %v", err)
 			}
 			if !matEqual(z, plainDot(w, x)) {
 				t.Fatal("parallel-encrypted dot product mismatch")
 			}
-			rowKeys, err := securemat.DotKeys(auth, d)
+			rowKeys, err := eng.DotKeys(d)
 			if err != nil {
 				t.Fatal(err)
 			}
-			g, err := securemat.SecureDotRows(auth, enc, rowKeys, d, solver, securemat.ComputeOptions{})
+			g, err := eng.SecureDotRows(enc, rowKeys, d, securemat.ComputeOptions{})
 			if err != nil {
 				t.Fatalf("SecureDotRows: %v", err)
 			}
@@ -63,11 +63,11 @@ func TestEncryptParallelRoundTrip(t *testing.T) {
 			if !matEqual(g, plainDot(d, xt)) {
 				t.Fatal("parallel-encrypted row dot product mismatch")
 			}
-			ewKeys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+			ewKeys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, y)
 			if err != nil {
 				t.Fatal(err)
 			}
-			s, err := securemat.SecureElementwise(auth, enc, ewKeys, securemat.ElementwiseAdd, y, solver, securemat.ComputeOptions{})
+			s, err := eng.SecureElementwise(enc, ewKeys, securemat.ElementwiseAdd, y, securemat.ComputeOptions{})
 			if err != nil {
 				t.Fatalf("SecureElementwise: %v", err)
 			}
@@ -86,7 +86,7 @@ func TestEncryptParallelRoundTrip(t *testing.T) {
 // one key service — the shared-fixed-base-table contract (immutable after
 // Precompute, sync.Once builds) under the race detector via `make race`.
 func TestEncryptParallelHammer(t *testing.T) {
-	auth, _ := newFixture(t, 101)
+	_, eng := newFixture(t, 101)
 	rng := rand.New(rand.NewSource(22))
 	x := randMatrix(rng, 5, 8, -9, 9)
 	var wg sync.WaitGroup
@@ -96,7 +96,7 @@ func TestEncryptParallelHammer(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
-				if _, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{
+				if _, err := eng.Encrypt(x, securemat.EncryptOptions{
 					WithRows:    true,
 					Parallelism: 2,
 				}); err != nil {

@@ -32,17 +32,11 @@ func forEachChunk[S any](total, chunk, workers int, newScratch func() S, fn func
 		chunk = 1
 	}
 	numChunks := (total + chunk - 1) / chunk
-	if workers > numChunks {
-		workers = numChunks
-	}
+	workers = min(workers, numChunks)
 	if workers < 2 {
 		sc := newScratch()
 		for start := 0; start < total; start += chunk {
-			end := start + chunk
-			if end > total {
-				end = total
-			}
-			if err := fn(start, end, sc); err != nil {
+			if err := fn(start, min(start+chunk, total), sc); err != nil {
 				return err
 			}
 		}
@@ -68,11 +62,7 @@ func forEachChunk[S any](total, chunk, workers int, newScratch func() S, fn func
 			defer wg.Done()
 			sc := newScratch()
 			for start := range chunks {
-				end := start + chunk
-				if end > total {
-					end = total
-				}
-				if err := fn(start, end, sc); err != nil {
+				if err := fn(start, min(start+chunk, total), sc); err != nil {
 					fail(err)
 					return
 				}
@@ -111,9 +101,7 @@ func forEachCell(rows, cols, workers int, fn func(i, j int) error) error {
 		}
 		return nil
 	}
-	if workers > total {
-		workers = total
-	}
+	workers = min(workers, total)
 
 	var (
 		wg       sync.WaitGroup

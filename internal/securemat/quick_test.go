@@ -12,10 +12,9 @@ import (
 )
 
 // quickState bundles the fixtures the property tests share; building the
-// authority once keeps testing/quick's many iterations fast.
+// engine once keeps testing/quick's many iterations fast.
 type quickState struct {
-	auth   *authority.Authority
-	solver *dlog.Solver
+	eng *securemat.Engine
 }
 
 func newQuickState(t *testing.T, bound int64) *quickState {
@@ -28,7 +27,11 @@ func newQuickState(t *testing.T, bound int64) *quickState {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &quickState{auth: auth, solver: solver}
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &quickState{eng: eng}
 }
 
 // boundedMatrix derives a rows×cols matrix with entries in [-limit,
@@ -61,17 +64,17 @@ func TestQuickSecureDotMatchesPlaintext(t *testing.T) {
 		w := boundedMatrix(seed, rows, inner, limit)
 		x := boundedMatrix(seed+1, inner, cols, limit)
 
-		enc, err := securemat.Encrypt(st.auth, x, securemat.EncryptOptions{SkipElems: true})
+		enc, err := st.eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 		if err != nil {
 			t.Logf("encrypt: %v", err)
 			return false
 		}
-		keys, err := securemat.DotKeys(st.auth, w)
+		keys, err := st.eng.DotKeys(w)
 		if err != nil {
 			t.Logf("keys: %v", err)
 			return false
 		}
-		z, err := securemat.SecureDot(st.auth, enc, keys, w, st.solver, securemat.ComputeOptions{Parallelism: 1})
+		z, err := st.eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			t.Logf("secure dot: %v", err)
 			return false
@@ -108,15 +111,15 @@ func TestQuickSecureElementwiseMatchesPlaintext(t *testing.T) {
 		x := boundedMatrix(seed, rows, cols, limit)
 		y := boundedMatrix(seed+2, rows, cols, limit)
 
-		enc, err := securemat.Encrypt(st.auth, x, securemat.EncryptOptions{})
+		enc, err := st.eng.Encrypt(x, securemat.EncryptOptions{})
 		if err != nil {
 			return false
 		}
-		keys, err := securemat.ElementwiseKeys(st.auth, enc, f, y)
+		keys, err := st.eng.ElementwiseKeys(enc, f, y)
 		if err != nil {
 			return false
 		}
-		z, err := securemat.SecureElementwise(st.auth, enc, keys, f, y, st.solver, securemat.ComputeOptions{Parallelism: 1})
+		z, err := st.eng.SecureElementwise(enc, keys, f, y, securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			t.Logf("secure %s: %v", f, err)
 			return false
@@ -151,7 +154,7 @@ func TestQuickDualOrientationAgree(t *testing.T) {
 		rows := int(d1%3) + 1
 		cols := int(d2%3) + 1
 		x := boundedMatrix(seed, rows, cols, limit)
-		enc, err := securemat.Encrypt(st.auth, x, securemat.EncryptOptions{SkipElems: true, WithRows: true})
+		enc, err := st.eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true, WithRows: true})
 		if err != nil {
 			return false
 		}
@@ -166,11 +169,11 @@ func TestQuickDualOrientationAgree(t *testing.T) {
 		for i := range onesCols {
 			onesCols[i] = 1
 		}
-		colKeys, err := securemat.DotKeys(st.auth, [][]int64{onesCols})
+		colKeys, err := st.eng.DotKeys([][]int64{onesCols})
 		if err != nil {
 			return false
 		}
-		colSums, err := securemat.SecureDot(st.auth, enc, colKeys, [][]int64{onesCols}, st.solver, securemat.ComputeOptions{Parallelism: 1})
+		colSums, err := st.eng.SecureDot(enc, colKeys, [][]int64{onesCols}, securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			return false
 		}
@@ -178,11 +181,11 @@ func TestQuickDualOrientationAgree(t *testing.T) {
 		for i := range onesRows {
 			onesRows[i] = 1
 		}
-		rowKeys, err := securemat.DotKeys(st.auth, [][]int64{onesRows})
+		rowKeys, err := st.eng.DotKeys([][]int64{onesRows})
 		if err != nil {
 			return false
 		}
-		rowSums, err := securemat.SecureDotRows(st.auth, enc, rowKeys, [][]int64{onesRows}, st.solver, securemat.ComputeOptions{Parallelism: 1})
+		rowSums, err := st.eng.SecureDotRows(enc, rowKeys, [][]int64{onesRows}, securemat.ComputeOptions{Parallelism: 1})
 		if err != nil {
 			return false
 		}

@@ -2,20 +2,35 @@
 // scheme (Algorithm 1): matrix dot-products and element-wise arithmetic
 // over functionally encrypted matrices.
 //
-// The scheme has three roles, mirrored by the package API:
+// The central type is Engine, a session object for the protocol's three
+// long-lived roles (Fig. 1):
 //
-//   - the client pre-processes a plaintext matrix into an EncryptedMatrix
-//     (Encrypt): every column is encrypted under FEIP for dot-products and
-//     every element under FEBO for element-wise arithmetic;
-//   - the server obtains function-derived keys from the authority through
-//     the KeyService interface (DotKeys, ElementwiseKeys);
+//   - the client builds an Engine over its key-service connection and
+//     pre-processes plaintext matrices into EncryptedMatrix values
+//     (Engine.Encrypt): every column is encrypted under FEIP for
+//     dot-products and every element under FEBO for element-wise
+//     arithmetic, on pooled per-worker ciphertext slabs;
+//   - the server's Engine obtains function-derived keys from the authority
+//     (Engine.DotKeys, Engine.ElementwiseKeys) — dot-product keys are
+//     cached per weight matrix, so serving predictions with a fixed W
+//     derives its keys exactly once;
 //   - the server then evaluates the permitted function over ciphertexts
-//     (SecureDot, SecureElementwise), obtaining a plaintext result matrix.
+//     (Engine.SecureDot, Engine.SecureDotRows, Engine.SecureElementwise,
+//     or the key-folding conveniences Dot/DotRows/Elementwise), obtaining
+//     a plaintext result matrix.
+//
+// An Engine resolves public keys once per dimension, owns the shared
+// bounded discrete-log solver (WithSolver derives a view with a different
+// bound over the same caches) and the session's default parallelism, and
+// is safe for concurrent use by any number of goroutines.
 //
 // Decryption is the expensive step (one bounded discrete log per output
-// element); as in the paper (§III-C), the package offers a parallelized
-// path — a goroutine worker pool over output cells — which produces the
-// "P" curves of Fig. 3d/4d/5d.
+// element); as in the paper (§III-C), every Secure* method drains output
+// cells on a chunked worker pipeline — the "P" curves of Fig. 3d/4d/5d —
+// and stays in the Montgomery domain end to end: numerators come off
+// fixed-base/multi-exponentiation ladders as raw limb elements, each
+// chunk's denominators share one batched modular inversion (Montgomery's
+// trick), and the quotients feed dlog.LookupMont directly.
 //
 // One deliberate extension over the paper's Algorithm 1: Encrypt can also
 // encrypt the matrix row-wise (dual orientation). The paper's Algorithm 2
@@ -23,6 +38,10 @@
 // but never spells out how to compute it when X is encrypted; inner
 // products against rows of X (feature vectors across the batch) make it
 // expressible in the very same FEIP machinery. See DESIGN.md §4.
+//
+// The package-level functions mirroring the methods (Encrypt, DotKeys,
+// SecureDot, ...) are the pre-Engine stateless API, kept for one release
+// as thin deprecated wrappers.
 package securemat
 
 import (
@@ -90,10 +109,10 @@ func (f Function) BasicOp() (febo.Op, bool) {
 	}
 }
 
-// KeyService is the server's view of the authority (Fig. 1): it hands out
+// KeyService is the protocol's view of the authority (Fig. 1): it hands out
 // public keys and function-derived keys for the permitted function set.
 // Implementations include the in-process authority and the TCP client in
-// internal/wire.
+// internal/wire. An Engine wraps a KeyService and memoizes what it serves.
 type KeyService interface {
 	// FEIPPublic returns the inner-product master public key (dimension η).
 	FEIPPublic(eta int) (*feip.MasterPublicKey, error)
@@ -170,7 +189,8 @@ func (e *EncryptedMatrix) HasRows() bool { return e != nil && e.RowCts != nil }
 
 // EncryptOptions selects which ciphertext forms Encrypt produces and how
 // much client-side parallelism to spend. The zero value reproduces
-// Algorithm 1 exactly (columns + elements, sequential).
+// Algorithm 1 exactly (columns + elements) at the engine's default
+// parallelism.
 type EncryptOptions struct {
 	// SkipElems omits the per-element FEBO ciphertexts (saves one
 	// exponentiation pair per element when only dot-products are needed).
@@ -178,125 +198,24 @@ type EncryptOptions struct {
 	// WithRows additionally encrypts each row under FEIP (dual
 	// orientation for secure gradient computation).
 	WithRows bool
-	// Parallelism is the number of encryption workers, with the same
-	// semantics as ComputeOptions.Parallelism: values < 2 select the
-	// sequential path, negative values mean DefaultParallelism. The
-	// fixed-base tables the workers share are immutable after Precompute,
-	// so any worker count is safe.
+	// Parallelism is the number of encryption workers: 0 defers to the
+	// engine's default, 1 forces the sequential path, negative values mean
+	// DefaultParallelism. The fixed-base tables the workers share are
+	// immutable after Precompute, so any worker count is safe.
 	Parallelism int
 }
 
-// Encrypt is the pre-process-encryption function of Algorithm 1 (lines
-// 14–21): it encrypts every column of X under FEIP and, unless opted out,
-// every element under FEBO.
-//
-// The FEIP public key is requested at dimension Rows for columns (and
-// dimension Cols for the dual rows); the FEBO public key protects single
-// elements. Column, row and element encryptions are each independent, so
-// they drain on the chunked worker pipeline when opts.Parallelism asks for
-// workers — the client-side counterpart of the parallel decryption path.
-func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix, error) {
-	rows, cols, err := Shape(x)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.Parallelism
-	if workers < 0 {
-		workers = DefaultParallelism()
-	}
-	colMPK, err := ks.FEIPPublic(rows)
-	if err != nil {
-		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
-	}
-	// Build the per-h_i fixed-base tables once, before the workers fan
-	// out; every column encryption below then runs on the shared
-	// read-only fast path.
-	colMPK.Precompute()
-	enc := &EncryptedMatrix{Rows: rows, Cols: cols}
-	enc.ColCts = make([]*feip.Ciphertext, cols)
-	// One column per chunk: a column encryption is η+1 exponentiations,
-	// plenty to amortize the chunk hand-off. The scratch is the per-worker
-	// column gather buffer.
-	err = forEachChunk(cols, 1, workers,
-		func() []int64 { return make([]int64, rows) },
-		func(start, end int, colBuf []int64) error {
-			for j := start; j < end; j++ {
-				for i := 0; i < rows; i++ {
-					colBuf[i] = x[i][j]
-				}
-				ct, err := feip.Encrypt(colMPK, colBuf, nil)
-				if err != nil {
-					return fmt.Errorf("securemat: encrypting column %d: %w", j, err)
-				}
-				enc.ColCts[j] = ct
-			}
-			return nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	if opts.WithRows {
-		rowMPK, err := ks.FEIPPublic(cols)
-		if err != nil {
-			return nil, fmt.Errorf("securemat: fetching FEIP row key: %w", err)
-		}
-		rowMPK.Precompute()
-		enc.RowCts = make([]*feip.Ciphertext, rows)
-		err = forEachChunk(rows, 1, workers,
-			func() struct{} { return struct{}{} },
-			func(start, end int, _ struct{}) error {
-				for i := start; i < end; i++ {
-					ct, err := feip.Encrypt(rowMPK, x[i], nil)
-					if err != nil {
-						return fmt.Errorf("securemat: encrypting row %d: %w", i, err)
-					}
-					enc.RowCts[i] = ct
-				}
-				return nil
-			})
-		if err != nil {
-			return nil, err
-		}
-	}
-	if !opts.SkipElems {
-		boPK, err := ks.FEBOPublic()
-		if err != nil {
-			return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
-		}
-		boPK.Precompute()
-		enc.Elems = make([][]*febo.Ciphertext, rows)
-		buf := make([]*febo.Ciphertext, rows*cols)
-		for i := range enc.Elems {
-			enc.Elems[i] = buf[i*cols : (i+1)*cols : (i+1)*cols]
-		}
-		// Element encryptions are two exponentiations each — chunk a few
-		// together so the pipeline overhead stays negligible.
-		err = forEachChunk(rows*cols, 16, workers,
-			func() struct{} { return struct{}{} },
-			func(start, end int, _ struct{}) error {
-				for idx := start; idx < end; idx++ {
-					i, j := idx/cols, idx%cols
-					ct, err := febo.Encrypt(boPK, x[i][j], nil)
-					if err != nil {
-						return fmt.Errorf("securemat: encrypting element (%d,%d): %w", i, j, err)
-					}
-					enc.Elems[i][j] = ct
-				}
-				return nil
-			})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return enc, nil
+// ComputeOptions tunes the secure-computation step.
+type ComputeOptions struct {
+	// Parallelism is the number of decryption workers: 0 defers to the
+	// engine's default, 1 forces the sequential path (the paper's non-"P"
+	// curves), negative values mean DefaultParallelism.
+	Parallelism int
 }
 
-// DotKeys is the pre-process-key-derivative function for the dot-product
-// case (Algorithm 1 lines 24–27): one inner-product key per row of W.
-func DotKeys(ks KeyService, w [][]int64) ([]*feip.FunctionKey, error) {
-	if _, _, err := Shape(w); err != nil {
-		return nil, err
-	}
+// dotKeys derives one inner-product key per row of w, in one batched
+// exchange when the service supports it.
+func dotKeys(ks KeyService, w [][]int64) ([]*feip.FunctionKey, error) {
 	if bks, ok := ks.(BatchKeyService); ok {
 		keys, err := bks.IPKeyBatch(w)
 		if err != nil {
@@ -315,10 +234,9 @@ func DotKeys(ks KeyService, w [][]int64) ([]*feip.FunctionKey, error) {
 	return keys, nil
 }
 
-// ElementwiseKeys is the pre-process-key-derivative function for the
-// element-wise case (Algorithm 1 lines 28–30): one FEBO key per element,
-// bound to the corresponding ciphertext commitment.
-func ElementwiseKeys(ks KeyService, enc *EncryptedMatrix, f Function, y [][]int64) ([][]*febo.FunctionKey, error) {
+// elementwiseKeys derives one FEBO key per element, bound to the
+// corresponding ciphertext commitment.
+func elementwiseKeys(ks KeyService, enc *EncryptedMatrix, f Function, y [][]int64) ([][]*febo.FunctionKey, error) {
 	op, ok := f.BasicOp()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s is not element-wise", ErrFunction, f)
@@ -366,101 +284,80 @@ func ElementwiseKeys(ks KeyService, enc *EncryptedMatrix, f Function, y [][]int6
 	return keys, nil
 }
 
-// ComputeOptions tunes the secure-computation step.
-type ComputeOptions struct {
-	// Parallelism is the number of decryption workers. Values < 2 select
-	// the sequential path (the paper's non-"P" curves).
-	Parallelism int
+// oneShot builds the throwaway session behind the deprecated stateless
+// wrappers: no key cache (preserving the old per-call authority traffic)
+// and sequential-by-default parallelism, exactly like the free functions.
+func oneShot(ks KeyService, solver *dlog.Solver) (*Engine, error) {
+	return NewEngine(ks, EngineOptions{Solver: solver, DotKeyCache: -1})
 }
 
-// SecureDot is the secure-computation function for f = dot-product
-// (Algorithm 1 lines 4–8): Z[i][j] = ⟨W_i, X_col_j⟩ recovered from
-// ciphertexts only. keys[i] must be the IPKey for row i of w.
+// Encrypt is the stateless pre-process-encryption function.
+//
+// Deprecated: build an Engine once per session and use Engine.Encrypt; the
+// free function constructs a throwaway session per call and cannot reuse
+// public keys or scratch pools.
+func Encrypt(ks KeyService, x [][]int64, opts EncryptOptions) (*EncryptedMatrix, error) {
+	e, err := oneShot(ks, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.Encrypt(x, opts)
+}
+
+// DotKeys is the stateless pre-process-key-derivative function for the
+// dot-product case.
+//
+// Deprecated: use Engine.DotKeys, which caches keys per weight matrix.
+func DotKeys(ks KeyService, w [][]int64) ([]*feip.FunctionKey, error) {
+	if _, _, err := Shape(w); err != nil {
+		return nil, err
+	}
+	return dotKeys(ks, w)
+}
+
+// ElementwiseKeys is the stateless pre-process-key-derivative function for
+// the element-wise case.
+//
+// Deprecated: use Engine.ElementwiseKeys.
+func ElementwiseKeys(ks KeyService, enc *EncryptedMatrix, f Function, y [][]int64) ([][]*febo.FunctionKey, error) {
+	return elementwiseKeys(ks, enc, f, y)
+}
+
+// SecureDot is the stateless secure-computation function for
+// f = dot-product.
+//
+// Deprecated: use Engine.SecureDot (or Engine.Dot), which reuses the
+// session's public keys and solver.
 func SecureDot(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, w [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
-	wRows, wCols, err := Shape(w)
+	e, err := oneShot(ks, solver)
 	if err != nil {
 		return nil, err
 	}
-	if wCols != enc.Rows {
-		return nil, fmt.Errorf("%w: W is %dx%d but encrypted X has %d rows", ErrShape, wRows, wCols, enc.Rows)
-	}
-	if len(keys) != wRows {
-		return nil, fmt.Errorf("%w: %d keys for %d rows of W", ErrShape, len(keys), wRows)
-	}
-	mpk, err := ks.FEIPPublic(enc.Rows)
-	if err != nil {
-		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
-	}
-	z := newMatrix(wRows, enc.Cols)
-	if err := decryptDotBatched(mpk.Params, solver, enc.ColCts, keys, w, opts.Parallelism, z); err != nil {
-		return nil, err
-	}
-	return z, nil
+	return e.SecureDot(enc, keys, w, opts)
 }
 
-// SecureDotRows computes G[i][k] = ⟨d_i, X_row_k⟩ over the dual
-// row-orientation ciphertexts, i.e. the matrix product D·Xᵀ. This realizes
-// the first-layer weight gradient dW = dZ·Xᵀ of secure back-propagation;
-// keys[i] must be the IPKey for row i of d (vectors of length enc.Cols).
+// SecureDotRows is the stateless dual-orientation secure dot-product
+// (D·Xᵀ, the secure back-propagation gradient).
+//
+// Deprecated: use Engine.SecureDotRows (or Engine.DotRows).
 func SecureDotRows(ks KeyService, enc *EncryptedMatrix, keys []*feip.FunctionKey, d [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
-	if !enc.HasRows() {
-		return nil, fmt.Errorf("%w: matrix was encrypted without row orientation", ErrShape)
-	}
-	dRows, dCols, err := Shape(d)
+	e, err := oneShot(ks, solver)
 	if err != nil {
 		return nil, err
 	}
-	if dCols != enc.Cols {
-		return nil, fmt.Errorf("%w: D is %dx%d but encrypted X has %d cols", ErrShape, dRows, dCols, enc.Cols)
-	}
-	if len(keys) != dRows {
-		return nil, fmt.Errorf("%w: %d keys for %d rows of D", ErrShape, len(keys), dRows)
-	}
-	mpk, err := ks.FEIPPublic(enc.Cols)
-	if err != nil {
-		return nil, fmt.Errorf("securemat: fetching FEIP key: %w", err)
-	}
-	g := newMatrix(dRows, enc.Rows)
-	if err := decryptDotBatched(mpk.Params, solver, enc.RowCts, keys, d, opts.Parallelism, g); err != nil {
-		return nil, err
-	}
-	return g, nil
+	return e.SecureDotRows(enc, keys, d, opts)
 }
 
-// SecureElementwise is the secure-computation function for element-wise f
-// (Algorithm 1 lines 9–12): Z[i][j] = X[i][j] Δ Y[i][j] recovered from
-// ciphertexts only.
+// SecureElementwise is the stateless secure-computation function for
+// element-wise f.
+//
+// Deprecated: use Engine.SecureElementwise (or Engine.Elementwise).
 func SecureElementwise(ks KeyService, enc *EncryptedMatrix, keys [][]*febo.FunctionKey, f Function, y [][]int64, solver *dlog.Solver, opts ComputeOptions) ([][]int64, error) {
-	op, ok := f.BasicOp()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s is not element-wise", ErrFunction, f)
-	}
-	if !enc.HasElems() {
-		return nil, fmt.Errorf("%w: matrix was encrypted without element ciphertexts", ErrShape)
-	}
-	rows, cols, err := Shape(y)
+	e, err := oneShot(ks, solver)
 	if err != nil {
 		return nil, err
 	}
-	if rows != enc.Rows || cols != enc.Cols {
-		return nil, fmt.Errorf("%w: Y is %dx%d, encrypted X is %dx%d", ErrShape, rows, cols, enc.Rows, enc.Cols)
-	}
-	if len(keys) != rows {
-		return nil, fmt.Errorf("%w: %d key rows for %d matrix rows", ErrShape, len(keys), rows)
-	}
-	pk, err := ks.FEBOPublic()
-	if err != nil {
-		return nil, fmt.Errorf("securemat: fetching FEBO key: %w", err)
-	}
-	z := newMatrix(rows, cols)
-	err = decryptBatched(pk.Params, solver, rows, cols, opts.Parallelism,
-		func(i, j int) (num, den *big.Int, err error) {
-			return febo.DecryptParts(pk, keys[i][j], enc.Elems[i][j], op, y[i][j])
-		}, z)
-	if err != nil {
-		return nil, err
-	}
-	return z, nil
+	return e.SecureElementwise(enc, keys, f, y, opts)
 }
 
 func newMatrix(rows, cols int) [][]int64 {

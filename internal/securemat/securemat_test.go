@@ -12,7 +12,9 @@ import (
 	"cryptonn/internal/securemat"
 )
 
-func newFixture(t testing.TB, bound int64) (*authority.Authority, *dlog.Solver) {
+// newFixture builds an in-process authority plus an Engine session over it
+// with a solver at the given bound.
+func newFixture(t testing.TB, bound int64) (*authority.Authority, *securemat.Engine) {
 	t.Helper()
 	auth, err := authority.New(group.TestParams(), authority.AllowAll())
 	if err != nil {
@@ -22,7 +24,11 @@ func newFixture(t testing.TB, bound int64) (*authority.Authority, *dlog.Solver) 
 	if err != nil {
 		t.Fatalf("dlog.NewSolver: %v", err)
 	}
-	return auth, solver
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		t.Fatalf("securemat.NewEngine: %v", err)
+	}
+	return auth, eng
 }
 
 func plainDot(w, x [][]int64) [][]int64 {
@@ -70,20 +76,20 @@ func randMatrix(rng *rand.Rand, rows, cols int, lo, hi int64) [][]int64 {
 }
 
 func TestSecureDotMatchesPlaintext(t *testing.T) {
-	auth, solver := newFixture(t, 1_000_000)
+	_, eng := newFixture(t, 1_000_000)
 	rng := rand.New(rand.NewSource(11))
 	x := randMatrix(rng, 4, 3, -20, 20) // 4 features x 3 samples
 	w := randMatrix(rng, 2, 4, -20, 20) // 2 units x 4 features
 
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatalf("Encrypt: %v", err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatalf("DotKeys: %v", err)
 	}
-	z, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{})
+	z, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{})
 	if err != nil {
 		t.Fatalf("SecureDot: %v", err)
 	}
@@ -93,24 +99,24 @@ func TestSecureDotMatchesPlaintext(t *testing.T) {
 }
 
 func TestSecureDotParallelMatchesSequential(t *testing.T) {
-	auth, solver := newFixture(t, 1_000_000)
+	_, eng := newFixture(t, 1_000_000)
 	rng := rand.New(rand.NewSource(13))
 	x := randMatrix(rng, 5, 6, -10, 10)
 	w := randMatrix(rng, 3, 5, -10, 10)
 
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	seq, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 4})
+	par, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,20 +126,20 @@ func TestSecureDotParallelMatchesSequential(t *testing.T) {
 }
 
 func TestSecureDotRowsComputesDXT(t *testing.T) {
-	auth, solver := newFixture(t, 1_000_000)
+	_, eng := newFixture(t, 1_000_000)
 	rng := rand.New(rand.NewSource(17))
 	x := randMatrix(rng, 4, 5, -10, 10) // 4 features x 5 samples
 	d := randMatrix(rng, 3, 5, -10, 10) // 3 units x 5 samples (like dZ)
 
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true, WithRows: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true, WithRows: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, d)
+	keys, err := eng.DotKeys(d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := securemat.SecureDotRows(auth, enc, keys, d, solver, securemat.ComputeOptions{})
+	g, err := eng.SecureDotRows(enc, keys, d, securemat.ComputeOptions{})
 	if err != nil {
 		t.Fatalf("SecureDotRows: %v", err)
 	}
@@ -153,7 +159,7 @@ func TestSecureDotRowsComputesDXT(t *testing.T) {
 }
 
 func TestSecureElementwiseAllOps(t *testing.T) {
-	auth, solver := newFixture(t, 1_000_000)
+	_, eng := newFixture(t, 1_000_000)
 	x := [][]int64{{10, 20}, {-30, 40}}
 	tests := []struct {
 		name string
@@ -166,17 +172,17 @@ func TestSecureElementwiseAllOps(t *testing.T) {
 		{"mul", securemat.ElementwiseMul, [][]int64{{2, -3}, {4, 5}}, [][]int64{{20, -60}, {-120, 200}}},
 		{"div", securemat.ElementwiseDiv, [][]int64{{2, 4}, {-3, 8}}, [][]int64{{5, 5}, {10, 5}}},
 	}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			keys, err := securemat.ElementwiseKeys(auth, enc, tt.f, tt.y)
+			keys, err := eng.ElementwiseKeys(enc, tt.f, tt.y)
 			if err != nil {
 				t.Fatalf("ElementwiseKeys: %v", err)
 			}
-			z, err := securemat.SecureElementwise(auth, enc, keys, tt.f, tt.y, solver, securemat.ComputeOptions{})
+			z, err := eng.SecureElementwise(enc, keys, tt.f, tt.y, securemat.ComputeOptions{})
 			if err != nil {
 				t.Fatalf("SecureElementwise: %v", err)
 			}
@@ -188,19 +194,19 @@ func TestSecureElementwiseAllOps(t *testing.T) {
 }
 
 func TestSecureElementwiseParallel(t *testing.T) {
-	auth, solver := newFixture(t, 1_000_000)
+	_, eng := newFixture(t, 1_000_000)
 	rng := rand.New(rand.NewSource(29))
 	x := randMatrix(rng, 6, 7, -50, 50)
 	y := randMatrix(rng, 6, 7, -50, 50)
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+	keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, y)
 	if err != nil {
 		t.Fatal(err)
 	}
-	z, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver, securemat.ComputeOptions{Parallelism: 4})
+	z, err := eng.SecureElementwise(enc, keys, securemat.ElementwiseAdd, y, securemat.ComputeOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,41 +236,41 @@ func TestShapeValidation(t *testing.T) {
 }
 
 func TestDimensionMismatchErrors(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	_, eng := newFixture(t, 1000)
 	x := [][]int64{{1, 2}, {3, 4}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	wBad := [][]int64{{1, 2, 3}} // W cols != X rows
-	keys, err := securemat.DotKeys(auth, wBad)
+	keys, err := eng.DotKeys(wBad)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.SecureDot(auth, enc, keys, wBad, solver, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
+	if _, err := eng.SecureDot(enc, keys, wBad, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
 		t.Errorf("mismatched W: err = %v", err)
 	}
 
 	yBad := [][]int64{{1, 2, 3}, {4, 5, 6}}
-	if _, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, yBad); !errors.Is(err, securemat.ErrShape) {
+	if _, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, yBad); !errors.Is(err, securemat.ErrShape) {
 		t.Errorf("mismatched Y: err = %v", err)
 	}
 
-	if _, err := securemat.ElementwiseKeys(auth, enc, securemat.DotProduct, x); !errors.Is(err, securemat.ErrFunction) {
+	if _, err := eng.ElementwiseKeys(enc, securemat.DotProduct, x); !errors.Is(err, securemat.ErrFunction) {
 		t.Errorf("dot-product as elementwise: err = %v", err)
 	}
 
 	// Row orientation absent.
-	if _, err := securemat.SecureDotRows(auth, enc, nil, [][]int64{{1, 2}}, solver, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
+	if _, err := eng.SecureDotRows(enc, nil, [][]int64{{1, 2}}, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
 		t.Errorf("missing row cts: err = %v", err)
 	}
 	// Element ciphertexts absent.
-	encNoElems, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	encNoElems, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.ElementwiseKeys(auth, encNoElems, securemat.ElementwiseAdd, x); !errors.Is(err, securemat.ErrShape) {
+	if _, err := eng.ElementwiseKeys(encNoElems, securemat.ElementwiseAdd, x); !errors.Is(err, securemat.ErrShape) {
 		t.Errorf("missing elem cts: err = %v", err)
 	}
 }
@@ -277,34 +283,38 @@ func TestPolicyEnforcement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := auth.IPKey([]int64{1, 2}); !errors.Is(err, authority.ErrNotPermitted) {
 		t.Errorf("IPKey: err = %v, want ErrNotPermitted", err)
 	}
 	x := [][]int64{{1}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseMul, x); !errors.Is(err, authority.ErrNotPermitted) {
+	if _, err := eng.ElementwiseKeys(enc, securemat.ElementwiseMul, x); !errors.Is(err, authority.ErrNotPermitted) {
 		t.Errorf("mul key: err = %v, want ErrNotPermitted", err)
 	}
-	if _, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, x); err != nil {
+	if _, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, x); err != nil {
 		t.Errorf("add key should be permitted: %v", err)
 	}
 }
 
 func TestAuthorityStats(t *testing.T) {
-	auth, _ := newFixture(t, 1000)
+	auth, eng := newFixture(t, 1000)
 	x := [][]int64{{1, 2}, {3, 4}}
 	w := [][]int64{{1, 1}, {2, 2}, {3, 3}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.DotKeys(auth, w); err != nil {
+	if _, err := eng.DotKeys(w); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseSub, x); err != nil {
+	if _, err := eng.ElementwiseKeys(enc, securemat.ElementwiseSub, x); err != nil {
 		t.Fatal(err)
 	}
 	st := auth.Stats()
@@ -349,17 +359,21 @@ func TestErrorPropagatesFromParallelWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: tinySolver})
+	if err != nil {
+		t.Fatal(err)
+	}
 	x := [][]int64{{100, 100}, {100, 100}}
 	w := [][]int64{{100, 100}, {100, 100}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := securemat.SecureDot(auth, enc, keys, w, tinySolver, securemat.ComputeOptions{Parallelism: 4}); !errors.Is(err, dlog.ErrNotFound) {
+	if _, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 4}); !errors.Is(err, dlog.ErrNotFound) {
 		t.Errorf("err = %v, want dlog.ErrNotFound", err)
 	}
 }

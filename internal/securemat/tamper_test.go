@@ -15,18 +15,18 @@ import (
 // the tampering had no effect, which is the one impossible outcome).
 
 func TestTamperedDotCiphertextDetected(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	auth, eng := newFixture(t, 1000)
 	x := [][]int64{{3, 1}, {2, 5}}
 	w := [][]int64{{4, -2}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	want, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,21 +36,21 @@ func TestTamperedDotCiphertextDetected(t *testing.T) {
 	params := auth.Params()
 	enc.ColCts[0].Ct[0] = params.Mul(enc.ColCts[0].Ct[0], params.G)
 
-	got, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1})
+	got, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1})
 	if err == nil && got[0][0] == want[0][0] {
 		t.Errorf("tampered ciphertext decrypted to the original result %d", want[0][0])
 	}
 }
 
 func TestTamperedCommitmentBreaksElementwiseKey(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	_, eng := newFixture(t, 1000)
 	x := [][]int64{{7}}
 	y := [][]int64{{5}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.ElementwiseKeys(auth, enc, securemat.ElementwiseAdd, y)
+	keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseAdd, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,12 +58,12 @@ func TestTamperedCommitmentBreaksElementwiseKey(t *testing.T) {
 	// Swap the ciphertext for a fresh encryption of a different value:
 	// the key is bound to the *old* commitment, so decryption must not
 	// yield newValue + y.
-	enc2, err := securemat.Encrypt(auth, [][]int64{{20}}, securemat.EncryptOptions{})
+	enc2, err := eng.Encrypt([][]int64{{20}}, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	enc.Elems[0][0] = enc2.Elems[0][0]
-	got, err := securemat.SecureElementwise(auth, enc, keys, securemat.ElementwiseAdd, y, solver,
+	got, err := eng.SecureElementwise(enc, keys, securemat.ElementwiseAdd, y,
 		securemat.ComputeOptions{Parallelism: 1})
 	if err == nil && got[0][0] == 25 {
 		t.Error("key bound to a different commitment still decrypted the swapped ciphertext")
@@ -71,20 +71,20 @@ func TestTamperedCommitmentBreaksElementwiseKey(t *testing.T) {
 }
 
 func TestNonElementCiphertextRejected(t *testing.T) {
-	auth, solver := newFixture(t, 1000)
+	_, eng := newFixture(t, 1000)
 	x := [][]int64{{3, 1}}
 	w := [][]int64{{2}}
-	enc, err := securemat.Encrypt(auth, x, securemat.EncryptOptions{SkipElems: true})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{SkipElems: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(auth, w)
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 0 is never a member of the multiplicative subgroup.
 	enc.ColCts[0].Ct[0] = big.NewInt(0)
-	if _, err := securemat.SecureDot(auth, enc, keys, w, solver, securemat.ComputeOptions{Parallelism: 1}); err == nil {
+	if _, err := eng.SecureDot(enc, keys, w, securemat.ComputeOptions{Parallelism: 1}); err == nil {
 		t.Error("zero 'group element' accepted in decryption")
 	}
 }

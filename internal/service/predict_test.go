@@ -40,7 +40,11 @@ func TestPredictionOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, fixedpoint.Default(), labels)
+	ceng, err := newClientEngine(auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(ceng, fixedpoint.Default(), labels)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -125,13 +125,16 @@ type Report struct {
 
 // Server is the CryptoNN training service.
 type Server struct {
-	keys  securemat.KeyService
-	cfg   Config
-	model *nn.Model
+	engine *securemat.Engine
+	cfg    Config
+	model  *nn.Model
 }
 
 // New assembles a training service around a key service (the authority
-// connection, or an in-process authority in tests).
+// connection, or an in-process authority in tests). The server owns one
+// secure compute session for its whole lifetime: public keys are fetched
+// once, and the dot-product key cache carries the trained weights' keys
+// across prediction requests.
 func New(keys securemat.KeyService, cfg Config) (*Server, error) {
 	if keys == nil {
 		return nil, errors.New("service: nil key service")
@@ -139,12 +142,16 @@ func New(keys securemat.KeyService, cfg Config) (*Server, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	engine, err := securemat.NewEngine(keys, securemat.EngineOptions{Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("service: building engine: %w", err)
+	}
 	model, err := nn.NewMLP(cfg.Features, cfg.Classes, cfg.Hidden,
 		nn.SoftmaxCrossEntropy{}, rand.New(rand.NewSource(cfg.Seed)))
 	if err != nil {
 		return nil, fmt.Errorf("service: building model: %w", err)
 	}
-	return &Server{keys: keys, cfg: cfg, model: model}, nil
+	return &Server{engine: engine, cfg: cfg, model: model}, nil
 }
 
 // Model exposes the (plaintext) model; before Run completes it holds the
@@ -278,33 +285,29 @@ func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
 	return err
 }
 
-// newTrainer builds a core.Trainer with a discrete-log bound sized for
-// the observed batch sizes.
+// newTrainer builds a core.Trainer over a view of the server's engine with
+// a discrete-log bound sized for the observed batch sizes. The view shares
+// the session caches, so repeated trainers (every Predict call) re-fetch
+// nothing.
 func (s *Server) newTrainer(batches []*core.EncryptedBatch) (*core.Trainer, error) {
 	maxN := 0
 	for _, b := range batches {
-		if b.N > maxN {
-			maxN = b.N
-		}
+		maxN = max(maxN, b.N)
 	}
-	mpk, err := s.keys.FEIPPublic(s.cfg.Features)
+	mpk, err := s.engine.FEIPPublic(s.cfg.Features)
 	if err != nil {
 		return nil, fmt.Errorf("service: fetching public key: %w", err)
 	}
 	bound := core.SolverBound(s.cfg.Codec, s.cfg.Features, 1, s.cfg.MaxWeight, 1)
-	if g := core.SolverBound(s.cfg.Codec, maxN, 1, s.cfg.MaxWeight, 100); g > bound {
-		bound = g
-	}
+	bound = max(bound, core.SolverBound(s.cfg.Codec, maxN, 1, s.cfg.MaxWeight, 100))
 	if s.cfg.ComputeLoss {
-		if l := core.SolverBound(s.cfg.Codec, 1, 1, 25, 1); l > bound {
-			bound = l
-		}
+		bound = max(bound, core.SolverBound(s.cfg.Codec, 1, 1, 25, 1))
 	}
 	solver, err := dlog.NewSolver(mpk.Params, bound)
 	if err != nil {
 		return nil, fmt.Errorf("service: building dlog solver: %w", err)
 	}
-	return core.NewTrainer(s.model, s.keys, solver, core.Config{
+	return core.NewTrainer(s.model, s.engine.WithSolver(solver), core.Config{
 		Codec:       s.cfg.Codec,
 		Parallelism: s.cfg.Parallelism,
 		MaxWeight:   s.cfg.MaxWeight,

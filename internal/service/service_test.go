@@ -14,9 +14,16 @@ import (
 	"cryptonn/internal/core"
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 	"cryptonn/internal/wire"
 )
+
+// newClientEngine wraps a key service in an encrypt-only secure compute
+// session, as test clients need.
+func newClientEngine(ks securemat.KeyService) (*securemat.Engine, error) {
+	return securemat.NewEngine(ks, securemat.EngineOptions{})
+}
 
 // testAuthority spins up an in-process authority plus its TCP front-end
 // and returns a connected key service.
@@ -154,7 +161,12 @@ func TestEndToEndTwoClients(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client, err := core.NewClient(ks, fixedpoint.Default(), nil)
+			eng, err := newClientEngine(ks)
+			if err != nil {
+				clientErr <- err
+				return
+			}
+			client, err := core.NewClient(eng, fixedpoint.Default(), nil)
 			if err != nil {
 				clientErr <- err
 				return
@@ -229,7 +241,11 @@ func TestTrainInProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, fixedpoint.Default(), nil)
+	eng, err := newClientEngine(auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(eng, fixedpoint.Default(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +293,11 @@ func TestTrainRejectsMismatchedBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := core.NewClient(auth, fixedpoint.Default(), nil)
+	eng, err := newClientEngine(auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(eng, fixedpoint.Default(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,8 +84,13 @@ func TestIPKeyBatchKeysDecryptOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// DotKeys should automatically take the batch path over the wire.
-	keys, err := securemat.DotKeys(ks, w)
+	// Engine.DotKeys should automatically take the batch path over the
+	// wire on its first (cache-missing) derivation.
+	eng, err := securemat.NewEngine(ks, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := eng.DotKeys(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,15 +185,19 @@ func TestBOKeyBatchValidation(t *testing.T) {
 // decrypt correctly end to end.
 func TestElementwiseKeysUseBatchPath(t *testing.T) {
 	auth, ks := startAuthority(t, authority.AllowAll())
+	eng, err := securemat.NewEngine(ks, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	x := [][]int64{{4, -3}, {10, 0}}
 	y := [][]int64{{2, 2}, {-5, 7}}
-	enc, err := securemat.Encrypt(ks, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := auth.Stats().BOKeys
 	tripsBefore := ks.RoundTrips()
-	keys, err := securemat.ElementwiseKeys(ks, enc, securemat.ElementwiseMul, y)
+	keys, err := eng.ElementwiseKeys(enc, securemat.ElementwiseMul, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +211,7 @@ func TestElementwiseKeysUseBatchPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	z, err := securemat.SecureElementwise(ks, enc, keys, securemat.ElementwiseMul, y, solver,
+	z, err := eng.WithSolver(solver).SecureElementwise(enc, keys, securemat.ElementwiseMul, y,
 		securemat.ComputeOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)

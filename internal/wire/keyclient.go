@@ -19,7 +19,10 @@ import (
 //
 // The connection carries one request at a time; concurrent callers are
 // serialized. For high-throughput key traffic (the per-element FEBO
-// requests of element-wise training steps) use NewKeyServicePool.
+// requests of element-wise training steps) use NewKeyServicePool. Callers
+// normally wrap either flavour in a securemat.Engine, whose session
+// caches (public keys, per-weight-matrix function keys) sit above this
+// client and keep repeated requests off the wire entirely.
 type RemoteKeyService struct {
 	mu   sync.Mutex
 	conn net.Conn

@@ -10,13 +10,18 @@ import (
 	"cryptonn/internal/core"
 	"cryptonn/internal/fixedpoint"
 	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/tensor"
 )
 
 // submitOne encrypts a tiny batch and submits it as one client session.
 func submitOne(t *testing.T, addr string, auth *authority.Authority) {
 	t.Helper()
-	client, err := core.NewClient(auth, fixedpoint.Default(), nil)
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(eng, fixedpoint.Default(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

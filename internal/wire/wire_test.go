@@ -72,17 +72,17 @@ func TestRemoteKeyServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	eng, err := securemat.NewEngine(ks, securemat.EngineOptions{Solver: solver})
+	if err != nil {
+		t.Fatal(err)
+	}
 	x := [][]int64{{1, 2}, {3, 4}}
 	w := [][]int64{{5, 6}}
-	enc, err := securemat.Encrypt(ks, x, securemat.EncryptOptions{})
+	enc, err := eng.Encrypt(x, securemat.EncryptOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := securemat.DotKeys(ks, w)
-	if err != nil {
-		t.Fatal(err)
-	}
-	z, err := securemat.SecureDot(ks, enc, keys, w, solver, securemat.ComputeOptions{})
+	z, err := eng.Dot(enc, w, securemat.ComputeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +91,7 @@ func TestRemoteKeyServiceEndToEnd(t *testing.T) {
 	}
 
 	// Element-wise path exercises BOKey + FEBOPublic.
-	ewKeys, err := securemat.ElementwiseKeys(ks, enc, securemat.ElementwiseAdd, x)
-	if err != nil {
-		t.Fatal(err)
-	}
-	z2, err := securemat.SecureElementwise(ks, enc, ewKeys, securemat.ElementwiseAdd, x, solver, securemat.ComputeOptions{})
+	z2, err := eng.Elementwise(enc, securemat.ElementwiseAdd, x, securemat.ComputeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +250,11 @@ func TestTrainingServerCollectsBatchesFromDistributedClients(t *testing.T) {
 		<-done
 	}()
 
-	client, err := core.NewClient(auth, nil, nil)
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestTrainingServerCollectsBatchesFromDistributedClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trainer, err := core.NewTrainer(model, auth, solver, core.Config{})
+	trainer, err := core.NewTrainer(model, eng.WithSolver(solver), core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +410,11 @@ func TestConvBatchSubmission(t *testing.T) {
 		<-done
 	}()
 
-	client, err := core.NewClient(auth, nil, nil)
+	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(eng, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
