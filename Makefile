@@ -7,6 +7,10 @@
 GO        ?= go
 COUNT     ?= 5
 BENCHTIME ?= 1s
+# The serving benchmark measures closed-loop rounds over loopback TCP;
+# a fixed round count keeps its samples/sec numbers comparable across
+# runs (time-based -benchtime would vary the round count with load).
+SERVE_BENCHTIME ?= 200x
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: check fmt-check build vet staticcheck test race bench bench-json
@@ -38,15 +42,19 @@ test:
 	$(GO) test ./...
 
 # The engine's thread-safety contract (shared tables, one solver, one
-# Montgomery context across many goroutines) under the race detector.
+# Montgomery context across many goroutines) under the race detector,
+# plus the wire layer's coalescing dispatcher hammer.
 race:
 	$(GO) test -race ./internal/group/ ./internal/feip/ ./internal/febo/ \
-		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/
+		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/ \
+		./internal/wire/
 
 # Hot-path benchmarks: group-level multiplication/exponentiation atoms,
 # FEIP primitive costs (sequential + shared-key parallel encryption), the
 # dlog solver (sequential + shared-table parallel), the securemat batched
-# encrypt/decrypt pipelines, and the paper's Fig. 3 element-wise pipeline.
+# encrypt/decrypt pipelines, the prediction-serving throughput engine
+# (coalesced vs serial over loopback TCP), and the paper's Fig. 3
+# element-wise pipeline.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64|BenchmarkMulMont|BenchmarkBatchInv' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/group/
@@ -56,14 +64,17 @@ bench:
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/dlog/
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt|BenchmarkEncryptParallel|BenchmarkSecureElementwise$$|BenchmarkEngineDotKeyCache' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
+	$(GO) test -run '^$$' -bench 'BenchmarkServeCoalesced' \
+		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
 
 # Machine-readable perf snapshot: one short pass over the full bench suite,
-# folded into BENCH_pr4.json (qualified benchmark name → ns/op, B/op,
-# allocs/op) by cmd/benchjson. Commit the refreshed snapshot when a PR
-# changes the perf story; diff two snapshots (or two CI artifacts) to see
-# the trajectory without parsing benchmark text.
-BENCH_JSON      ?= BENCH_pr4.json
+# folded into BENCH_pr5.json (qualified benchmark name → ns/op, B/op,
+# allocs/op, plus custom metrics like samples/sec) by cmd/benchjson.
+# Commit the refreshed snapshot when a PR changes the perf story; diff two
+# snapshots (or two CI artifacts) to see the trajectory without parsing
+# benchmark text.
+BENCH_JSON      ?= BENCH_pr5.json
 JSON_COUNT      ?= 1
 JSON_BENCHTIME  ?= 10x
 bench-json:

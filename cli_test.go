@@ -73,7 +73,8 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bins := buildBinaries(t, dir,
-		"cryptonn-authority", "cryptonn-server", "cryptonn-client", "cryptonn-predict")
+		"cryptonn-authority", "cryptonn-server", "cryptonn-client", "cryptonn-predict",
+		"cryptonn-loadgen")
 
 	authAddr := freePort(t)
 	trainAddr := freePort(t)
@@ -143,6 +144,22 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 		t.Errorf("unexpected predict output:\n%s", predOut)
 	}
 
+	// --- Load generator drives concurrent clients at the same endpoint
+	// (the coalescing dispatcher's cross-client path). ---
+	loadgen := exec.Command(bins["cryptonn-loadgen"],
+		"-authority", authAddr,
+		"-server", predictAddr,
+		"-features", "784", "-classes", "10",
+		"-clients", "2", "-requests", "2", "-samples", "1",
+	)
+	loadOut, err := loadgen.CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s\nserver log:\n%s", err, loadOut, serverLog.String())
+	}
+	if !strings.Contains(string(loadOut), "samples/sec") {
+		t.Errorf("loadgen output missing throughput line:\n%s", loadOut)
+	}
+
 	// --- The checkpoint the server saved loads and has the right shape. ---
 	f, err := os.Open(modelPath)
 	if err != nil {
@@ -174,7 +191,7 @@ func TestCLIFlagAndHelpPaths(t *testing.T) {
 		t.Skip("builds the real binaries; skipped in -short")
 	}
 	dir := t.TempDir()
-	bins := buildBinaries(t, dir, "cryptonn-bench", "cryptonn-predict")
+	bins := buildBinaries(t, dir, "cryptonn-bench", "cryptonn-predict", "cryptonn-loadgen")
 
 	// runBin returns combined output and the exit code (-1 on start failure).
 	runBin := func(bin string, args ...string) (string, int) {
@@ -232,6 +249,29 @@ func TestCLIFlagAndHelpPaths(t *testing.T) {
 		out, code := runBin("cryptonn-predict", "-bogus")
 		if code == 0 {
 			t.Errorf("unknown flag exited 0\n%s", out)
+		}
+	})
+	t.Run("loadgen help lists load shape flags", func(t *testing.T) {
+		out, code := runBin("cryptonn-loadgen", "-h")
+		if code == 0 {
+			t.Errorf("-h exited 0, want non-zero (flag.ErrHelp path)")
+		}
+		for _, flag := range []string{"-clients", "-requests", "-samples", "-server", "-authority"} {
+			if !strings.Contains(out, flag) {
+				t.Errorf("-h usage missing %s:\n%s", flag, out)
+			}
+		}
+	})
+	t.Run("loadgen rejects unknown flag", func(t *testing.T) {
+		out, code := runBin("cryptonn-loadgen", "-bogus")
+		if code == 0 {
+			t.Errorf("unknown flag exited 0\n%s", out)
+		}
+	})
+	t.Run("loadgen fails fast on unreachable authority", func(t *testing.T) {
+		out, code := runBin("cryptonn-loadgen", "-authority", freePort(t), "-clients", "1", "-requests", "1")
+		if code == 0 {
+			t.Errorf("unreachable authority exited 0:\n%s", out)
 		}
 	})
 	t.Run("predict fails fast on unreachable authority", func(t *testing.T) {

@@ -23,13 +23,16 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line, qualified by package.
+// Result is one benchmark line, qualified by package. Extra carries
+// custom b.ReportMetric units (samples/sec, samples/eval, ...) so
+// throughput stories survive into the snapshot alongside ns/op.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -132,6 +135,17 @@ func parseBenchLine(line string) (Result, bool) {
 			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom b.ReportMetric units; anything non-numeric in the
+			// value column means this is not a metric pair.
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = f
 		}
 	}
 	return res, seenNs

@@ -18,6 +18,8 @@ ok  	cryptonn/internal/feip	4.182s
 pkg: cryptonn/internal/febo
 BenchmarkEncrypt-4   	  413322	      1228.5 ns/op
 not a bench line
+pkg: cryptonn/internal/service
+BenchmarkServeCoalesced/coalesced/clients=4/batch=1-4         	     200	   1328194 ns/op	         4.000 samples/eval	      3012 samples/sec
 `
 
 func TestParse(t *testing.T) {
@@ -25,8 +27,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4: %+v", len(results), results)
 	}
 	byName := map[string]Result{}
 	for _, r := range results {
@@ -49,6 +51,10 @@ func TestParse(t *testing.T) {
 	}
 	if febo.Iterations != 413322 {
 		t.Errorf("febo iterations = %d", febo.Iterations)
+	}
+	serve := byName["cryptonn/internal/service.BenchmarkServeCoalesced/coalesced/clients=4/batch=1"]
+	if serve.Extra["samples/sec"] != 3012 || serve.Extra["samples/eval"] != 4 {
+		t.Errorf("custom metrics not captured: %+v", serve.Extra)
 	}
 }
 

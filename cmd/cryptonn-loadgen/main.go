@@ -1,0 +1,182 @@
+// Command cryptonn-loadgen measures prediction-serving throughput: it
+// drives N concurrent prediction clients against a running server
+// (started with -predict-listen) and prints aggregate throughput and
+// latency percentiles. With several clients it exercises the server's
+// cross-client batch coalescing; with -clients 1 it measures the serial
+// per-connection baseline for comparison.
+//
+// Usage:
+//
+//	cryptonn-loadgen -authority 127.0.0.1:7001 -server 127.0.0.1:7003 \
+//	    -features 784 -classes 10 -clients 8 -samples 1 -requests 50
+//
+// Each client encrypts one deterministic batch of -samples inputs up
+// front (prediction touches only the input ciphertexts, so the batch is
+// reusable) and then issues -requests back-to-back prediction calls on
+// its own connection. Requests rejected under server backpressure
+// (wire.ErrBusy) back off exponentially and retry; retries are counted
+// and reported.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cryptonn/internal/core"
+	"cryptonn/internal/fixedpoint"
+	"cryptonn/internal/securemat"
+	"cryptonn/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cryptonn-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// clientReport aggregates one client's measurements.
+type clientReport struct {
+	lats        []time.Duration
+	busyRetries int
+	err         error
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cryptonn-loadgen", flag.ContinueOnError)
+	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address")
+	serverAddr := fs.String("server", "127.0.0.1:7003", "prediction server address")
+	features := fs.Int("features", 784, "input feature count (must match the server's model)")
+	classes := fs.Int("classes", 10, "output classes (must match the server's model)")
+	clients := fs.Int("clients", 4, "concurrent prediction clients")
+	samples := fs.Int("samples", 1, "samples per request")
+	requests := fs.Int("requests", 20, "requests per client")
+	seed := fs.Int64("seed", 7, "synthetic data seed")
+	maxBackoff := fs.Duration("max-backoff", 100*time.Millisecond, "cap for the busy-retry backoff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *requests < 1 || *samples < 1 {
+		return errors.New("-clients, -requests and -samples must be positive")
+	}
+
+	keys, err := wire.DialKeyService(*authorityAddr)
+	if err != nil {
+		return err
+	}
+	defer keys.Close()
+	eng, err := securemat.NewEngine(keys, securemat.EngineOptions{})
+	if err != nil {
+		return err
+	}
+
+	// One encrypted batch per client, prepared before the clock starts:
+	// the load generator measures serving, not client-side encryption.
+	fmt.Printf("encrypting %d batch(es) of %d sample(s)...\n", *clients, *samples)
+	batches := make([]*core.EncryptedBatch, *clients)
+	for c := range batches {
+		if batches[c], err = syntheticBatch(eng, *features, *classes, *samples, *seed+int64(c)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("driving %d client(s) × %d request(s) × %d sample(s) against %s\n",
+		*clients, *requests, *samples, *serverAddr)
+	reports := make([]clientReport, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[c] = drive(*serverAddr, batches[c], *requests, *maxBackoff)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	busy := 0
+	for c, r := range reports {
+		if r.err != nil {
+			return fmt.Errorf("client %d: %w", c, r.err)
+		}
+		lats = append(lats, r.lats...)
+		busy += r.busyRetries
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	total := len(lats) * *samples
+	fmt.Printf("served %d samples (%d requests) in %s: %.1f samples/sec\n",
+		total, len(lats), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("request latency p50 %s p99 %s max %s; %d busy retries\n",
+		lats[len(lats)/2].Round(time.Microsecond),
+		lats[len(lats)*99/100].Round(time.Microsecond),
+		lats[len(lats)-1].Round(time.Microsecond), busy)
+	return nil
+}
+
+// drive issues back-to-back prediction requests on one connection,
+// backing off and retrying when the server signals backpressure.
+func drive(addr string, enc *core.EncryptedBatch, requests int, maxBackoff time.Duration) clientReport {
+	var rep clientReport
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		rep.err = err
+		return rep
+	}
+	defer conn.Close()
+	for i := 0; i < requests; i++ {
+		backoff := time.Millisecond
+		for {
+			start := time.Now()
+			preds, err := wire.RequestPrediction(conn, enc)
+			if errors.Is(err, wire.ErrBusy) {
+				rep.busyRetries++
+				time.Sleep(backoff)
+				backoff = min(backoff*2, maxBackoff)
+				continue
+			}
+			if err != nil {
+				rep.err = fmt.Errorf("request %d: %w", i, err)
+				return rep
+			}
+			if len(preds) != enc.N {
+				rep.err = fmt.Errorf("request %d: %d predictions for %d samples", i, len(preds), enc.N)
+				return rep
+			}
+			rep.lats = append(rep.lats, time.Since(start))
+			break
+		}
+	}
+	return rep
+}
+
+// syntheticBatch encrypts a deterministic (features × n) input matrix in
+// the column orientation only — the one prediction reads. No labels, row
+// ciphertexts, or element ciphertexts are carried, so the request frames
+// stay as small as the workload allows.
+func syntheticBatch(eng *securemat.Engine, features, classes, n int, seed int64) (*core.EncryptedBatch, error) {
+	codec := fixedpoint.Default()
+	x := make([][]float64, features)
+	for i := range x {
+		x[i] = make([]float64, n)
+		for j := range x[i] {
+			x[i][j] = float64((i*31+j*17+int(seed))%100) / 100
+		}
+	}
+	xi, err := codec.EncodeMat(x)
+	if err != nil {
+		return nil, err
+	}
+	encX, err := eng.Encrypt(xi, securemat.EncryptOptions{SkipElems: true})
+	if err != nil {
+		return nil, err
+	}
+	return &core.EncryptedBatch{X: encX, Features: features, Classes: classes, N: n}, nil
+}

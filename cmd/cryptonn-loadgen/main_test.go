@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFailsWithoutAuthority(t *testing.T) {
+	// Nothing listens on this address; the dial must fail cleanly.
+	err := run([]string{"-authority", "127.0.0.1:1", "-server", "127.0.0.1:1"})
+	if err == nil {
+		t.Error("run succeeded with no authority")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveLoad(t *testing.T) {
+	for _, args := range [][]string{
+		{"-clients", "0"},
+		{"-requests", "0"},
+		{"-samples", "-1"},
+	} {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), "positive") {
+			t.Errorf("args %v: err = %v, want positive-load validation", args, err)
+		}
+	}
+}

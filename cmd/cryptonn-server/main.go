@@ -53,6 +53,9 @@ func run(args []string) error {
 	pool := fs.Int("pool", 4, "authority connection pool size")
 	seed := fs.Int64("seed", 1, "weight initialisation seed")
 	predictListen := fs.String("predict-listen", "", "after training, serve predictions on this address (empty: exit)")
+	coalesceSamples := fs.Int("coalesce-samples", 0, "max samples per coalesced prediction evaluation (0 = default)")
+	coalesceDelay := fs.Duration("coalesce-delay", 0, "how long the first prediction request of a round waits for stragglers (0 = greedy)")
+	predictQueue := fs.Int("predict-queue", 0, "prediction dispatch queue bound; full queue rejects with a retryable error (0 = default)")
 	savePath := fs.String("save", "", "write the trained model checkpoint to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +82,12 @@ func run(args []string) error {
 		Parallelism: *par,
 		Seed:        *seed,
 		ComputeLoss: true,
-		Logger:      logger,
+		Serving: wire.DispatcherOptions{
+			MaxCoalescedSamples: *coalesceSamples,
+			MaxDelay:            *coalesceDelay,
+			MaxQueue:            *predictQueue,
+		},
+		Logger: logger,
 	})
 	if err != nil {
 		return err

@@ -1,19 +1,3 @@
-// Package feip implements functional encryption for inner products.
-//
-// This is the DDH-based scheme of Abdalla, Bourse, De Caro and Pointcheval,
-// "Simple Functional Encryption Schemes for Inner Products" (PKC 2015),
-// exactly as restated in §II-B of the CryptoNN paper:
-//
-//	Setup(1^λ, 1^η):  s = (s_1..s_η) ←$ Z_q^η,  mpk = (g, h_i = g^{s_i}),  msk = s
-//	KeyDerive(msk, y): sk_f = ⟨y, s⟩ mod q
-//	Encrypt(mpk, x):  r ←$ Z_q,  ct_0 = g^r,  ct_i = h_i^r · g^{x_i}
-//	Decrypt:          g^{⟨x,y⟩} = Π ct_i^{y_i} / ct_0^{sk_f}
-//
-// The final discrete log g^{⟨x,y⟩} → ⟨x,y⟩ is recovered with a bounded
-// baby-step giant-step solver from internal/dlog. Plaintext coordinates are
-// signed int64 (fixed-point-encoded reals in the CryptoNN workload); they
-// are reduced into Z_q for the exponent arithmetic and the signed result is
-// recovered as long as |⟨x,y⟩| stays within the solver bound.
 package feip
 
 import (

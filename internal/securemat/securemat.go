@@ -1,47 +1,3 @@
-// Package securemat implements the paper's secure matrix computation
-// scheme (Algorithm 1): matrix dot-products and element-wise arithmetic
-// over functionally encrypted matrices.
-//
-// The central type is Engine, a session object for the protocol's three
-// long-lived roles (Fig. 1):
-//
-//   - the client builds an Engine over its key-service connection and
-//     pre-processes plaintext matrices into EncryptedMatrix values
-//     (Engine.Encrypt): every column is encrypted under FEIP for
-//     dot-products and every element under FEBO for element-wise
-//     arithmetic, on pooled per-worker ciphertext slabs;
-//   - the server's Engine obtains function-derived keys from the authority
-//     (Engine.DotKeys, Engine.ElementwiseKeys) — dot-product keys are
-//     cached per weight matrix, so serving predictions with a fixed W
-//     derives its keys exactly once;
-//   - the server then evaluates the permitted function over ciphertexts
-//     (Engine.SecureDot, Engine.SecureDotRows, Engine.SecureElementwise,
-//     or the key-folding conveniences Dot/DotRows/Elementwise), obtaining
-//     a plaintext result matrix.
-//
-// An Engine resolves public keys once per dimension, owns the shared
-// bounded discrete-log solver (WithSolver derives a view with a different
-// bound over the same caches) and the session's default parallelism, and
-// is safe for concurrent use by any number of goroutines.
-//
-// Decryption is the expensive step (one bounded discrete log per output
-// element); as in the paper (§III-C), every Secure* method drains output
-// cells on a chunked worker pipeline — the "P" curves of Fig. 3d/4d/5d —
-// and stays in the Montgomery domain end to end: numerators come off
-// fixed-base/multi-exponentiation ladders as raw limb elements, each
-// chunk's denominators share one batched modular inversion (Montgomery's
-// trick), and the quotients feed dlog.LookupMont directly.
-//
-// One deliberate extension over the paper's Algorithm 1: Encrypt can also
-// encrypt the matrix row-wise (dual orientation). The paper's Algorithm 2
-// needs the first-layer weight gradient dW = dZ·Xᵀ during back-propagation
-// but never spells out how to compute it when X is encrypted; inner
-// products against rows of X (feature vectors across the batch) make it
-// expressible in the very same FEIP machinery. See DESIGN.md §4.
-//
-// The package-level functions mirroring the methods (Encrypt, DotKeys,
-// SecureDot, ...) are the pre-Engine stateless API, kept for one release
-// as thin deprecated wrappers.
 package securemat
 
 import (

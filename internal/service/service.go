@@ -1,19 +1,3 @@
-// Package service implements the training server of Fig. 1 as a reusable,
-// testable component: it collects encrypted batches from any number of
-// distributed clients over TCP, then trains a neural network on them
-// through the CryptoNN framework (Algorithm 2), requesting
-// function-derived keys from the authority as training proceeds.
-//
-// The package composes internal/wire (transport), internal/core (the
-// secure training loop) and internal/nn (the model) into one lifecycle:
-//
-//	srv, _ := service.New(keys, service.Config{Features: 784, Classes: 10, Expect: 2})
-//	report, _ := srv.Run(ctx, listener)
-//
-// Run blocks until the expected number of client submissions arrives,
-// trains for the configured number of epochs, and returns a Report. The
-// trained parameters stay on the server — they are plaintext by the
-// paper's design; only the training data and labels are ever encrypted.
 package service
 
 import (
@@ -25,6 +9,7 @@ import (
 
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"cryptonn/internal/core"
@@ -67,6 +52,10 @@ type Config struct {
 	// Codec is the fixed-point codec; nil selects the paper's
 	// two-decimal default. It must match the clients'.
 	Codec *fixedpoint.Codec
+	// Serving tunes the prediction-serving throughput engine
+	// (cross-client batch coalescing; see wire.Dispatcher). The zero
+	// value selects the wire package defaults.
+	Serving wire.DispatcherOptions
 	// Logger receives progress lines; nil discards them.
 	Logger *log.Logger
 }
@@ -128,6 +117,15 @@ type Server struct {
 	engine *securemat.Engine
 	cfg    Config
 	model  *nn.Model
+
+	// predictMu serializes prediction evaluation: the model's plaintext
+	// forward pass caches activations on the layers, so concurrent
+	// Predict calls (many prediction connections) must not interleave.
+	// The serving path proper funnels through the coalescing dispatcher,
+	// which is single-evaluator by design; this mutex covers direct
+	// Predict callers. It also guards the lazily built predictTrainer.
+	predictMu sync.Mutex
+	predictTr *core.Trainer
 }
 
 // New assembles a training service around a key service (the authority
@@ -255,40 +253,79 @@ func (s *Server) train(ctx context.Context, batches []*core.EncryptedBatch) (*Re
 
 // Predict runs FE-based prediction (§III-D) over an encrypted batch with
 // the current model and returns arg-max predictions in the label-mapped
-// space.
+// space. It is safe for concurrent use (evaluations serialize on the
+// server's prediction lock) and reuses one lazily built trainer whose
+// discrete-log bound covers the feed-forward only — prediction never
+// back-propagates, so the bound (and the shared baby-step table behind
+// it) stays independent of how many samples a coalesced batch carries.
 func (s *Server) Predict(enc *core.EncryptedBatch) ([]int, error) {
-	trainer, err := s.newTrainer([]*core.EncryptedBatch{enc})
-	if err != nil {
-		return nil, err
+	s.predictMu.Lock()
+	defer s.predictMu.Unlock()
+	if s.predictTr == nil {
+		trainer, err := s.newPredictTrainer()
+		if err != nil {
+			return nil, err
+		}
+		s.predictTr = trainer
 	}
-	res, err := trainer.Predict(enc)
+	res, err := s.predictTr.Predict(enc)
 	if err != nil {
 		return nil, err
 	}
 	return res.MaskedPreds, nil
 }
 
-// ServePredictions exposes the trained model as a prediction service: it
-// answers wire.RequestPrediction calls until the context is cancelled.
-// Call it after Run has completed; the predictions reflect the model's
-// current weights.
+// ServePredictions exposes the trained model as a prediction throughput
+// engine: it answers wire.RequestPrediction calls until the context is
+// cancelled, coalescing concurrent requests from any number of clients
+// into shared evaluations (Config.Serving tunes the dispatcher; clients
+// rejected under backpressure see the retryable wire.ErrBusy). Call it
+// after Run has completed; the predictions reflect the model's current
+// weights.
 func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
-	ps, err := wire.NewPredictionServer(s.Predict, s.cfg.Logger)
+	ps, err := wire.NewCoalescingPredictionServer(s.Predict, s.cfg.Logger, s.cfg.Serving)
 	if err != nil {
 		return err
 	}
 	s.cfg.Logger.Printf("serving predictions on %s", l.Addr())
 	err = ps.Serve(ctx, l)
+	if st := ps.Stats(); st.Requests > 0 {
+		s.cfg.Logger.Printf("prediction serving: %d requests (%d samples) in %d evaluations (max coalesced %d), %d rejected, p50 %s p99 %s",
+			st.Requests, st.Samples, st.Evals, st.MaxCoalesced, st.Rejected,
+			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	}
 	if errors.Is(err, net.ErrClosed) && ctx.Err() != nil {
 		return nil
 	}
 	return err
 }
 
-// newTrainer builds a core.Trainer over a view of the server's engine with
-// a discrete-log bound sized for the observed batch sizes. The view shares
-// the session caches, so repeated trainers (every Predict call) re-fetch
-// nothing.
+// newPredictTrainer builds the serving trainer: like newTrainer, but the
+// discrete-log bound covers only the secure feed-forward (⟨W_i, x_j⟩ at
+// |x| ≤ 1, |W| ≤ MaxWeight), not the batch-size-dependent gradient terms
+// — so the bound does not grow with coalesced batch width.
+func (s *Server) newPredictTrainer() (*core.Trainer, error) {
+	mpk, err := s.engine.FEIPPublic(s.cfg.Features)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching public key: %w", err)
+	}
+	bound := core.SolverBound(s.cfg.Codec, s.cfg.Features, 1, s.cfg.MaxWeight, 1)
+	solver, err := dlog.NewSolver(mpk.Params, bound)
+	if err != nil {
+		return nil, fmt.Errorf("service: building dlog solver: %w", err)
+	}
+	return core.NewTrainer(s.model, s.engine.WithSolver(solver), core.Config{
+		Codec:       s.cfg.Codec,
+		Parallelism: s.cfg.Parallelism,
+		MaxWeight:   s.cfg.MaxWeight,
+	})
+}
+
+// newTrainer builds the training-loop core.Trainer over a view of the
+// server's engine with a discrete-log bound sized for the observed batch
+// sizes (gradient and loss terms included; the serving path uses the
+// tighter newPredictTrainer instead). The view shares the session caches
+// with every other trainer the server builds.
 func (s *Server) newTrainer(batches []*core.EncryptedBatch) (*core.Trainer, error) {
 	maxN := 0
 	for _, b := range batches {

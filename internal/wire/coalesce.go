@@ -1,0 +1,452 @@
+package wire
+
+// Cross-client batch coalescing for prediction serving.
+//
+// Every layer below the socket is batch-friendly — securemat evaluates a
+// whole encrypted matrix per call, amortizing the per-evaluation fixed
+// costs (weight encoding, per-row key recodings, the per-matrix batched
+// modular inversion, the model's plaintext forward pass) over its columns
+// — but a connection handler that answers one request at a time re-pays
+// those costs per request. The Dispatcher closes that gap the way
+// production inference servers do: requests from any number of
+// connections land in one bounded queue, the dispatch loop merges
+// compatible pending batches into a single core.EncryptedBatch (their
+// column ciphertexts simply concatenate), evaluates the merged batch
+// once, and demultiplexes the per-sample results back to each caller.
+//
+// Coalescing is adaptive: while one merged batch is being evaluated, new
+// arrivals accumulate in the queue and form the next merge, so batch
+// sizes grow with load and collapse to single requests when the server
+// is idle. MaxDelay > 0 additionally holds the first request of a round
+// back for a bounded window to let stragglers join; the default (0) is
+// the greedy policy — merge exactly what has already queued, never
+// stall an idle server.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cryptonn/internal/core"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/securemat"
+)
+
+// ErrBusy reports a prediction request rejected because the dispatcher
+// queue is full. It is the protocol's typed retryable error: the server
+// marks the response retryable, RequestPrediction re-wraps it on the
+// client, and callers back off and retry (errors.Is(err, ErrBusy)).
+var ErrBusy = errors.New("wire: prediction queue full")
+
+// Dispatcher defaults, selected by zero-valued DispatcherOptions fields.
+const (
+	// DefaultMaxCoalescedSamples caps merged batch width.
+	DefaultMaxCoalescedSamples = 64
+	// DefaultMaxQueue bounds the number of requests awaiting dispatch.
+	DefaultMaxQueue = 256
+)
+
+// DispatcherOptions tunes a coalescing dispatcher. The zero value selects
+// the defaults above with the greedy (zero-delay) merge policy.
+type DispatcherOptions struct {
+	// MaxCoalescedSamples caps the total sample count of one merged
+	// batch; a request whose batch alone exceeds it is still served, as
+	// its own evaluation. 0 selects DefaultMaxCoalescedSamples.
+	MaxCoalescedSamples int
+	// MaxDelay bounds how long the first request of a merge round waits
+	// for company. 0 (the default) is greedy: a round merges exactly the
+	// requests already queued — under load batches form while the
+	// previous evaluation runs, and an idle server never stalls.
+	MaxDelay time.Duration
+	// MaxQueue bounds the dispatch queue (in requests); when it is full,
+	// Do fails fast with ErrBusy instead of adding unbounded latency.
+	// 0 selects DefaultMaxQueue.
+	MaxQueue int
+}
+
+func (o *DispatcherOptions) fillDefaults() {
+	if o.MaxCoalescedSamples <= 0 {
+		o.MaxCoalescedSamples = DefaultMaxCoalescedSamples
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	if o.MaxDelay < 0 {
+		o.MaxDelay = 0
+	}
+}
+
+// DispatcherStats is a point-in-time snapshot of a dispatcher's counters.
+type DispatcherStats struct {
+	// Requests counts accepted requests; Rejected counts queue-full
+	// rejections (not included in Requests).
+	Requests, Rejected uint64
+	// Samples counts samples across accepted requests.
+	Samples uint64
+	// Evals counts evaluation rounds; Samples/Evals is the mean
+	// coalesced batch width. MaxCoalesced is the widest merged batch.
+	Evals        uint64
+	MaxCoalesced int
+	// QueueDepth is the instantaneous number of queued requests.
+	QueueDepth int
+	// P50 and P99 are request latency percentiles (enqueue → result
+	// delivery) over a sliding window of recent served requests.
+	P50, P99 time.Duration
+}
+
+// latWindow is the sliding-window size of the latency reservoir.
+const latWindow = 1024
+
+// pendingPredict is one enqueued request: its batch, the caller's
+// context, and the channel the result is delivered on (buffered, so the
+// dispatch loop never blocks on a departed caller).
+type pendingPredict struct {
+	ctx   context.Context
+	enc   *core.EncryptedBatch
+	start time.Time
+	res   chan predictResult
+}
+
+type predictResult struct {
+	preds []int
+	err   error
+}
+
+// Dispatcher is the coalescing prediction dispatcher. One background
+// loop owns all evaluation: it merges queued batches and runs them
+// through the PredictFunc one merged batch at a time, which both
+// amortizes per-evaluation fixed costs across clients and serializes
+// access to the underlying model (service.Server.Predict is not
+// concurrency-hungry: the plaintext forward pass caches activations on
+// the layers).
+type Dispatcher struct {
+	predict PredictFunc
+	opts    DispatcherOptions
+
+	queue chan *pendingPredict
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu           sync.Mutex
+	closed       bool
+	requests     uint64
+	rejected     uint64
+	samples      uint64
+	evals        uint64
+	maxCoalesced int
+	lats         [latWindow]time.Duration
+	latN         uint64
+}
+
+// NewDispatcher starts a coalescing dispatcher around a prediction
+// function. Close releases its background loop.
+func NewDispatcher(predict PredictFunc, opts DispatcherOptions) (*Dispatcher, error) {
+	if predict == nil {
+		return nil, errors.New("wire: nil predict function")
+	}
+	opts.fillDefaults()
+	d := &Dispatcher{
+		predict: predict,
+		opts:    opts,
+		queue:   make(chan *pendingPredict, opts.MaxQueue),
+		done:    make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.run()
+	return d, nil
+}
+
+// Close stops the dispatch loop. Requests already queued fail with
+// net.ErrClosed; a merge round already being evaluated completes and its
+// callers receive their results.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.done)
+	d.wg.Wait()
+	return nil
+}
+
+// Do submits one encrypted batch for prediction and blocks until its
+// per-sample results are demultiplexed back, the context is cancelled, or
+// the dispatcher shuts down. It fails fast with ErrBusy when the queue is
+// full — the caller should back off and retry.
+func (d *Dispatcher) Do(ctx context.Context, enc *core.EncryptedBatch) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validatePredictBatch(enc); err != nil {
+		return nil, err
+	}
+	p := &pendingPredict{ctx: ctx, enc: enc, start: time.Now(), res: make(chan predictResult, 1)}
+	// Enqueue under the lock that Close takes before closing done: every
+	// request that makes it into the queue is therefore guaranteed a
+	// result — served, or failed with net.ErrClosed by the loop's
+	// shutdown drain.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	select {
+	case d.queue <- p:
+		d.requests++
+		d.samples += uint64(enc.N)
+		d.mu.Unlock()
+	default:
+		d.rejected++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d requests pending)", ErrBusy, d.opts.MaxQueue)
+	}
+	select {
+	case r := <-p.res:
+		return r.preds, r.err
+	case <-ctx.Done():
+		// The dispatch loop drops cancelled requests at merge time; if
+		// this one was already merged, its result lands in the buffered
+		// channel and is discarded.
+		return nil, ctx.Err()
+	}
+}
+
+// Stats snapshots the dispatcher's counters.
+func (d *Dispatcher) Stats() DispatcherStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DispatcherStats{
+		Requests:     d.requests,
+		Rejected:     d.rejected,
+		Samples:      d.samples,
+		Evals:        d.evals,
+		MaxCoalesced: d.maxCoalesced,
+		QueueDepth:   len(d.queue),
+	}
+	n := min(d.latN, latWindow)
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, d.lats[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		st.P50 = window[n/2]
+		st.P99 = window[n*99/100]
+	}
+	return st
+}
+
+// validatePredictBatch checks the invariants merging relies on.
+func validatePredictBatch(enc *core.EncryptedBatch) error {
+	switch {
+	case enc == nil || enc.N <= 0 || enc.X == nil:
+		return errors.New("wire: empty prediction batch")
+	case enc.X.Cols != enc.N || len(enc.X.ColCts) != enc.N:
+		return fmt.Errorf("wire: batch claims %d samples but carries %d column ciphertexts", enc.N, len(enc.X.ColCts))
+	case enc.X.Rows != enc.Features:
+		return fmt.Errorf("wire: batch claims %d features but ciphertext matrix has %d rows", enc.Features, enc.X.Rows)
+	}
+	return nil
+}
+
+// coalescable reports whether two batches can share an evaluation: same
+// model input geometry, so their column ciphertexts concatenate into one
+// well-formed encrypted matrix.
+func coalescable(a, b *core.EncryptedBatch) bool {
+	return a.Features == b.Features && a.Classes == b.Classes && a.X.Rows == b.X.Rows
+}
+
+// run is the dispatch loop: collect a merge round, evaluate it, repeat.
+// Evaluation happens inline, so under load the next round's batches
+// accumulate in the queue while the current one computes — the adaptive
+// coalescing described at the top of the file.
+func (d *Dispatcher) run() {
+	defer d.wg.Done()
+	var held *pendingPredict // first incompatible/overflow request of the next round
+	for {
+		var first *pendingPredict
+		if held != nil {
+			first, held = held, nil
+		} else {
+			select {
+			case first = <-d.queue:
+			case <-d.done:
+				d.failPending(nil)
+				return
+			}
+		}
+		group := []*pendingPredict{first}
+		samples := first.enc.N
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if d.opts.MaxDelay > 0 {
+			timer = time.NewTimer(d.opts.MaxDelay)
+			timerC = timer.C
+		}
+	collect:
+		for samples < d.opts.MaxCoalescedSamples {
+			if timerC == nil {
+				select {
+				case q := <-d.queue:
+					if q2, ok := d.admit(&group, &samples, q); !ok {
+						held = q2
+						break collect
+					}
+				default:
+					break collect
+				}
+			} else {
+				select {
+				case q := <-d.queue:
+					if q2, ok := d.admit(&group, &samples, q); !ok {
+						held = q2
+						break collect
+					}
+				case <-timerC:
+					break collect
+				case <-d.done:
+					break collect
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		d.evaluate(group)
+		select {
+		case <-d.done:
+			d.failPending(held)
+			return
+		default:
+		}
+	}
+}
+
+// admit adds q to the round unless it is incompatible or would overflow
+// the sample cap; then it is returned to be held for the next round.
+func (d *Dispatcher) admit(group *[]*pendingPredict, samples *int, q *pendingPredict) (*pendingPredict, bool) {
+	if !coalescable((*group)[0].enc, q.enc) || *samples+q.enc.N > d.opts.MaxCoalescedSamples {
+		return q, false
+	}
+	*group = append(*group, q)
+	*samples += q.enc.N
+	return nil, true
+}
+
+// failPending fails the held request and everything still queued with
+// net.ErrClosed. Called only from run on shutdown.
+func (d *Dispatcher) failPending(held *pendingPredict) {
+	if held != nil {
+		held.res <- predictResult{err: net.ErrClosed}
+	}
+	for {
+		select {
+		case p := <-d.queue:
+			p.res <- predictResult{err: net.ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// evaluate runs one merge round: drop requests whose context is already
+// cancelled, merge the survivors, predict once, demultiplex. If a merged
+// evaluation fails, each request is retried alone — coalescing must not
+// cost peers the failure isolation they had on the serial path (one bad
+// batch fails only its own caller).
+func (d *Dispatcher) evaluate(group []*pendingPredict) {
+	live := group[:0]
+	total := 0
+	for _, p := range group {
+		if err := p.ctx.Err(); err != nil {
+			p.res <- predictResult{err: err}
+			continue
+		}
+		live = append(live, p)
+		total += p.enc.N
+	}
+	if len(live) == 0 {
+		return
+	}
+	enc := live[0].enc
+	if len(live) > 1 {
+		enc = mergeBatches(live, total)
+	}
+	preds, err := d.predict(enc)
+	if err == nil && len(preds) != total {
+		err = fmt.Errorf("wire: %d predictions for %d coalesced samples", len(preds), total)
+	}
+	d.mu.Lock()
+	d.evals++
+	d.maxCoalesced = max(d.maxCoalesced, total)
+	d.mu.Unlock()
+	if err != nil && len(live) > 1 {
+		for _, p := range live {
+			d.deliver(p, d.predictOne(p))
+		}
+		return
+	}
+	off := 0
+	for _, p := range live {
+		if err != nil {
+			p.res <- predictResult{err: err}
+			continue
+		}
+		d.deliver(p, predictResult{preds: preds[off : off+p.enc.N : off+p.enc.N]})
+		off += p.enc.N
+	}
+}
+
+// predictOne evaluates a single request (the failed-merge fallback path).
+func (d *Dispatcher) predictOne(p *pendingPredict) predictResult {
+	preds, err := d.predict(p.enc)
+	if err == nil && len(preds) != p.enc.N {
+		err = fmt.Errorf("wire: %d predictions for %d samples", len(preds), p.enc.N)
+	}
+	d.mu.Lock()
+	d.evals++
+	d.mu.Unlock()
+	if err != nil {
+		return predictResult{err: err}
+	}
+	return predictResult{preds: preds}
+}
+
+// deliver hands a result to its caller, recording serve latency for
+// successful requests.
+func (d *Dispatcher) deliver(p *pendingPredict, r predictResult) {
+	if r.err == nil {
+		d.recordLatency(time.Since(p.start))
+	}
+	p.res <- r
+}
+
+func (d *Dispatcher) recordLatency(lat time.Duration) {
+	d.mu.Lock()
+	d.lats[d.latN%latWindow] = lat
+	d.latN++
+	d.mu.Unlock()
+}
+
+// mergeBatches concatenates the column ciphertexts of a merge round into
+// one encrypted batch. Prediction touches only the column orientation of
+// X (the secure feed-forward), so the merged batch carries no label
+// matrix, row ciphertexts, or element ciphertexts.
+func mergeBatches(group []*pendingPredict, total int) *core.EncryptedBatch {
+	first := group[0].enc
+	cols := make([]*feip.Ciphertext, 0, total)
+	for _, p := range group {
+		cols = append(cols, p.enc.X.ColCts...)
+	}
+	return &core.EncryptedBatch{
+		X:        &securemat.EncryptedMatrix{Rows: first.X.Rows, Cols: total, ColCts: cols},
+		Features: first.Features,
+		Classes:  first.Classes,
+		N:        total,
+	}
+}

@@ -1,0 +1,45 @@
+// Package wire implements the network protocol connecting the three
+// CryptoNN entities of Fig. 1 — the full specification, with message
+// tables and sequence diagrams, lives in docs/PROTOCOL.md:
+//
+//   - authority ⇄ server/client: public-key distribution and
+//     function-derived key issuance for Algorithm 1's two
+//     pre-process-key-derivative steps (AuthorityServer +
+//     RemoteKeyService, batched variants included);
+//   - client → server: encrypted training-data submission, Algorithm 1's
+//     pre-process-encryption output in transit (SubmitBatches +
+//     TrainingServer);
+//   - client ⇄ server: encrypted prediction (RequestPrediction +
+//     PredictionServer), the secure-computation step exposed as a
+//     service.
+//
+// Messages are length-prefixed gob frames over TCP. The protocol is
+// deliberately request/response with one outstanding request per
+// connection; RemoteKeyService serializes concurrent callers, and callers
+// needing parallel key traffic open multiple connections (see Pool).
+//
+// # Serving throughput: cross-client batch coalescing
+//
+// One request at a time per connection does not mean one evaluation per
+// request: a PredictionServer built with NewCoalescingPredictionServer
+// funnels requests from all connections into a Dispatcher, which merges
+// compatible encrypted batches (up to MaxCoalescedSamples, waiting at
+// most MaxDelay) into a single evaluation and demultiplexes per-sample
+// results back to each caller. Backpressure is explicit: a full dispatch
+// queue rejects with the typed, retryable ErrBusy, which travels the
+// wire as Response.Retryable and resurfaces as ErrBusy from
+// RequestPrediction — clients back off and retry. Dispatcher.Stats
+// exposes the per-server counters (requests, rejections, coalesced batch
+// widths, queue depth, latency percentiles).
+//
+// # Concurrency and validation contract
+//
+// Servers handle each connection on its own goroutine and may be closed
+// from any goroutine; the Dispatcher's single dispatch loop owns all
+// prediction evaluation, so the PredictFunc it drives need not be
+// concurrency-safe. RemoteKeyService is safe for concurrent use (one
+// in-flight request at a time); Pool fans key traffic across several
+// connections. Every decoded key and ciphertext is validated for group
+// membership before use — a malformed or malicious peer cannot inject
+// non-elements into the crypto layer.
+package wire

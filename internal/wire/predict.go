@@ -41,6 +41,9 @@ func RequestPrediction(conn net.Conn, enc *core.EncryptedBatch) ([]int, error) {
 		return nil, fmt.Errorf("wire: reading prediction response: %w", err)
 	}
 	if resp.Err != "" {
+		if resp.Retryable {
+			return nil, fmt.Errorf("%w: server rejected prediction: %s", ErrBusy, resp.Err)
+		}
 		return nil, fmt.Errorf("wire: server rejected prediction: %s", resp.Err)
 	}
 	if len(resp.Preds) != enc.N {
@@ -51,8 +54,9 @@ func RequestPrediction(conn net.Conn, enc *core.EncryptedBatch) ([]int, error) {
 
 // PredictionServer answers KindPredict requests with a PredictFunc.
 type PredictionServer struct {
-	predict PredictFunc
-	log     *log.Logger
+	predict    PredictFunc
+	dispatcher *Dispatcher
+	log        *log.Logger
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -62,6 +66,8 @@ type PredictionServer struct {
 }
 
 // NewPredictionServer wraps a prediction function; logger may be nil.
+// Each request is evaluated as it arrives on its connection goroutine —
+// use NewCoalescingPredictionServer for the throughput engine.
 func NewPredictionServer(predict PredictFunc, logger *log.Logger) (*PredictionServer, error) {
 	if predict == nil {
 		return nil, errors.New("wire: nil predict function")
@@ -70,6 +76,30 @@ func NewPredictionServer(predict PredictFunc, logger *log.Logger) (*PredictionSe
 		logger = log.New(io.Discard, "", 0)
 	}
 	return &PredictionServer{predict: predict, log: logger, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// NewCoalescingPredictionServer wraps a prediction function in the
+// cross-client coalescing dispatcher: concurrent requests from any number
+// of connections merge into shared evaluations (see Dispatcher), with
+// queue-full backpressure reported to clients as the retryable ErrBusy.
+func NewCoalescingPredictionServer(predict PredictFunc, logger *log.Logger, opts DispatcherOptions) (*PredictionServer, error) {
+	s, err := NewPredictionServer(predict, logger)
+	if err != nil {
+		return nil, err
+	}
+	if s.dispatcher, err = NewDispatcher(predict, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats snapshots the coalescing dispatcher's counters; it is zero for a
+// server built without coalescing.
+func (s *PredictionServer) Stats() DispatcherStats {
+	if s.dispatcher == nil {
+		return DispatcherStats{}
+	}
+	return s.dispatcher.Stats()
 }
 
 // Serve accepts prediction connections until the context is cancelled or
@@ -90,6 +120,12 @@ func (s *PredictionServer) Serve(ctx context.Context, l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			s.wg.Wait()
+			// Serving is over (listener closed externally or broken);
+			// release the dispatch loop too. Live connections have
+			// drained above, so nothing can still be enqueuing.
+			if s.dispatcher != nil {
+				_ = s.dispatcher.Close()
+			}
 			return err
 		}
 		s.mu.Lock()
@@ -123,6 +159,11 @@ func (s *PredictionServer) Close() error {
 	}
 	for c := range s.conns {
 		closeLogged(c, s.log)
+	}
+	if s.dispatcher != nil {
+		// Queued requests fail with net.ErrClosed; the round being
+		// evaluated completes first (its callers are mid-write anyway).
+		_ = s.dispatcher.Close()
 	}
 	return err
 }
@@ -161,9 +202,21 @@ func (s *PredictionServer) answer(req *Request) *Response {
 	if enc.N <= 0 || enc.X == nil {
 		return &Response{Err: "empty prediction batch"}
 	}
-	preds, err := s.predict(&enc)
+	var preds []int
+	var err error
+	if s.dispatcher != nil {
+		// Background context: the framed request/response protocol gives
+		// no way to observe a client disconnect while its request is in
+		// flight (that would need a concurrent reader per connection), so
+		// a vanished client's request is evaluated and the write error
+		// then tears the connection down — the same cost the serial path
+		// pays. Dispatcher shutdown is covered by its own done channel.
+		preds, err = s.dispatcher.Do(context.Background(), &enc)
+	} else {
+		preds, err = s.predict(&enc)
+	}
 	if err != nil {
-		return &Response{Err: fmt.Sprintf("prediction failed: %v", err)}
+		return &Response{Err: fmt.Sprintf("prediction failed: %v", err), Retryable: errors.Is(err, ErrBusy)}
 	}
 	return &Response{Preds: preds}
 }

@@ -1,19 +1,3 @@
-// Package wire implements the network protocol connecting the three
-// CryptoNN entities of Fig. 1:
-//
-//   - authority ⇄ server/client: public-key distribution and
-//     function-derived key issuance (Server + RemoteKeyService);
-//   - client → server: encrypted training-data submission
-//     (SubmitBatches + TrainingServer).
-//
-// Messages are length-prefixed gob frames over TCP. The protocol is
-// deliberately request/response with one outstanding request per
-// connection; RemoteKeyService serializes concurrent callers, and callers
-// needing parallel key traffic open multiple connections (see Pool).
-//
-// Every decoded key and ciphertext is validated for group membership
-// before use — a malformed or malicious peer cannot inject non-elements
-// into the crypto layer.
 package wire
 
 import (
@@ -115,6 +99,11 @@ type Request struct {
 type Response struct {
 	// Err is non-empty on failure; other fields are then meaningless.
 	Err string
+	// Retryable marks a failure as transient server-side backpressure
+	// (the coalescing dispatcher's queue was full): the request was
+	// rejected unseen and the client should back off and retry. Clients
+	// observe it as ErrBusy from RequestPrediction.
+	Retryable bool
 	// Group carries group parameters for public-key responses.
 	GroupP, GroupQ, GroupG *big.Int
 	// H carries h_i (FEIP) or h (FEBO).
