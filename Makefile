@@ -13,7 +13,7 @@ BENCHTIME ?= 1s
 SERVE_BENCHTIME ?= 200x
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check fmt-check build vet staticcheck test race bench bench-json
+.PHONY: check fmt-check build vet staticcheck test race chaos bench bench-json
 
 check: fmt-check build vet staticcheck test
 
@@ -43,17 +43,27 @@ test:
 
 # The engine's thread-safety contract (shared tables, one solver, one
 # Montgomery context across many goroutines) under the race detector,
-# plus the wire layer's coalescing dispatcher hammer.
+# plus the wire layer's coalescing dispatcher hammer and the threshold
+# cluster (DKG, quorum fan-out, concurrent partial-key requests).
 race:
 	$(GO) test -race ./internal/group/ ./internal/feip/ ./internal/febo/ \
 		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/ \
-		./internal/wire/
+		./internal/thresh/ ./internal/authority/ ./internal/wire/
+
+# Fault-injection and robustness suites: the faultconn wrappers (drop /
+# truncate / reset mid-stream), quorum behaviour against slow, dead, and
+# corrupting nodes, and the chaos test that kills N-T cluster nodes in
+# the middle of encrypted training and requires bit-identical weights.
+chaos:
+	$(GO) test -count 1 -run 'TestChaos|TestFault|TestQuorum|TestNodeServer|TestPartialProofs' \
+		-v ./internal/wire/
 
 # Hot-path benchmarks: group-level multiplication/exponentiation atoms,
 # FEIP primitive costs (sequential + shared-key parallel encryption), the
 # dlog solver (sequential + shared-table parallel), the securemat batched
 # encrypt/decrypt pipelines, the prediction-serving throughput engine
-# (coalesced vs serial over loopback TCP), and the paper's Fig. 3
+# (coalesced vs serial over loopback TCP), the threshold-quorum
+# key-derivation overhead vs a single authority, and the paper's Fig. 3
 # element-wise pipeline.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64|BenchmarkMulMont|BenchmarkBatchInv' \
@@ -66,15 +76,17 @@ bench:
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
 	$(GO) test -run '^$$' -bench 'BenchmarkServeCoalesced' \
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/service/
+	$(GO) test -run '^$$' -bench 'BenchmarkQuorumIPKeyBatch' \
+		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/wire/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
 
 # Machine-readable perf snapshot: one short pass over the full bench suite,
-# folded into BENCH_pr5.json (qualified benchmark name → ns/op, B/op,
+# folded into BENCH_pr6.json (qualified benchmark name → ns/op, B/op,
 # allocs/op, plus custom metrics like samples/sec) by cmd/benchjson.
 # Commit the refreshed snapshot when a PR changes the perf story; diff two
 # snapshots (or two CI artifacts) to see the trajectory without parsing
 # benchmark text.
-BENCH_JSON      ?= BENCH_pr5.json
+BENCH_JSON      ?= BENCH_pr6.json
 JSON_COUNT      ?= 1
 JSON_BENCHTIME  ?= 10x
 bench-json:

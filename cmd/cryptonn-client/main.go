@@ -8,6 +8,11 @@
 //	cryptonn-client -authority 127.0.0.1:7001 -server 127.0.0.1:7002 \
 //	    -samples 64 -batch 16 -label-key clinic-shared-secret
 //
+// A comma-separated -authority list selects threshold-cluster mode: the
+// client derives keys from any T of the listed nodes (partial keys,
+// Lagrange-combined and verified client-side) and tolerates N−T node
+// failures transparently.
+//
 // Nothing leaving this process is plaintext: the server receives only
 // FEIP/FEBO ciphertexts.
 package main
@@ -18,6 +23,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"cryptonn/internal/core"
@@ -25,6 +31,28 @@ import (
 	"cryptonn/internal/securemat"
 	"cryptonn/internal/wire"
 )
+
+// dialKeys connects to a single authority or, for a comma-separated list,
+// a threshold authority cluster.
+func dialKeys(addrs string, logger *log.Logger) (interface {
+	securemat.KeyService
+	Close() error
+}, error) {
+	list := strings.Split(addrs, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	if len(list) == 1 {
+		return wire.DialKeyService(list[0])
+	}
+	q, err := wire.DialQuorumKeyService(list, wire.QuorumOptions{Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	t, n := q.Threshold()
+	logger.Printf("threshold authority cluster: %d nodes, quorum T=%d", n, t)
+	return q, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -35,7 +63,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cryptonn-client", flag.ContinueOnError)
-	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address (public keys)")
+	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address, or comma-separated cluster node addresses")
 	serverAddr := fs.String("server", "127.0.0.1:7002", "training server address")
 	samples := fs.Int("samples", 64, "number of samples to contribute")
 	batch := fs.Int("batch", 16, "batch size")
@@ -46,7 +74,7 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "client: ", log.LstdFlags)
-	keys, err := wire.DialKeyService(*authorityAddr)
+	keys, err := dialKeys(*authorityAddr, logger)
 	if err != nil {
 		return err
 	}

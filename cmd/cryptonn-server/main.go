@@ -10,6 +10,9 @@
 //	    -features 784 -classes 10 -hidden 32 -epochs 2 -lr 0.3 \
 //	    -expect 2
 //
+// Pass a comma-separated node list to -authority to request keys from a
+// threshold authority cluster instead of a single authority.
+//
 // The server waits for -expect client submissions, trains, prints
 // per-epoch progress, and exits — unless -predict-listen is given, in
 // which case it then serves prediction requests on that address until
@@ -25,12 +28,36 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"cryptonn/internal/nn"
+	"cryptonn/internal/securemat"
 	"cryptonn/internal/service"
 	"cryptonn/internal/wire"
 )
+
+// dialKeys connects to a single authority (with a connection pool) or,
+// for a comma-separated list, a threshold authority cluster.
+func dialKeys(addrs string, pool int, logger *log.Logger) (interface {
+	securemat.KeyService
+	Close() error
+}, error) {
+	list := strings.Split(addrs, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	if len(list) == 1 {
+		return wire.NewKeyServicePool(list[0], pool)
+	}
+	q, err := wire.DialQuorumKeyService(list, wire.QuorumOptions{Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	t, n := q.Threshold()
+	logger.Printf("threshold authority cluster: %d nodes, quorum T=%d", n, t)
+	return q, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -42,7 +69,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cryptonn-server", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7002", "listen address for client submissions")
-	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address")
+	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address, or comma-separated cluster node list")
 	features := fs.Int("features", 784, "input feature count")
 	classes := fs.Int("classes", 10, "output classes")
 	hidden := fs.Int("hidden", 32, "hidden units in the first (secure) layer")
@@ -62,7 +89,7 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
-	keys, err := wire.NewKeyServicePool(*authorityAddr, *pool)
+	keys, err := dialKeys(*authorityAddr, *pool, logger)
 	if err != nil {
 		return err
 	}

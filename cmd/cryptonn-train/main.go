@@ -10,14 +10,19 @@
 //	cryptonn-train -arch cnn             # CryptoCNN (secure convolution)
 //	cryptonn-train -samples 60000 -batch 64 -epochs 2 -bits 256
 //	                                     # the paper's parameters (slow)
+//	cryptonn-train -authority 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	                                     # keys from a threshold authority cluster
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"strings"
 
 	"cryptonn/internal/experiments"
+	"cryptonn/internal/wire"
 )
 
 func main() {
@@ -41,6 +46,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	pool := fs.Int("pool", 2, "input down-pooling factor (1 = paper's 28×28)")
 	hidden := fs.Int("hidden", 16, "MLP hidden width (paper: 32)")
+	authorityAddrs := fs.String("authority", "", "remote authority address(es); comma-separated list = threshold cluster (empty = in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +64,30 @@ func run(args []string) error {
 		Seed:         *seed,
 		Pool:         *pool,
 		Hidden:       *hidden,
+	}
+	if *authorityAddrs != "" {
+		logger := log.New(os.Stderr, "train: ", log.LstdFlags)
+		list := strings.Split(*authorityAddrs, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		if len(list) == 1 {
+			keys, err := wire.DialKeyService(list[0])
+			if err != nil {
+				return err
+			}
+			defer keys.Close()
+			cfg.KeyService = keys
+		} else {
+			q, err := wire.DialQuorumKeyService(list, wire.QuorumOptions{Logger: logger})
+			if err != nil {
+				return err
+			}
+			defer q.Close()
+			t, n := q.Threshold()
+			logger.Printf("threshold authority cluster: %d nodes, quorum T=%d", n, t)
+			cfg.KeyService = q
+		}
 	}
 	if *samples == 0 {
 		cfg.TrainSamples = 100

@@ -1,0 +1,345 @@
+package authority
+
+// Threshold authority cluster: the single trusted party of Fig. 1 split
+// into N share-holding nodes, any T of which can derive function keys.
+// No node — and no code path — ever materializes a whole master secret:
+// FEIP master scalars and the FEBO master secret exist only as Shamir
+// shares produced by the dealerless DKG in internal/thresh.
+//
+// Both schemes are linear in their master secrets, so nodes answer with
+// partials that a client combines by Lagrange interpolation at x = 0:
+//
+//   FEIP  k_j = ⟨y, s^(j)⟩            →  sk_f = Σ λ_j·k_j mod Q
+//   FEBO  P_j = cmt^{s^(j)} (+ DLEQ)  →  cmt^s = Π P_j^{λ_j}
+//
+// wire.QuorumKeyService is the combining client; Cluster/Node here hold
+// the share-side state. An in-process Cluster extends itself to new FEIP
+// dimensions lazily (the DKG runs among the node states it owns); a
+// detached Node loaded from a ShareFile serves exactly the dimensions the
+// provisioning ceremony covered and reports ErrNotProvisioned beyond
+// them — re-run the ceremony to extend a deployed cluster.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/group"
+	"cryptonn/internal/thresh"
+)
+
+// ErrNotProvisioned reports a partial-key request for a FEIP dimension the
+// node holds no shares for. In-process clusters extend lazily and never
+// return it; file-provisioned nodes cannot run a unilateral DKG, so the
+// operator must re-run the provisioning ceremony with the new dimension.
+var ErrNotProvisioned = errors.New("authority: dimension not provisioned on this node")
+
+// feipShareDim is one FEIP dimension's threshold state: the joint public
+// key and every node's share vector.
+type feipShareDim struct {
+	mpk *feip.MasterPublicKey
+	// shares[j-1][i] is node j's share of master scalar s_i.
+	shares [][]*big.Int
+}
+
+// feboShareState is the FEBO threshold state: joint public key, per-node
+// scalar shares and the public share commitments A_j = g^{s^(j)} clients
+// verify partial-key DLEQ proofs against.
+type feboShareState struct {
+	pk        *febo.PublicKey
+	shares    []*big.Int
+	pubShares []*big.Int
+}
+
+// Cluster owns the shared threshold state of an in-process N-of-T
+// authority cluster and hands out its Nodes. It is safe for concurrent
+// use; FEIP dimensions are DKG'd lazily on first request, under one lock,
+// so every node sees the same joint keys.
+type Cluster struct {
+	params *group.Params
+	t, n   int
+	rnd    io.Reader
+
+	mu   sync.Mutex
+	feip map[int]*feipShareDim
+	febo *feboShareState
+}
+
+// NewCluster runs the FEBO DKG and prepares an N-node cluster with
+// reconstruction threshold t. Randomness is drawn from rnd (crypto/rand
+// when nil).
+func NewCluster(params *group.Params, policy Policy, t, n int, rnd io.Reader) (*Cluster, []*Node, error) {
+	if params == nil {
+		return nil, nil, errors.New("authority: nil group parameters")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("authority: %w", err)
+	}
+	if err := thresh.CheckTN(t, n); err != nil {
+		return nil, nil, fmt.Errorf("authority: %w", err)
+	}
+	c := &Cluster{
+		params: params,
+		t:      t,
+		n:      n,
+		rnd:    rnd,
+		feip:   make(map[int]*feipShareDim),
+	}
+	res, err := thresh.RunDKG(params, t, n, rnd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("authority: FEBO cluster setup: %w", err)
+	}
+	fb := &feboShareState{
+		pk:        &febo.PublicKey{Params: params, H: res.Pub},
+		shares:    make([]*big.Int, n),
+		pubShares: res.PubShares,
+	}
+	for j, sh := range res.Shares {
+		fb.shares[j] = sh.V
+	}
+	c.febo = fb
+	nodes := make([]*Node, n)
+	for j := 1; j <= n; j++ {
+		nodes[j-1] = &Node{cluster: c, params: params, policy: policy, index: int64(j), t: t, n: n}
+	}
+	return c, nodes, nil
+}
+
+// feipDim returns (running the DKG on first use) the threshold state for
+// dimension eta.
+func (c *Cluster) feipDim(eta int) (*feipShareDim, error) {
+	if eta <= 0 {
+		return nil, fmt.Errorf("authority: invalid FEIP dimension %d", eta)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.feip[eta]; ok {
+		return d, nil
+	}
+	d := &feipShareDim{
+		mpk:    &feip.MasterPublicKey{Params: c.params, H: make([]*big.Int, eta)},
+		shares: make([][]*big.Int, c.n),
+	}
+	for j := range d.shares {
+		d.shares[j] = make([]*big.Int, eta)
+	}
+	// One dealerless DKG per master scalar s_i: the joint h_i = g^{s_i}
+	// and each node's share of s_i, with Σ contributions never summed at
+	// index 0.
+	for i := 0; i < eta; i++ {
+		res, err := thresh.RunDKG(c.params, c.t, c.n, c.rnd)
+		if err != nil {
+			return nil, fmt.Errorf("authority: FEIP DKG for η=%d coordinate %d: %w", eta, i, err)
+		}
+		d.mpk.H[i] = res.Pub
+		for j := range d.shares {
+			d.shares[j][i] = res.Shares[j].V
+		}
+	}
+	c.feip[eta] = d
+	return d, nil
+}
+
+// Node is one share-holding member of an authority cluster. It exposes
+// the same public-key surface as Authority plus partial-key derivation;
+// it can never produce a whole function key. A Node is safe for
+// concurrent use.
+type Node struct {
+	cluster *Cluster // nil for a detached (file-provisioned) node
+	params  *group.Params
+	policy  Policy
+	index   int64
+	t, n    int
+
+	mu    sync.Mutex
+	feip  map[int]*nodeFEIPDim // detached nodes only
+	febo  *nodeFEBO
+	stats Stats
+}
+
+// nodeFEIPDim is a detached node's provisioned state for one dimension.
+type nodeFEIPDim struct {
+	mpk    *feip.MasterPublicKey
+	shares []*big.Int
+}
+
+// nodeFEBO is a detached node's FEBO share state.
+type nodeFEBO struct {
+	pk        *febo.PublicKey
+	share     *big.Int
+	pubShares []*big.Int
+}
+
+// Index returns the node's 1-based share index.
+func (nd *Node) Index() int64 { return nd.index }
+
+// Threshold returns the cluster's reconstruction threshold T.
+func (nd *Node) Threshold() int { return nd.t }
+
+// ClusterSize returns the cluster's node count N.
+func (nd *Node) ClusterSize() int { return nd.n }
+
+// Params returns the group parameters the node operates over.
+func (nd *Node) Params() *group.Params { return nd.params }
+
+// Stats returns a snapshot of partial-key issuance counters.
+func (nd *Node) Stats() Stats {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.stats
+}
+
+func (nd *Node) feipFor(eta int) (*feip.MasterPublicKey, []*big.Int, error) {
+	if nd.cluster != nil {
+		d, err := nd.cluster.feipDim(eta)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.mpk, d.shares[nd.index-1], nil
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	d, ok := nd.feip[eta]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: η=%d (node %d)", ErrNotProvisioned, eta, nd.index)
+	}
+	return d.mpk, d.shares, nil
+}
+
+func (nd *Node) feboState() (*nodeFEBO, error) {
+	if nd.cluster != nil {
+		fb := nd.cluster.febo
+		return &nodeFEBO{pk: fb.pk, share: fb.shares[nd.index-1], pubShares: fb.pubShares}, nil
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.febo == nil {
+		return nil, fmt.Errorf("%w: FEBO (node %d)", ErrNotProvisioned, nd.index)
+	}
+	return nd.febo, nil
+}
+
+// FEIPPublic returns the cluster's joint inner-product master public key
+// for dimension eta (creating it on first use for in-process clusters).
+func (nd *Node) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
+	mpk, _, err := nd.feipFor(eta)
+	return mpk, err
+}
+
+// FEBOPublic returns the cluster's joint basic-operation public key.
+func (nd *Node) FEBOPublic() (*febo.PublicKey, error) {
+	fb, err := nd.feboState()
+	if err != nil {
+		return nil, err
+	}
+	return fb.pk, nil
+}
+
+// FEBOSharePublics returns every node's public share commitment
+// A_j = g^{s^(j)}, indexed by share index − 1. Clients verify partial
+// FEBO keys' DLEQ proofs against these.
+func (nd *Node) FEBOSharePublics() ([]*big.Int, error) {
+	fb, err := nd.feboState()
+	if err != nil {
+		return nil, err
+	}
+	return fb.pubShares, nil
+}
+
+// PartialIPKey derives this node's partial inner-product key
+// k_j = ⟨y, s^(j)⟩ mod Q, subject to policy. Any T partials combine to
+// the function key via thresh.CombineScalars.
+func (nd *Node) PartialIPKey(y []int64) (*big.Int, error) {
+	ks, err := nd.PartialIPKeyBatch([][]int64{y})
+	if err != nil {
+		return nil, err
+	}
+	return ks[0], nil
+}
+
+// PartialIPKeyBatch derives one partial inner-product key per weight
+// vector, in order, subject to policy.
+func (nd *Node) PartialIPKeyBatch(ys [][]int64) ([]*big.Int, error) {
+	if !nd.policy.DotProduct {
+		return nil, fmt.Errorf("%w: dot-product", ErrNotPermitted)
+	}
+	if len(ys) == 0 {
+		return nil, errors.New("authority: empty key batch")
+	}
+	eta := len(ys[0])
+	_, shares, err := nd.feipFor(eta)
+	if err != nil {
+		return nil, err
+	}
+	// The share vector is a drop-in master secret for the derivation
+	// arithmetic: partial derivation IS KeyDerive over the share.
+	msk := &feip.MasterSecretKey{S: shares}
+	out := make([]*big.Int, len(ys))
+	for i, y := range ys {
+		if len(y) != eta {
+			return nil, fmt.Errorf("authority: batch vector %d has η=%d, want %d", i, len(y), eta)
+		}
+		fk, err := feip.KeyDerive(nd.params, msk, y)
+		if err != nil {
+			return nil, fmt.Errorf("authority: partial key for vector %d: %w", i, err)
+		}
+		out[i] = fk.K
+	}
+	nd.mu.Lock()
+	nd.stats.IPKeys += uint64(len(ys))
+	nd.stats.IPKeyScalars += uint64(len(ys) * eta)
+	nd.mu.Unlock()
+	return out, nil
+}
+
+// PartialBOKeyBatch derives this node's partial basic-operation keys
+// P_j = cmt^{s^(j)} for every commitment, subject to policy, together
+// with one batched Chaum–Pedersen proof that each partial was raised to
+// the node's committed share. The op-dependent transform (·g^{∓y}, ^y,
+// ^{y⁻¹}) is public and applied by the combining client.
+func (nd *Node) PartialBOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) ([]*big.Int, *thresh.EqProof, error) {
+	if !nd.policy.BasicOps[op] {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotPermitted, op)
+	}
+	if len(cmts) == 0 || len(cmts) != len(ys) {
+		return nil, nil, fmt.Errorf("authority: %d commitments for %d scalars", len(cmts), len(ys))
+	}
+	fb, err := nd.feboState()
+	if err != nil {
+		return nil, nil, err
+	}
+	mc := nd.params.Mont()
+	k := mc.Limbs()
+	buf := make([]uint64, k)
+	out := make([]*big.Int, len(cmts))
+	for i, cmt := range cmts {
+		if cmt == nil || !nd.params.IsElement(cmt) {
+			return nil, nil, fmt.Errorf("%w: commitment %d not a group element", febo.ErrMalformed, i)
+		}
+		if op == febo.OpDiv && ys[i] == 0 {
+			return nil, nil, fmt.Errorf("%w: division key: zero divisor", febo.ErrMalformed)
+		}
+		mc.ToMont(buf, cmt)
+		mc.ExpMont(buf, buf, fb.share)
+		out[i] = mc.FromMont(buf)
+	}
+	proof, err := thresh.ProveEqBatch(nd.params, fb.share, fb.pubShares[nd.index-1], cmts, out, nd.rand())
+	if err != nil {
+		return nil, nil, fmt.Errorf("authority: partial key proof: %w", err)
+	}
+	nd.mu.Lock()
+	nd.stats.BOKeys += uint64(len(cmts))
+	nd.mu.Unlock()
+	return out, proof, nil
+}
+
+func (nd *Node) rand() io.Reader {
+	if nd.cluster != nil {
+		return nd.cluster.rnd
+	}
+	return nil
+}

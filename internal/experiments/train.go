@@ -64,6 +64,11 @@ type TrainConfig struct {
 	// Pool > 1 (the down-scaled conv architecture); ignored at Pool 1,
 	// where the 28×28 LeNet-small geometry is used. Default 2.
 	ConvFilters int
+	// KeyService, when non-nil, replaces the in-process authority as the
+	// engine's key backend (e.g. a wire.QuorumKeyService over a threshold
+	// authority cluster). Its group parameters must match Bits — the
+	// solver and codec are sized for the embedded group of that width.
+	KeyService securemat.KeyService
 }
 
 func (c *TrainConfig) fillDefaults() {
@@ -194,9 +199,13 @@ func newTrainRun(cfg TrainConfig) (*trainRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	auth, err := authority.New(params, authority.AllowAll())
-	if err != nil {
-		return nil, err
+	keys := cfg.KeyService
+	if keys == nil {
+		auth, err := authority.New(params, authority.AllowAll())
+		if err != nil {
+			return nil, err
+		}
+		keys = auth
 	}
 	codec := fixedpoint.Default()
 
@@ -250,7 +259,7 @@ func newTrainRun(cfg TrainConfig) (*trainRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := securemat.NewEngine(auth, securemat.EngineOptions{Solver: solver, Parallelism: cfg.Parallelism})
+	eng, err := securemat.NewEngine(keys, securemat.EngineOptions{Solver: solver, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

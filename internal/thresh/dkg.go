@@ -1,0 +1,149 @@
+package thresh
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"cryptonn/internal/group"
+)
+
+// Dealing is one participant's message in the Feldman-committed DKG: the
+// exponent commitments to its polynomial coefficients and the sub-share
+// f(j) destined for each node j. Over a network, Commits is broadcast and
+// SubShares[j-1] travels to node j on a private channel; VerifyShare lets
+// the recipient check its sub-share against the public commitments.
+type Dealing struct {
+	// Commits[k] = g^{c_k} commits to polynomial coefficient k; Commits[0]
+	// commits to the dealer's contribution to the joint secret.
+	Commits []*big.Int
+	// SubShares[j-1] = (j, f(j)) is node j's sub-share.
+	SubShares []Share
+}
+
+// Deal generates one participant's DKG contribution for an N-node cluster
+// with threshold T. Randomness is drawn from r (crypto/rand when nil).
+func Deal(params *group.Params, t, n int, r io.Reader) (*Dealing, error) {
+	if err := CheckTN(t, n); err != nil {
+		return nil, err
+	}
+	poly, err := randomPolynomial(params, nil, t, r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dealing{
+		Commits:   make([]*big.Int, t),
+		SubShares: make([]Share, n),
+	}
+	for k, c := range poly.coeffs {
+		d.Commits[k] = params.PowG(c)
+	}
+	for j := 1; j <= n; j++ {
+		d.SubShares[j-1] = Share{X: int64(j), V: poly.eval(params, int64(j))}
+	}
+	return d, nil
+}
+
+// commitEval evaluates the committed polynomial in the exponent:
+// Π commits[k]^{x^k} = g^{f(x)}.
+func commitEval(params *group.Params, commits []*big.Int, x int64) *big.Int {
+	exps := make([]*big.Int, len(commits))
+	xb := big.NewInt(x)
+	pow := big.NewInt(1)
+	for k := range commits {
+		exps[k] = new(big.Int).Set(pow)
+		pow = new(big.Int).Mul(pow, xb)
+		pow.Mod(pow, params.Q)
+	}
+	return params.MultiExp(commits, exps)
+}
+
+// VerifyShare checks a sub-share against the dealing's commitments:
+// g^{V} == Π Commits[k]^{X^k}. A dealing whose sub-shares all verify is
+// consistent with one degree T−1 polynomial.
+func (d *Dealing) VerifyShare(params *group.Params, sh Share) error {
+	if sh.V == nil || sh.X <= 0 {
+		return fmt.Errorf("%w: sub-share (%d)", ErrShare, sh.X)
+	}
+	want := commitEval(params, d.Commits, sh.X)
+	if params.PowG(sh.V).Cmp(want) != 0 {
+		return fmt.Errorf("%w: sub-share %d fails Feldman check", ErrShare, sh.X)
+	}
+	return nil
+}
+
+// DKGResult is the outcome of a dealerless key generation: each node's
+// share of the joint secret, the joint public key, and each node's public
+// share commitment. The joint secret itself is never formed.
+type DKGResult struct {
+	T, N int
+	// Shares[j-1] is node j's share of the joint secret.
+	Shares []Share
+	// Pub = g^{secret} is the joint public key.
+	Pub *big.Int
+	// PubShares[j-1] = g^{Shares[j-1].V} is node j's public share
+	// commitment (the verification key for its partial-key DLEQ proofs).
+	PubShares []*big.Int
+}
+
+// RunDKG executes the N-participant Feldman DKG in one process: every
+// participant deals, node j's share is Σ_d f_d(j), the joint public key is
+// Π_d Commits_d[0]. No code path sums the dealers' constant terms, so the
+// joint secret exists only in shared form; see the package comment for the
+// ceremony-host trust caveat.
+func RunDKG(params *group.Params, t, n int, r io.Reader) (*DKGResult, error) {
+	if err := CheckTN(t, n); err != nil {
+		return nil, err
+	}
+	res := &DKGResult{
+		T:         t,
+		N:         n,
+		Shares:    make([]Share, n),
+		PubShares: make([]*big.Int, n),
+	}
+	pub := big.NewInt(1)
+	sums := make([]*big.Int, n)
+	for j := range sums {
+		sums[j] = new(big.Int)
+	}
+	for d := 0; d < n; d++ {
+		dealing, err := Deal(params, t, n, r)
+		if err != nil {
+			return nil, fmt.Errorf("thresh: dealer %d: %w", d+1, err)
+		}
+		pub = params.Mul(pub, dealing.Commits[0])
+		for j := range sums {
+			sums[j].Add(sums[j], dealing.SubShares[j].V)
+		}
+	}
+	res.Pub = pub
+	for j := range sums {
+		v := sums[j].Mod(sums[j], params.Q)
+		res.Shares[j] = Share{X: int64(j + 1), V: v}
+		res.PubShares[j] = params.PowG(v)
+	}
+	return res, nil
+}
+
+// CombineElements computes Π e_j^{λ_j} mod P — the Lagrange combination of
+// partial group elements (e.g. partial FEBO keys cmt^{s^(j)}) — running
+// every ladder in the Montgomery domain.
+func CombineElements(params *group.Params, lambdas []*big.Int, elems []*big.Int) (*big.Int, error) {
+	if len(lambdas) != len(elems) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d elements", ErrShare, len(lambdas), len(elems))
+	}
+	mc := params.Mont()
+	k := mc.Limbs()
+	buf := make([]uint64, 2*k)
+	acc, term := buf[:k], buf[k:]
+	mc.SetOne(acc)
+	for j, e := range elems {
+		if e == nil {
+			return nil, fmt.Errorf("%w: nil element %d", ErrShare, j)
+		}
+		mc.ToMont(term, e)
+		mc.ExpMont(term, term, lambdas[j])
+		mc.MulMont(acc, acc, term)
+	}
+	return mc.FromMont(acc), nil
+}

@@ -1,0 +1,156 @@
+package thresh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"cryptonn/internal/group"
+)
+
+// Domain-separation tags for the Fiat–Shamir transcripts, so a proof can
+// never be replayed in another protocol role.
+const (
+	dstRLC  = "CRYPTONN/THRESH/v1/RLC"
+	dstDLEQ = "CRYPTONN/THRESH/v1/DLEQ"
+)
+
+// ErrProof reports a DLEQ proof that fails verification.
+var ErrProof = errors.New("thresh: invalid discrete-log equality proof")
+
+// EqProof is a non-interactive Chaum–Pedersen proof that two group
+// elements share a discrete log: log_g(pub) = log_{B}(P) for the batched
+// base/output pair (B, P). It proves a partial FEBO key was derived with
+// the node's committed secret share, without revealing the share.
+type EqProof struct {
+	C, Z *big.Int
+}
+
+// transcript accumulates Fiat–Shamir challenge input as length-prefixed
+// big-endian integers under a domain tag.
+type transcript struct {
+	h interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+}
+
+func newTranscript(dst string) *transcript {
+	t := &transcript{h: sha256.New()}
+	t.bytes([]byte(dst))
+	return t
+}
+
+func (t *transcript) bytes(b []byte) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	t.h.Write(n[:])
+	t.h.Write(b)
+}
+
+func (t *transcript) ints(xs ...*big.Int) {
+	for _, x := range xs {
+		t.bytes(x.Bytes())
+	}
+}
+
+func (t *transcript) sum() []byte { return t.h.Sum(nil) }
+
+// rlcCoeffs derives the random-linear-combination coefficients that fold
+// a batch of (base, out) pairs into one pair. Each coefficient is a
+// 128-bit integer bound to the whole batch and the prover's public share
+// commitment, so a prover cannot trade an error in one element against
+// another.
+func rlcCoeffs(pub *big.Int, bases, outs []*big.Int) []*big.Int {
+	seedT := newTranscript(dstRLC)
+	seedT.ints(pub)
+	seedT.ints(bases...)
+	seedT.ints(outs...)
+	seed := seedT.sum()
+	coeffs := make([]*big.Int, len(bases))
+	var buf [sha256.Size]byte
+	for i := range coeffs {
+		h := sha256.New()
+		h.Write(seed)
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(i))
+		h.Write(n[:])
+		h.Sum(buf[:0])
+		coeffs[i] = new(big.Int).SetBytes(buf[:16])
+	}
+	return coeffs
+}
+
+// challenge derives the Chaum–Pedersen challenge scalar mod Q.
+func challenge(params *group.Params, pub, base, out, t1, t2 *big.Int) *big.Int {
+	tr := newTranscript(dstDLEQ)
+	tr.ints(params.P, params.G, pub, base, out, t1, t2)
+	c := new(big.Int).SetBytes(tr.sum())
+	return c.Mod(c, params.Q)
+}
+
+// foldBatch collapses (bases, outs) to the single RLC pair (B, P).
+func foldBatch(params *group.Params, pub *big.Int, bases, outs []*big.Int) (b, p *big.Int) {
+	if len(bases) == 1 {
+		return bases[0], outs[0]
+	}
+	es := rlcCoeffs(pub, bases, outs)
+	return params.MultiExp(bases, es), params.MultiExp(outs, es)
+}
+
+// ProveEqBatch proves that outs[i] = bases[i]^secret for every i, where
+// pub = g^secret is the prover's public share commitment. The batch is
+// folded into one pair with Fiat–Shamir RLC coefficients; the proof is
+// two scalars regardless of batch size. Randomness is drawn from r
+// (crypto/rand when nil).
+func ProveEqBatch(params *group.Params, secret, pub *big.Int, bases, outs []*big.Int, r io.Reader) (*EqProof, error) {
+	if len(bases) == 0 || len(bases) != len(outs) {
+		return nil, fmt.Errorf("%w: %d bases for %d outputs", ErrShare, len(bases), len(outs))
+	}
+	if secret == nil || pub == nil {
+		return nil, fmt.Errorf("%w: missing secret or commitment", ErrShare)
+	}
+	b, p := foldBatch(params, pub, bases, outs)
+	k, err := params.RandScalar(r)
+	if err != nil {
+		return nil, fmt.Errorf("thresh: dleq nonce: %w", err)
+	}
+	t1 := params.PowG(k)
+	t2 := params.Exp(b, k)
+	c := challenge(params, pub, b, p, t1, t2)
+	z := new(big.Int).Mul(c, secret)
+	z.Add(z, k)
+	return &EqProof{C: c, Z: z.Mod(z, params.Q)}, nil
+}
+
+// VerifyEqBatch checks a ProveEqBatch proof: that every outs[i] is
+// bases[i] raised to the discrete log of pub. It recomputes the folded
+// pair, reconstructs the commitments t1 = g^z·pub^{−c}, t2 = B^z·P^{−c}
+// and compares the re-derived challenge.
+func VerifyEqBatch(params *group.Params, pub *big.Int, bases, outs []*big.Int, proof *EqProof) error {
+	if proof == nil || proof.C == nil || proof.Z == nil {
+		return fmt.Errorf("%w: empty proof", ErrProof)
+	}
+	if len(bases) == 0 || len(bases) != len(outs) {
+		return fmt.Errorf("%w: %d bases for %d outputs", ErrProof, len(bases), len(outs))
+	}
+	if pub == nil || !params.IsElement(pub) {
+		return fmt.Errorf("%w: commitment not a group element", ErrProof)
+	}
+	for i, o := range outs {
+		if o == nil || !params.IsElement(o) {
+			return fmt.Errorf("%w: output %d not a group element", ErrProof, i)
+		}
+	}
+	b, p := foldBatch(params, pub, bases, outs)
+	negC := new(big.Int).Neg(proof.C)
+	t1 := params.Mul(params.PowG(proof.Z), params.Exp(pub, negC))
+	t2 := params.Mul(params.Exp(b, proof.Z), params.Exp(p, negC))
+	if challenge(params, pub, b, p, t1, t2).Cmp(proof.C) != 0 {
+		return ErrProof
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package thresh implements the threshold-cryptography core of the
+// authority cluster: Shamir secret sharing over the group's scalar field
+// Z_Q, a Feldman-committed distributed key generation, and (batched)
+// Chaum–Pedersen discrete-log-equality proofs.
+//
+// # Role in the architecture
+//
+// The paper's trusted authority holds every FEIP/FEBO master secret in one
+// process. The cluster refactor splits each master scalar s into N Shamir
+// shares s^(1..N) of a degree T−1 polynomial, so any T nodes can derive
+// function keys while T−1 nodes learn nothing. Both functional-encryption
+// schemes are linear in their master secrets, which is what makes partial
+// key derivation work share-wise:
+//
+//   - FEIP: sk_f = ⟨y, s⟩ mod Q. Node j returns k_j = ⟨y, s^(j)⟩ and any T
+//     partials interpolate at x = 0: sk_f = Σ λ_j·k_j mod Q (Lambda).
+//   - FEBO: sk_f is cmt^{s·e} for an op-dependent public exponent e. Node j
+//     returns P_j = cmt^{s^(j)} and the combined cmt^s = Π P_j^{λ_j}; the
+//     op transform (·g^{∓y}, ^y, ^{y⁻¹}) is applied to the combined value.
+//
+// # Trust model of RunDKG
+//
+// Deal/VerifyShare are the message-level Feldman DKG: each participant
+// deals a random polynomial, commits to its coefficients in the exponent,
+// and every sub-share is verifiable against those commitments, so the
+// joint secret Σ f_d(0) exists only as a sum no single dealer knows.
+// RunDKG executes that protocol inside one process (the provisioning
+// ceremony and the in-process test cluster); the dealerless structure is
+// preserved — no code path ever materializes Σ f_d(0) — but a ceremony
+// host is necessarily trusted at setup time. A networked interactive DKG
+// can be built from Deal/VerifyShare without changing any caller.
+//
+// # Verifying partial keys
+//
+// FEIP partials are scalars, so the combined key verifies directly against
+// the joint public key: g^{sk_f} == Π h_i^{y_i}. FEBO partials are group
+// elements and that check would be a DDH instance, so nodes attach a
+// Chaum–Pedersen proof (ProveEqBatch) that log_g A_j = log_cmt P_j for
+// their published share commitment A_j = g^{s^(j)}; a corrupted partial is
+// rejected before it can poison the combination. Batches are folded into
+// one proof with a Fiat–Shamir random linear combination.
+//
+// All functions are pure and safe for concurrent use; randomness defaults
+// to crypto/rand when the supplied reader is nil.
+package thresh

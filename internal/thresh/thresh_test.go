@@ -1,0 +1,280 @@
+package thresh
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+func testParams(t *testing.T) *group.Params {
+	t.Helper()
+	p, err := group.Embedded(group.TestBits)
+	if err != nil {
+		t.Fatalf("embedded group: %v", err)
+	}
+	return p
+}
+
+// combinations yields all size-k index subsets of [0, n).
+func combinations(n, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func TestSplitCombineAllQuorums(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(1))
+	for _, tn := range [][2]int{{1, 1}, {2, 3}, {3, 5}, {5, 7}} {
+		th, n := tn[0], tn[1]
+		secret, err := params.RandScalar(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares, err := Split(params, secret, th, n, rnd)
+		if err != nil {
+			t.Fatalf("Split(%d,%d): %v", th, n, err)
+		}
+		for _, combo := range combinations(n, th) {
+			sub := make([]Share, th)
+			for i, c := range combo {
+				sub[i] = shares[c]
+			}
+			got, err := Combine(params, sub)
+			if err != nil {
+				t.Fatalf("Combine %v: %v", combo, err)
+			}
+			if got.Cmp(secret) != 0 {
+				t.Fatalf("t=%d n=%d quorum %v: got %v want %v", th, n, combo, got, secret)
+			}
+		}
+	}
+}
+
+func TestCombineRejectsMalformed(t *testing.T) {
+	params := testParams(t)
+	if _, err := Split(params, big.NewInt(5), 4, 3, nil); err == nil {
+		t.Fatal("Split with t > n must fail")
+	}
+	if _, err := Combine(params, []Share{{X: 1, V: big.NewInt(1)}, {X: 1, V: big.NewInt(2)}}); err == nil {
+		t.Fatal("Combine with duplicate indices must fail")
+	}
+	if _, err := Combine(params, []Share{{X: 0, V: big.NewInt(1)}}); err == nil {
+		t.Fatal("Combine with index 0 must fail")
+	}
+}
+
+// TestSubThresholdHiding is the statistical arm of the perfect-hiding
+// property: the marginal distribution of any T−1 shares is identical
+// whatever the secret is. We split two maximally different secrets many
+// times and check that a fixed share coordinate lands uniformly across
+// value quartiles of Z_Q for both.
+func TestSubThresholdHiding(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(2))
+	const rounds = 400
+	q := params.Q
+	quarter := new(big.Int).Rsh(q, 2)
+	secrets := []*big.Int{big.NewInt(0), new(big.Int).Sub(q, big.NewInt(1))}
+	for si, secret := range secrets {
+		var buckets [4]int
+		for r := 0; r < rounds; r++ {
+			shares, err := Split(params, secret, 3, 5, rnd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two shares are below threshold for t=3; inspect share 1.
+			b := new(big.Int).Div(shares[0].V, quarter).Int64()
+			if b > 3 {
+				b = 3 // V in the top sliver rounds into bucket 3
+			}
+			buckets[b]++
+		}
+		for b, count := range buckets {
+			// Expected rounds/4 = 100; a secret-dependent bias would
+			// concentrate mass. Bounds are ±6σ-generous to keep the test
+			// deterministic-grade stable.
+			if count < 40 || count > 160 {
+				t.Fatalf("secret %d: share-value bucket %d has %d/%d hits — sub-threshold shares leak", si, b, count, rounds)
+			}
+		}
+	}
+}
+
+// TestLagrangeLinearity pins the identity the partial-key path relies on:
+// combining per-node linear functions of the shares equals the same
+// linear function of the secret.
+func TestLagrangeLinearity(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(3))
+	secret, _ := params.RandScalar(rnd)
+	shares, err := Split(params, secret, 3, 5, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := big.NewInt(-12345)
+	// Per-node partial: w·share_j; combined should be w·secret mod Q.
+	xs := []int64{2, 4, 5}
+	lambdas, err := Lambda(params, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := []*big.Int{
+		params.ReduceScalar(new(big.Int).Mul(w, shares[1].V)),
+		params.ReduceScalar(new(big.Int).Mul(w, shares[3].V)),
+		params.ReduceScalar(new(big.Int).Mul(w, shares[4].V)),
+	}
+	got := CombineScalars(params, lambdas, partials)
+	want := params.ReduceScalar(new(big.Int).Mul(w, secret))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("combined linear partial %v != %v", got, want)
+	}
+}
+
+func TestDealingFeldmanVerify(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(4))
+	d, err := Deal(params, 3, 5, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range d.SubShares {
+		if err := d.VerifyShare(params, sh); err != nil {
+			t.Fatalf("honest sub-share %d rejected: %v", sh.X, err)
+		}
+	}
+	bad := Share{X: 2, V: new(big.Int).Add(d.SubShares[1].V, big.NewInt(1))}
+	if err := d.VerifyShare(params, bad); err == nil {
+		t.Fatal("tampered sub-share accepted")
+	}
+}
+
+func TestRunDKG(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(5))
+	res, err := RunDKG(params, 3, 5, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every T-quorum must reconstruct the same secret, and that secret
+	// must match the joint public key (the dealer-free secret).
+	var joint *big.Int
+	for _, combo := range combinations(5, 3) {
+		sub := make([]Share, 3)
+		for i, c := range combo {
+			sub[i] = res.Shares[c]
+		}
+		s, err := Combine(params, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joint == nil {
+			joint = s
+		} else if joint.Cmp(s) != 0 {
+			t.Fatalf("quorum %v reconstructs a different secret", combo)
+		}
+	}
+	if params.PowG(joint).Cmp(res.Pub) != 0 {
+		t.Fatal("joint public key does not match the reconstructed secret")
+	}
+	for j, ps := range res.PubShares {
+		if params.PowG(res.Shares[j].V).Cmp(ps) != 0 {
+			t.Fatalf("public share %d does not commit to share %d", j, j)
+		}
+	}
+}
+
+func TestCombineElements(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(6))
+	secret, _ := params.RandScalar(rnd)
+	shares, err := Split(params, secret, 3, 5, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := params.RandScalar(rnd)
+	cmt := params.PowG(base) // a group element to exponentiate
+	xs := []int64{1, 3, 5}
+	lambdas, err := Lambda(params, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := []*big.Int{
+		params.Exp(cmt, shares[0].V),
+		params.Exp(cmt, shares[2].V),
+		params.Exp(cmt, shares[4].V),
+	}
+	got, err := CombineElements(params, lambdas, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := params.Exp(cmt, secret); got.Cmp(want) != 0 {
+		t.Fatalf("Π P_j^λ_j = %v, want cmt^s = %v", got, want)
+	}
+}
+
+func TestDLEQ(t *testing.T) {
+	params := testParams(t)
+	rnd := rand.New(rand.NewSource(7))
+	secret, _ := params.RandScalar(rnd)
+	pub := params.PowG(secret)
+	var bases, outs []*big.Int
+	for i := 0; i < 8; i++ {
+		e, _ := params.RandScalar(rnd)
+		b := params.PowG(e)
+		bases = append(bases, b)
+		outs = append(outs, params.Exp(b, secret))
+	}
+	proof, err := ProveEqBatch(params, secret, pub, bases, outs, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEqBatch(params, pub, bases, outs, proof); err != nil {
+		t.Fatalf("honest batch proof rejected: %v", err)
+	}
+	// Single-element batch.
+	p1, err := ProveEqBatch(params, secret, pub, bases[:1], outs[:1], rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEqBatch(params, pub, bases[:1], outs[:1], p1); err != nil {
+		t.Fatalf("single proof rejected: %v", err)
+	}
+
+	// One corrupted output in the batch must be caught by the RLC fold.
+	tampered := append([]*big.Int(nil), outs...)
+	tampered[3] = params.Mul(tampered[3], params.G)
+	if err := VerifyEqBatch(params, pub, bases, tampered, proof); err == nil {
+		t.Fatal("corrupted output accepted")
+	}
+	// Swapping two outputs preserves the multiset but must still fail.
+	swapped := append([]*big.Int(nil), outs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := VerifyEqBatch(params, pub, bases, swapped, proof); err == nil {
+		t.Fatal("swapped outputs accepted")
+	}
+	// Tampered proof scalars must fail.
+	badZ := &EqProof{C: proof.C, Z: new(big.Int).Add(proof.Z, big.NewInt(1))}
+	if err := VerifyEqBatch(params, pub, bases, outs, badZ); err == nil {
+		t.Fatal("tampered z accepted")
+	}
+	// A proof bound to another share must not transfer.
+	other, _ := params.RandScalar(rnd)
+	if err := VerifyEqBatch(params, params.PowG(other), bases, outs, proof); err == nil {
+		t.Fatal("proof accepted under a different share commitment")
+	}
+}

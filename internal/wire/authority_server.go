@@ -8,16 +8,65 @@ import (
 	"log"
 	"math/big"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"cryptonn/internal/authority"
 )
 
+// DefaultMaxEta bounds the FEIP dimension (and batch lengths) a server
+// accepts from the network. FEIPPublic allocates and exponentiates η group
+// elements, so an unchecked client-supplied η is an allocation DoS; the
+// default admits any realistic layer width while bounding a hostile peer
+// to ~megabyte-scale work.
+const DefaultMaxEta = 1 << 20
+
+// ErrLimitExceeded reports a request whose dimension or batch size exceeds
+// the server's configured cap. It is permanent, not backpressure: clients
+// must not retry.
+var ErrLimitExceeded = errors.New("wire: request exceeds server limits")
+
+// AuthorityServerOptions tune server-side guard rails.
+type AuthorityServerOptions struct {
+	// MaxEta caps the FEIP dimension η, per-request vector lengths and
+	// batch element counts. Zero means DefaultMaxEta; negative disables
+	// the cap.
+	MaxEta int
+}
+
+func (o AuthorityServerOptions) maxEta() int {
+	switch {
+	case o.MaxEta == 0:
+		return DefaultMaxEta
+	case o.MaxEta < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return o.MaxEta
+	}
+}
+
+// AuthorityServerStats counts server-side incidents.
+type AuthorityServerStats struct {
+	// Panics is the number of request dispatches that panicked and were
+	// recovered (the connection survived and got an error response).
+	Panics uint64
+	// Rejected is the number of requests refused by the MaxEta guard.
+	Rejected uint64
+}
+
 // AuthorityServer exposes an authority's key services over TCP. It is the
-// network face of the trusted third party in Fig. 1.
+// network face of the trusted third party in Fig. 1 — or, in node mode, of
+// one member of the threshold authority cluster, serving partial keys that
+// only a T-quorum can combine.
 type AuthorityServer struct {
-	auth *authority.Authority
-	log  *log.Logger
+	auth   *authority.Authority // single-authority mode
+	node   *authority.Node      // cluster-node mode
+	log    *log.Logger
+	maxEta int
+
+	panics   atomic.Uint64
+	rejected atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -26,19 +75,49 @@ type AuthorityServer struct {
 	closed   bool
 }
 
-// NewAuthorityServer wraps an authority; logger may be nil for silence.
+// NewAuthorityServer wraps an authority with default options; logger may
+// be nil for silence.
 func NewAuthorityServer(auth *authority.Authority, logger *log.Logger) (*AuthorityServer, error) {
+	return NewAuthorityServerOpts(auth, logger, AuthorityServerOptions{})
+}
+
+// NewAuthorityServerOpts wraps an authority; logger may be nil for silence.
+func NewAuthorityServerOpts(auth *authority.Authority, logger *log.Logger, opts AuthorityServerOptions) (*AuthorityServer, error) {
 	if auth == nil {
 		return nil, errors.New("wire: nil authority")
 	}
+	return newServer(auth, nil, logger, opts), nil
+}
+
+// NewNodeServer exposes one threshold cluster node over the same protocol:
+// public-key kinds answer with the cluster's joint keys, and the partial-key
+// kinds serve this node's shares. Logger may be nil for silence.
+func NewNodeServer(node *authority.Node, logger *log.Logger, opts AuthorityServerOptions) (*AuthorityServer, error) {
+	if node == nil {
+		return nil, errors.New("wire: nil cluster node")
+	}
+	return newServer(nil, node, logger, opts), nil
+}
+
+func newServer(auth *authority.Authority, node *authority.Node, logger *log.Logger, opts AuthorityServerOptions) *AuthorityServer {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
 	return &AuthorityServer{
-		auth:  auth,
-		log:   logger,
-		conns: make(map[net.Conn]struct{}),
-	}, nil
+		auth:   auth,
+		node:   node,
+		log:    logger,
+		maxEta: opts.maxEta(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Stats returns a snapshot of server incident counters.
+func (s *AuthorityServer) Stats() AuthorityServerStats {
+	return AuthorityServerStats{
+		Panics:   s.panics.Load(),
+		Rejected: s.rejected.Load(),
+	}
 }
 
 // Serve accepts connections on l until the context is cancelled or Close
@@ -112,7 +191,7 @@ func (s *AuthorityServer) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(&req)
+		resp := s.safeDispatch(&req)
 		if err := WriteMsg(conn, resp); err != nil {
 			s.log.Printf("authority: write to %s: %v", conn.RemoteAddr(), err)
 			return
@@ -120,7 +199,62 @@ func (s *AuthorityServer) handle(conn net.Conn) {
 	}
 }
 
+// safeDispatch guards dispatch with the request-size limits and a panic
+// recovery barrier: a panicking request (malformed input reaching an
+// arithmetic edge, a bug in a key path) downs neither the connection nor
+// the server — the client gets a non-retryable error response and the
+// incident is counted and logged.
+func (s *AuthorityServer) safeDispatch(req *Request) (resp *Response) {
+	if err := s.checkLimits(req); err != nil {
+		s.rejected.Add(1)
+		return &Response{Err: err.Error()}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.log.Printf("authority: panic serving %s: %v\n%s", req.Kind, r, debug.Stack())
+			resp = &Response{Err: fmt.Sprintf("wire: internal error serving %s", req.Kind)}
+		}
+	}()
+	return s.dispatch(req)
+}
+
+// checkLimits enforces the MaxEta cap on every client-controlled dimension
+// and batch length before any allocation happens on its behalf.
+func (s *AuthorityServer) checkLimits(req *Request) error {
+	over := func(what string, n int) error {
+		return fmt.Errorf("%w: %s %d > max %d", ErrLimitExceeded, what, n, s.maxEta)
+	}
+	switch req.Kind {
+	case KindFEIPPublic:
+		if req.Eta > s.maxEta {
+			return over("η", req.Eta)
+		}
+	case KindIPKey:
+		if len(req.Y) > s.maxEta {
+			return over("|y|", len(req.Y))
+		}
+	case KindIPKeyBatch, KindPartialIPKeyBatch:
+		if len(req.YBatch) > s.maxEta {
+			return over("batch size", len(req.YBatch))
+		}
+		for _, y := range req.YBatch {
+			if len(y) > s.maxEta {
+				return over("|y|", len(y))
+			}
+		}
+	case KindBOKeyBatch, KindPartialBOKeyBatch:
+		if len(req.Cmts) > s.maxEta {
+			return over("batch size", len(req.Cmts))
+		}
+	}
+	return nil
+}
+
 func (s *AuthorityServer) dispatch(req *Request) *Response {
+	if s.node != nil {
+		return s.dispatchNode(req)
+	}
 	switch req.Kind {
 	case KindFEIPPublic:
 		mpk, err := s.auth.FEIPPublic(req.Eta)
@@ -188,6 +322,80 @@ func (s *AuthorityServer) dispatch(req *Request) *Response {
 		return &Response{KBatch: ks}
 	default:
 		return &Response{Err: fmt.Sprintf("wire: authority cannot serve %s", req.Kind)}
+	}
+}
+
+// dispatchNode answers requests in cluster-node mode. Public-key kinds are
+// shared with single-authority mode (the joint keys are ordinary public
+// keys); whole-key kinds are refused — a node structurally cannot derive
+// one — and the partial-key kinds serve this node's share arithmetic.
+func (s *AuthorityServer) dispatchNode(req *Request) *Response {
+	nd := s.node
+	switch req.Kind {
+	case KindClusterInfo:
+		pk, err := nd.FEBOPublic()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		shares, err := nd.FEBOSharePublics()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		p := nd.Params()
+		return &Response{
+			GroupP: p.P, GroupQ: p.Q, GroupG: p.G,
+			H:         []*big.Int{pk.H},
+			HShares:   shares,
+			NodeIndex: nd.Index(),
+			Threshold: nd.Threshold(),
+			Nodes:     nd.ClusterSize(),
+		}
+	case KindFEIPPublic:
+		mpk, err := nd.FEIPPublic(req.Eta)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		p := nd.Params()
+		return &Response{
+			GroupP: p.P, GroupQ: p.Q, GroupG: p.G,
+			H: mpk.H, NodeIndex: nd.Index(),
+		}
+	case KindFEBOPublic:
+		pk, err := nd.FEBOPublic()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		p := nd.Params()
+		return &Response{
+			GroupP: p.P, GroupQ: p.Q, GroupG: p.G,
+			H: []*big.Int{pk.H}, NodeIndex: nd.Index(),
+		}
+	case KindPartialIPKeyBatch:
+		if len(req.YBatch) == 0 {
+			return &Response{Err: "wire: empty key batch"}
+		}
+		ks, err := nd.PartialIPKeyBatch(req.YBatch)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{KBatch: ks, NodeIndex: nd.Index()}
+	case KindPartialBOKeyBatch:
+		op, err := opFromInt(req.Op)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		if len(req.Cmts) == 0 || len(req.Cmts) != len(req.Scalars) {
+			return &Response{Err: fmt.Sprintf("wire: %d commitments for %d scalars", len(req.Cmts), len(req.Scalars))}
+		}
+		ks, proof, err := nd.PartialBOKeyBatch(req.Cmts, op, req.Scalars)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{KBatch: ks, NodeIndex: nd.Index(), ProofC: proof.C, ProofZ: proof.Z}
+	case KindIPKey, KindIPKeyBatch, KindBOKey, KindBOKeyBatch:
+		return &Response{Err: fmt.Sprintf("wire: cluster node holds only a key share; %s requires a T-quorum", req.Kind)}
+	default:
+		return &Response{Err: fmt.Sprintf("wire: authority node cannot serve %s", req.Kind)}
 	}
 }
 

@@ -91,6 +91,9 @@ type DispatcherStats struct {
 	// coalesced batch width. MaxCoalesced is the widest merged batch.
 	Evals        uint64
 	MaxCoalesced int
+	// Panics counts evaluations that panicked and were recovered (each
+	// cost its requests an error, not the dispatch loop).
+	Panics uint64
 	// QueueDepth is the instantaneous number of queued requests.
 	QueueDepth int
 	// P50 and P99 are request latency percentiles (enqueue → result
@@ -137,6 +140,7 @@ type Dispatcher struct {
 	rejected     uint64
 	samples      uint64
 	evals        uint64
+	panics       uint64
 	maxCoalesced int
 	lats         [latWindow]time.Duration
 	latN         uint64
@@ -227,6 +231,7 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Rejected:     d.rejected,
 		Samples:      d.samples,
 		Evals:        d.evals,
+		Panics:       d.panics,
 		MaxCoalesced: d.maxCoalesced,
 		QueueDepth:   len(d.queue),
 	}
@@ -377,7 +382,7 @@ func (d *Dispatcher) evaluate(group []*pendingPredict) {
 	if len(live) > 1 {
 		enc = mergeBatches(live, total)
 	}
-	preds, err := d.predict(enc)
+	preds, err := d.safePredict(enc)
 	if err == nil && len(preds) != total {
 		err = fmt.Errorf("wire: %d predictions for %d coalesced samples", len(preds), total)
 	}
@@ -402,9 +407,25 @@ func (d *Dispatcher) evaluate(group []*pendingPredict) {
 	}
 }
 
+// safePredict calls the prediction function with a panic barrier: the
+// dispatch loop runs evaluations on its own goroutine, so an unrecovered
+// panic would kill prediction serving for every client, not just the
+// request that tripped it.
+func (d *Dispatcher) safePredict(enc *core.EncryptedBatch) (preds []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.mu.Lock()
+			d.panics++
+			d.mu.Unlock()
+			preds, err = nil, fmt.Errorf("wire: prediction panicked: %v", r)
+		}
+	}()
+	return d.predict(enc)
+}
+
 // predictOne evaluates a single request (the failed-merge fallback path).
 func (d *Dispatcher) predictOne(p *pendingPredict) predictResult {
-	preds, err := d.predict(p.enc)
+	preds, err := d.safePredict(p.enc)
 	if err == nil && len(preds) != p.enc.N {
 		err = fmt.Errorf("wire: %d predictions for %d samples", len(preds), p.enc.N)
 	}

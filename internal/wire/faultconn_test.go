@@ -1,0 +1,149 @@
+package wire_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cryptonn/internal/wire"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestFaultConnDropHonorsReadDeadline(t *testing.T) {
+	client, _ := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultDrop})
+	if err := fc.SetReadDeadline(time.Now().Add(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 8))
+	if !wire.IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("deadline fired after %v", d)
+	}
+}
+
+func TestFaultConnDropWakesOnDeadlineSlam(t *testing.T) {
+	client, _ := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultDrop})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		// The cancellation path used by the quorum client: slam the
+		// deadline into the past to abort an in-flight read.
+		_ = fc.SetDeadline(time.Unix(1, 0))
+	}()
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 8))
+	if !wire.IsTimeout(err) {
+		t.Fatalf("want timeout after slam, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("slammed read still took %v", d)
+	}
+}
+
+func TestFaultConnDropWakesOnClose(t *testing.T) {
+	client, _ := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultDrop})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_ = fc.Close()
+	}()
+	if _, err := fc.Read(make([]byte, 8)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed, got %v", err)
+	}
+}
+
+func TestFaultConnDropLiesAboutWrites(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultDrop})
+	n, err := fc.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("dropped write reported (%d, %v)", n, err)
+	}
+	// Nothing must actually arrive.
+	_ = server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := server.Read(make([]byte, 8)); !wire.IsTimeout(err) {
+		t.Fatalf("peer received %d bytes (err %v) from a dropped write", n, err)
+	}
+}
+
+func TestFaultConnTruncateBreaksFraming(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultTruncate})
+	n, err := fc.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("truncated write reported (%d, %v)", n, err)
+	}
+	buf := make([]byte, 8)
+	_ = server.SetReadDeadline(time.Now().Add(time.Second))
+	rn, err := server.Read(buf)
+	if err != nil || rn != 1 || buf[0] != 'h' {
+		t.Fatalf("peer got %d bytes (%q, %v); want exactly the first byte", rn, buf[:rn], err)
+	}
+}
+
+func TestFaultConnResetHardFails(t *testing.T) {
+	client, _ := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultReset})
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed on reset write, got %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed on reset read, got %v", err)
+	}
+}
+
+func TestFaultConnAfterOpsPassesEarlyTraffic(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := wire.NewFaultConn(client, wire.FaultPlan{Mode: wire.FaultDrop, AfterOps: 2})
+	// First two operations pass through untouched.
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Write([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := server.Read(buf); err != nil || buf[0] != byte('a'+i) {
+			t.Fatalf("op %d: %q, %v", i, buf, err)
+		}
+	}
+	// Third op hits the armed fault: write is swallowed.
+	if _, err := fc.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := server.Read(make([]byte, 1)); !wire.IsTimeout(err) {
+		t.Fatalf("armed drop leaked %d bytes (err %v)", n, err)
+	}
+}

@@ -1,0 +1,149 @@
+package wire
+
+// Regression tests for the server and client hardening added alongside the
+// threshold authority cluster: request-size limits, per-request panic
+// containment, and bounded/cancellable client exchanges.
+
+import (
+	"context"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/group"
+)
+
+func TestServerRejectsOversizedRequests(t *testing.T) {
+	auth, err := authority.New(group.TestParams(), authority.AllowAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewAuthorityServerOpts(auth, nil, AuthorityServerOptions{MaxEta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := make([]int64, 5)
+	cmts := make([]*big.Int, 5)
+	for i := range cmts {
+		cmts[i] = big.NewInt(1)
+	}
+	for _, req := range []*Request{
+		{Kind: KindFEIPPublic, Eta: 5},
+		{Kind: KindIPKey, Y: wide},
+		{Kind: KindIPKeyBatch, YBatch: [][]int64{wide}},
+		{Kind: KindIPKeyBatch, YBatch: [][]int64{{1}, {1}, {1}, {1}, {1}}},
+		{Kind: KindPartialIPKeyBatch, YBatch: [][]int64{wide}},
+		{Kind: KindBOKeyBatch, Cmts: cmts, Scalars: wide},
+		{Kind: KindPartialBOKeyBatch, Cmts: cmts, Scalars: wide},
+	} {
+		resp := srv.safeDispatch(req)
+		if resp.Err == "" || !strings.Contains(resp.Err, "exceeds server limits") {
+			t.Errorf("%s: oversized request not rejected (err %q)", req.Kind, resp.Err)
+		}
+	}
+	if got := srv.Stats().Rejected; got != 7 {
+		t.Errorf("Rejected = %d, want 7", got)
+	}
+	// At the limit is fine.
+	if resp := srv.safeDispatch(&Request{Kind: KindFEIPPublic, Eta: 4}); resp.Err != "" {
+		t.Errorf("η at the cap rejected: %s", resp.Err)
+	}
+}
+
+func TestSafeDispatchContainsPanics(t *testing.T) {
+	// A server with neither authority nor node: any dispatch panics on a
+	// nil dereference, standing in for an unexpected bug in a key path.
+	srv := &AuthorityServer{log: log.New(io.Discard, "", 0), maxEta: 16}
+	resp := srv.safeDispatch(&Request{Kind: KindFEIPPublic, Eta: 2})
+	if resp == nil || !strings.Contains(resp.Err, "internal error") {
+		t.Fatalf("panicking dispatch answered %+v", resp)
+	}
+	if got := srv.Stats().Panics; got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+}
+
+// wedgedServer accepts connections and reads requests but never answers.
+func wedgedServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					var req Request
+					if err := ReadMsg(conn, &req); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestRemoteKeyServiceTimeout(t *testing.T) {
+	addr := wedgedServer(t)
+	svc, err := DialKeyServiceOpts(addr, KeyClientOptions{Timeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	start := time.Now()
+	if _, err := svc.IPKey([]int64{1, 2}); !IsTimeout(err) {
+		t.Fatalf("want timeout against wedged authority, got %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+}
+
+func TestRemoteKeyServiceContextCancel(t *testing.T) {
+	addr := wedgedServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	svc, err := DialKeyServiceOpts(addr, KeyClientOptions{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errc := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := svc.IPKey([]int64{3})
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancellation did not unblock the exchange")
+	}
+	wg.Wait()
+
+	// Future exchanges fail fast on the dead context.
+	if _, err := svc.IPKey([]int64{3}); err == nil {
+		t.Fatal("exchange succeeded on a cancelled context")
+	}
+}

@@ -1,16 +1,34 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 	"net"
 	"sync"
+	"time"
 
 	"cryptonn/internal/febo"
 	"cryptonn/internal/feip"
 	"cryptonn/internal/securemat"
 )
+
+// KeyClientOptions tune a remote key service's I/O behaviour. The zero
+// value preserves the historical semantics: block until the kernel gives
+// up or the peer answers.
+type KeyClientOptions struct {
+	// Timeout bounds each request/response exchange. A hung or partitioned
+	// authority then surfaces as a timeout error on the caller instead of a
+	// goroutine wedged forever inside the client's critical section (which
+	// would also wedge every other caller, since the connection serializes
+	// exchanges). Zero means no deadline.
+	Timeout time.Duration
+	// Context, when non-nil, cancels in-flight and future exchanges: its
+	// cancellation slams the connection deadline so blocked I/O returns
+	// immediately, and the context error is reported to the caller.
+	Context context.Context
+}
 
 // RemoteKeyService is a securemat.KeyService backed by a TCP connection to
 // an AuthorityServer. It validates everything it receives (group
@@ -26,6 +44,7 @@ import (
 type RemoteKeyService struct {
 	mu   sync.Mutex
 	conn net.Conn
+	opts KeyClientOptions
 
 	feipCache map[int]*feip.MasterPublicKey
 	feboCache *febo.PublicKey
@@ -34,16 +53,26 @@ type RemoteKeyService struct {
 
 // DialKeyService connects to an authority at addr.
 func DialKeyService(addr string) (*RemoteKeyService, error) {
+	return DialKeyServiceOpts(addr, KeyClientOptions{})
+}
+
+// DialKeyServiceOpts connects to an authority at addr with I/O options.
+func DialKeyServiceOpts(addr string, opts KeyClientOptions) (*RemoteKeyService, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing authority: %w", err)
 	}
-	return NewRemoteKeyService(conn), nil
+	return NewRemoteKeyServiceOpts(conn, opts), nil
 }
 
 // NewRemoteKeyService wraps an established connection.
 func NewRemoteKeyService(conn net.Conn) *RemoteKeyService {
-	return &RemoteKeyService{conn: conn, feipCache: make(map[int]*feip.MasterPublicKey)}
+	return NewRemoteKeyServiceOpts(conn, KeyClientOptions{})
+}
+
+// NewRemoteKeyServiceOpts wraps an established connection with I/O options.
+func NewRemoteKeyServiceOpts(conn net.Conn, opts KeyClientOptions) *RemoteKeyService {
+	return &RemoteKeyService{conn: conn, opts: opts, feipCache: make(map[int]*feip.MasterPublicKey)}
 }
 
 // Close releases the connection.
@@ -59,17 +88,47 @@ func (c *RemoteKeyService) RoundTrips() uint64 {
 	return c.trips
 }
 
-// roundTrip performs one request/response exchange.
+// roundTrip performs one request/response exchange. The connection
+// serializes exchanges, so the whole write+read runs under the client
+// mutex — which is exactly why the deadline and cancellation hooks below
+// matter: without them a hung peer wedges not just this caller but every
+// caller queued on the mutex behind it.
 func (c *RemoteKeyService) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.trips++
+
+	if d := c.opts.Timeout; d > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
+			return nil, fmt.Errorf("wire: arming exchange deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // disarm is best-effort
+	}
+	ctx := c.opts.Context
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wire: authority exchange: %w", err)
+		}
+		// Cancellation slams the deadline into the past, unblocking any
+		// in-flight read/write with a timeout error we translate below.
+		stop := context.AfterFunc(ctx, func() {
+			_ = c.conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	wrapIO := func(err error) error {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("wire: authority exchange: %w", ctx.Err())
+		}
+		return err
+	}
+
 	if err := WriteMsg(c.conn, req); err != nil {
-		return nil, err
+		return nil, wrapIO(err)
 	}
 	var resp Response
 	if err := ReadMsg(c.conn, &resp); err != nil {
-		return nil, fmt.Errorf("wire: reading authority response: %w", err)
+		return nil, wrapIO(fmt.Errorf("wire: reading authority response: %w", err))
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("wire: authority refused %s: %s", req.Kind, resp.Err)
@@ -221,12 +280,18 @@ type KeyServicePool struct {
 
 // NewKeyServicePool dials n connections to addr.
 func NewKeyServicePool(addr string, n int) (*KeyServicePool, error) {
+	return NewKeyServicePoolOpts(addr, n, KeyClientOptions{})
+}
+
+// NewKeyServicePoolOpts dials n connections to addr, each with the given
+// I/O options.
+func NewKeyServicePoolOpts(addr string, n int, opts KeyClientOptions) (*KeyServicePool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("wire: pool size must be positive, got %d", n)
 	}
 	p := &KeyServicePool{next: make(chan int, n)}
 	for i := 0; i < n; i++ {
-		c, err := DialKeyService(addr)
+		c, err := DialKeyServiceOpts(addr, opts)
 		if err != nil {
 			closeErr := p.Close()
 			if closeErr != nil {

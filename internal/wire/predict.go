@@ -17,7 +17,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cryptonn/internal/core"
 )
@@ -27,18 +30,48 @@ import (
 type PredictFunc func(*core.EncryptedBatch) ([]int, error)
 
 // RequestPrediction submits one encrypted batch for prediction and
-// returns the per-sample classes.
+// returns the per-sample classes. It blocks without bound; use
+// RequestPredictionOpts to bound or cancel the exchange.
 func RequestPrediction(conn net.Conn, enc *core.EncryptedBatch) ([]int, error) {
+	return RequestPredictionOpts(nil, conn, enc, 0)
+}
+
+// RequestPredictionOpts submits one encrypted batch for prediction with an
+// exchange deadline (zero for none) and optional context cancellation
+// (nil for none). Cancellation slams the connection deadline so blocked
+// I/O returns immediately.
+func RequestPredictionOpts(ctx context.Context, conn net.Conn, enc *core.EncryptedBatch, timeout time.Duration) ([]int, error) {
 	payload, err := encodePayload(enc)
 	if err != nil {
 		return nil, fmt.Errorf("wire: encoding prediction batch: %w", err)
 	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("wire: arming prediction deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // disarm is best-effort
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wire: prediction exchange: %w", err)
+		}
+		stop := context.AfterFunc(ctx, func() {
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	wrapIO := func(err error) error {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("wire: prediction exchange: %w", ctx.Err())
+		}
+		return err
+	}
 	if err := WriteMsg(conn, &Request{Kind: KindPredict, Payload: payload}); err != nil {
-		return nil, fmt.Errorf("wire: sending prediction request: %w", err)
+		return nil, wrapIO(fmt.Errorf("wire: sending prediction request: %w", err))
 	}
 	var resp Response
 	if err := ReadMsg(conn, &resp); err != nil {
-		return nil, fmt.Errorf("wire: reading prediction response: %w", err)
+		return nil, wrapIO(fmt.Errorf("wire: reading prediction response: %w", err))
 	}
 	if resp.Err != "" {
 		if resp.Retryable {
@@ -57,6 +90,7 @@ type PredictionServer struct {
 	predict    PredictFunc
 	dispatcher *Dispatcher
 	log        *log.Logger
+	panics     atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -96,10 +130,12 @@ func NewCoalescingPredictionServer(predict PredictFunc, logger *log.Logger, opts
 // Stats snapshots the coalescing dispatcher's counters; it is zero for a
 // server built without coalescing.
 func (s *PredictionServer) Stats() DispatcherStats {
-	if s.dispatcher == nil {
-		return DispatcherStats{}
+	var st DispatcherStats
+	if s.dispatcher != nil {
+		st = s.dispatcher.Stats()
 	}
-	return s.dispatcher.Stats()
+	st.Panics += s.panics.Load()
+	return st
 }
 
 // Serve accepts prediction connections until the context is cancelled or
@@ -191,7 +227,17 @@ func (s *PredictionServer) handle(conn net.Conn) {
 	}
 }
 
-func (s *PredictionServer) answer(req *Request) *Response {
+func (s *PredictionServer) answer(req *Request) (resp *Response) {
+	// A panicking evaluation (a model/engine bug tripped by one request)
+	// must cost that request an error response, not the whole serving
+	// process: recover, count, log, keep the connection alive.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.log.Printf("prediction server: panic serving %s: %v\n%s", req.Kind, r, debug.Stack())
+			resp = &Response{Err: "prediction failed: internal error"}
+		}
+	}()
 	if req.Kind != KindPredict {
 		return &Response{Err: fmt.Sprintf("prediction server cannot serve %s", req.Kind)}
 	}

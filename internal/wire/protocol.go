@@ -35,6 +35,9 @@ const (
 	KindIPKeyBatch
 	KindPredict
 	KindBOKeyBatch
+	KindClusterInfo
+	KindPartialIPKeyBatch
+	KindPartialBOKeyBatch
 )
 
 // String names the kind for errors and logs.
@@ -60,6 +63,12 @@ func (k MsgKind) String() string {
 		return "predict"
 	case KindBOKeyBatch:
 		return "bo-key-batch"
+	case KindClusterInfo:
+		return "cluster-info"
+	case KindPartialIPKeyBatch:
+		return "partial-ip-key-batch"
+	case KindPartialBOKeyBatch:
+		return "partial-bo-key-batch"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -110,30 +119,56 @@ type Response struct {
 	H []*big.Int
 	// K carries a derived function key.
 	K *big.Int
-	// KBatch carries the derived keys of a KindIPKeyBatch request, in
-	// request order.
+	// KBatch carries the derived keys of a KindIPKeyBatch request — or the
+	// partial keys of a partial-key batch — in request order.
 	KBatch []*big.Int
 	// Preds carries per-sample predicted (label-mapped) classes for a
 	// KindPredict request.
 	Preds []int
+	// NodeIndex, Threshold and Nodes identify the answering threshold
+	// cluster node (KindClusterInfo and partial-key responses).
+	NodeIndex int64
+	Threshold int
+	Nodes     int
+	// HShares carries the cluster's FEBO public share commitments
+	// A_j = g^{s^(j)}, indexed by node (KindClusterInfo). Clients verify
+	// partial FEBO keys' DLEQ proofs against these.
+	HShares []*big.Int
+	// ProofC, ProofZ carry the batched Chaum–Pedersen proof accompanying a
+	// KindPartialBOKeyBatch response.
+	ProofC, ProofZ *big.Int
 }
 
 // WriteMsg writes one length-prefixed gob frame.
 func WriteMsg(w io.Writer, v any) error {
-	var frame frameBuffer
+	frame, err := encodeFrame(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, frame)
+}
+
+// encodeFrame serializes v into a complete header+body frame. Frames are
+// self-contained (each carries its own gob stream), so one encoded frame
+// can be written to many connections — the quorum client encodes a
+// partial-key request once for its whole fan-out.
+func encodeFrame(v any) ([]byte, error) {
+	frame := frameBuffer{buf: make([]byte, 8)}
 	if err := gob.NewEncoder(&frame).Encode(v); err != nil {
-		return fmt.Errorf("wire: encoding frame: %w", err)
+		return nil, fmt.Errorf("wire: encoding frame: %w", err)
 	}
-	if len(frame.buf) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame.buf))
+	body := len(frame.buf) - 8
+	if body > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], uint64(len(frame.buf)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing frame header: %w", err)
-	}
-	if _, err := w.Write(frame.buf); err != nil {
-		return fmt.Errorf("wire: writing frame body: %w", err)
+	binary.BigEndian.PutUint64(frame.buf[:8], uint64(body))
+	return frame.buf, nil
+}
+
+// writeFrame writes a frame produced by encodeFrame.
+func writeFrame(w io.Writer, frame []byte) error {
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil
 }

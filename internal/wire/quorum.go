@@ -1,0 +1,911 @@
+package wire
+
+// QuorumKeyService: the client side of the threshold authority cluster.
+// It implements securemat.KeyService / BatchKeyService against N node
+// servers (NewNodeServer), any T of which suffice:
+//
+//   - requests fan out to every node concurrently with per-node I/O
+//     deadlines; the first T valid partial answers win,
+//   - stragglers and failed nodes are retried with jittered exponential
+//     backoff up to a per-request attempt budget,
+//   - FEIP keys are combined by Lagrange interpolation and verified
+//     against the joint master public key with one random-linear-
+//     combination check per request (g^{Σ e_v·k_v} == Π h_i^{Σ e_v·y_v,i});
+//     if the first T-subset fails the check, other subsets are searched,
+//     isolating a corrupted node without a per-key blame protocol,
+//   - FEBO partials carry batched Chaum–Pedersen DLEQ proofs checked
+//     against each node's public share commitment before the partial is
+//     admitted to the combination (the combined FEBO key cannot be checked
+//     against the joint public key — that would be a DDH instance).
+//
+// The service never sees a master secret and no single node can produce a
+// whole function key: compromise of up to T−1 nodes reveals nothing, and
+// failure of up to N−T nodes costs only retries.
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	mrand "math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/group"
+	"cryptonn/internal/securemat"
+	"cryptonn/internal/thresh"
+)
+
+// ErrQuorum reports that fewer than T nodes produced valid partial keys
+// within the attempt budget.
+var ErrQuorum = errors.New("wire: quorum not reached")
+
+// QuorumOptions tune the quorum client's failure handling. The zero value
+// gets conservative defaults.
+type QuorumOptions struct {
+	// Timeout bounds each per-node request/response exchange (including
+	// dial). Default 5s.
+	Timeout time.Duration
+	// RetryBase is the first backoff step; it doubles per attempt with
+	// ±50% jitter. Default 50ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff step. Default 2s.
+	RetryMax time.Duration
+	// MaxAttempts bounds exchanges per node per request. Default 3.
+	MaxAttempts int
+	// HedgeDelay is how long a request waits on its T primary nodes before
+	// hedging to the standby nodes. Failed primaries escalate immediately;
+	// the delay only gates hedging against merely-slow ones. Contacting
+	// exactly T nodes on the happy path keeps quorum overhead near T× a
+	// single authority instead of N×. Default 25ms.
+	HedgeDelay time.Duration
+	// Logger receives per-node failure notes; nil for silence.
+	Logger *log.Logger
+}
+
+func (o QuorumOptions) withDefaults() QuorumOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.HedgeDelay <= 0 {
+		o.HedgeDelay = 25 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// quorumNode is one cluster member: its dial function and the persistent
+// connection, redialed on failure. The mutex serializes exchanges on the
+// connection; concurrent requests to the same node queue here.
+type quorumNode struct {
+	dial func() (net.Conn, error)
+
+	mu    sync.Mutex
+	conn  net.Conn
+	index atomic.Int64 // 1-based share index, learned from responses
+	// suspect records that this node's last exchange failed; requests
+	// prefer non-suspect nodes as primaries.
+	suspect atomic.Bool
+}
+
+// exchange performs one deadline-bounded request/response with the node,
+// dialing if necessary. Any error tears the connection down so the next
+// attempt redials.
+func (nd *quorumNode) exchange(ctx context.Context, kind MsgKind, frame []byte, timeout time.Duration) (*Response, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if nd.conn == nil {
+		conn, err := nd.dial()
+		if err != nil {
+			return nil, err
+		}
+		nd.conn = conn
+	}
+	conn := nd.conn
+	fail := func(err error) (*Response, error) {
+		_ = conn.Close()
+		nd.conn = nil
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return fail(fmt.Errorf("wire: arming node deadline: %w", err))
+	}
+	// Service shutdown slams the deadline so a blocked exchange unwinds.
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	if err := writeFrame(conn, frame); err != nil {
+		return fail(err)
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		return fail(err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if resp.Err != "" {
+		// Protocol-level refusal: the connection is fine, the request is
+		// not. Do not tear down; do not retry.
+		return nil, &refusalError{kind: kind, msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// refusalError is a node's protocol-level rejection — the exchange
+// succeeded, the answer is "no". Never retried.
+type refusalError struct {
+	kind MsgKind
+	msg  string
+}
+
+func (e *refusalError) Error() string {
+	return fmt.Sprintf("wire: node refused %s: %s", e.kind, e.msg)
+}
+
+func (nd *quorumNode) close() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.conn != nil {
+		_ = nd.conn.Close()
+		nd.conn = nil
+	}
+}
+
+// QuorumKeyService is a fault-tolerant securemat key service backed by an
+// N-of-T authority cluster. Safe for concurrent use.
+type QuorumKeyService struct {
+	nodes []*quorumNode
+	t, n  int
+	opts  QuorumOptions
+
+	params    *group.Params
+	words     *wordScalars // non-nil when Q fits a word (see quorum_scalar.go)
+	feboPK    *febo.PublicKey
+	pubShares []*big.Int // A_j = g^{s^(j)}, DLEQ verification keys
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	trips  atomic.Uint64
+
+	mu        sync.Mutex
+	feipCache map[int]*feip.MasterPublicKey
+}
+
+// DialQuorumKeyService connects to a cluster at the given node addresses.
+func DialQuorumKeyService(addrs []string, opts QuorumOptions) (*QuorumKeyService, error) {
+	o := opts.withDefaults()
+	dials := make([]func() (net.Conn, error), len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		dials[i] = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, o.Timeout) }
+	}
+	return NewQuorumKeyService(dials, opts)
+}
+
+// NewQuorumKeyService builds a quorum client over one dial function per
+// cluster node (tests aim fault injection here via FaultDialer). It
+// contacts the cluster for its configuration and joint FEBO key and fails
+// if no node answers consistently.
+func NewQuorumKeyService(dials []func() (net.Conn, error), opts QuorumOptions) (*QuorumKeyService, error) {
+	if len(dials) == 0 {
+		return nil, errors.New("wire: quorum needs at least one node")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &QuorumKeyService{
+		opts:      opts.withDefaults(),
+		ctx:       ctx,
+		cancel:    cancel,
+		feipCache: make(map[int]*feip.MasterPublicKey),
+	}
+	s.nodes = make([]*quorumNode, len(dials))
+	for i, d := range dials {
+		s.nodes[i] = &quorumNode{dial: d}
+	}
+	if err := s.bootstrap(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// bootstrap learns the cluster configuration (T, N, group, joint FEBO key,
+// share commitments) from a KindClusterInfo fan-out. The first valid
+// response is the reference; later responses must agree or their node is
+// flagged — a node lying about the cluster configuration could otherwise
+// partition clients.
+func (s *QuorumKeyService) bootstrap() error {
+	type res struct {
+		i    int
+		resp *Response
+		err  error
+	}
+	frame, err := encodeFrame(&Request{Kind: KindClusterInfo})
+	if err != nil {
+		return err
+	}
+	ch := make(chan res, len(s.nodes))
+	for i, nd := range s.nodes {
+		go func(i int, nd *quorumNode) {
+			resp, err := s.tryNode(nd, KindClusterInfo, frame)
+			ch <- res{i, resp, err}
+		}(i, nd)
+	}
+	var ref *Response
+	var lastErr error
+	for range s.nodes {
+		r := <-ch
+		if r.err != nil {
+			lastErr = r.err
+			s.opts.Logger.Printf("quorum: bootstrap node %d: %v", r.i, r.err)
+			continue
+		}
+		if err := validateClusterInfo(r.resp, len(s.nodes)); err != nil {
+			lastErr = err
+			s.opts.Logger.Printf("quorum: bootstrap node %d: %v", r.i, err)
+			continue
+		}
+		if ref == nil {
+			ref = r.resp
+		} else if err := sameCluster(ref, r.resp); err != nil {
+			s.opts.Logger.Printf("quorum: node %d disagrees on cluster configuration: %v", r.i, err)
+			continue
+		}
+		s.nodes[r.i].index.Store(r.resp.NodeIndex)
+	}
+	if ref == nil {
+		return fmt.Errorf("%w: no node answered cluster info (last error: %v)", ErrQuorum, lastErr)
+	}
+	params, err := groupFromResponse(ref)
+	if err != nil {
+		return err
+	}
+	pk := &febo.PublicKey{Params: params, H: ref.H[0]}
+	if err := pk.Validate(); err != nil {
+		return fmt.Errorf("wire: cluster sent invalid FEBO key: %w", err)
+	}
+	for j, a := range ref.HShares {
+		if a == nil || !params.IsElement(a) {
+			return fmt.Errorf("wire: cluster share commitment %d invalid: %w", j+1, group.ErrNotInGroup)
+		}
+	}
+	s.params = params
+	s.words = newWordScalars(params.Q)
+	s.feboPK = pk
+	s.pubShares = ref.HShares
+	s.t = ref.Threshold
+	s.n = ref.Nodes
+	return nil
+}
+
+func validateClusterInfo(resp *Response, dialed int) error {
+	if resp.Threshold < 1 || resp.Nodes < resp.Threshold {
+		return fmt.Errorf("wire: invalid cluster shape T=%d N=%d", resp.Threshold, resp.Nodes)
+	}
+	if resp.Nodes != dialed {
+		return fmt.Errorf("wire: cluster reports %d nodes, client configured with %d", resp.Nodes, dialed)
+	}
+	if len(resp.H) != 1 || len(resp.HShares) != resp.Nodes {
+		return errors.New("wire: cluster info missing joint key or share commitments")
+	}
+	if resp.NodeIndex < 1 || resp.NodeIndex > int64(resp.Nodes) {
+		return fmt.Errorf("wire: node claims share index %d of %d", resp.NodeIndex, resp.Nodes)
+	}
+	return nil
+}
+
+func sameCluster(a, b *Response) error {
+	if a.Threshold != b.Threshold || a.Nodes != b.Nodes {
+		return errors.New("threshold shape differs")
+	}
+	if a.GroupP.Cmp(b.GroupP) != 0 || a.GroupQ.Cmp(b.GroupQ) != 0 || a.GroupG.Cmp(b.GroupG) != 0 {
+		return errors.New("group differs")
+	}
+	if a.H[0].Cmp(b.H[0]) != 0 {
+		return errors.New("joint FEBO key differs")
+	}
+	for j := range a.HShares {
+		if a.HShares[j].Cmp(b.HShares[j]) != 0 {
+			return fmt.Errorf("share commitment %d differs", j+1)
+		}
+	}
+	return nil
+}
+
+// Close cancels in-flight exchanges and releases every node connection.
+func (s *QuorumKeyService) Close() error {
+	s.cancel()
+	for _, nd := range s.nodes {
+		nd.close()
+	}
+	return nil
+}
+
+// Threshold returns the cluster's (T, N) configuration.
+func (s *QuorumKeyService) Threshold() (t, n int) { return s.t, s.n }
+
+// RoundTrips reports the total number of node exchanges performed.
+func (s *QuorumKeyService) RoundTrips() uint64 { return s.trips.Load() }
+
+// tryNode performs one exchange with retries and jittered exponential
+// backoff. Protocol refusals (resp.Err) are returned immediately — the
+// node answered; asking again buys nothing. I/O errors are retried. The
+// node's suspect flag tracks the outcome, steering primary selection for
+// later requests.
+func (s *QuorumKeyService) tryNode(nd *quorumNode, kind MsgKind, frame []byte) (*Response, error) {
+	var err error
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			step := s.opts.RetryBase << (attempt - 1)
+			if step > s.opts.RetryMax {
+				step = s.opts.RetryMax
+			}
+			// ±50% jitter decorrelates herd retries across nodes.
+			jittered := step/2 + time.Duration(mrand.Int64N(int64(step)))
+			select {
+			case <-time.After(jittered):
+			case <-s.ctx.Done():
+				return nil, s.ctx.Err()
+			}
+		}
+		var resp *Response
+		s.trips.Add(1)
+		resp, err = nd.exchange(s.ctx, kind, frame, s.opts.Timeout)
+		if err == nil {
+			if resp.NodeIndex > 0 {
+				nd.index.Store(resp.NodeIndex)
+			}
+			nd.suspect.Store(false)
+			return resp, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		var refusal *refusalError
+		if errors.As(err, &refusal) {
+			// A refusal is an answer: the node is alive.
+			nd.suspect.Store(false)
+			return nil, err
+		}
+	}
+	nd.suspect.Store(true)
+	return nil, err
+}
+
+// partialResult is one node's answer to a partial-key fan-out.
+type partialResult struct {
+	node  int
+	index int64
+	resp  *Response
+	err   error
+}
+
+// Verdicts a collect handler can return for an arrival.
+const (
+	// collectDone: the request is satisfied; stop.
+	collectDone = iota
+	// collectMore: keep waiting for already-contacted nodes.
+	collectMore
+	// collectEscalate: this answer was unusable (I/O failure surfaced by
+	// the handler, rejected partial, failed combination) — contact an
+	// additional node beyond the original T.
+	collectEscalate
+)
+
+// collect runs a hedged fan-out: req goes to `need` primary nodes (the
+// non-suspect ones first), and the remaining nodes are contacted only when
+// a primary fails (immediately) or stalls past HedgeDelay. The happy path
+// therefore costs exactly `need` exchanges — T× a single authority, not
+// N× — while wedged or dead primaries still cannot stall the request
+// beyond the hedge delay. handle is called on every arrival; collect
+// returns once handle says done or every contacted node has answered and
+// no standby remains.
+func (s *QuorumKeyService) collect(req *Request, need int, handle func(partialResult) int) error {
+	frame, err := encodeFrame(req)
+	if err != nil {
+		return err
+	}
+	ch := make(chan partialResult, len(s.nodes))
+	launch := func(i int) {
+		nd := s.nodes[i]
+		go func() {
+			resp, err := s.tryNode(nd, req.Kind, frame)
+			ch <- partialResult{node: i, index: nd.index.Load(), resp: resp, err: err}
+		}()
+	}
+	order := make([]int, 0, len(s.nodes))
+	for i, nd := range s.nodes {
+		if !nd.suspect.Load() {
+			order = append(order, i)
+		}
+	}
+	for i, nd := range s.nodes {
+		if nd.suspect.Load() {
+			order = append(order, i)
+		}
+	}
+	if need > len(order) {
+		need = len(order)
+	}
+	next := 0
+	outstanding := 0
+	for ; next < need; next++ {
+		launch(order[next])
+		outstanding++
+	}
+	hedge := time.NewTimer(s.opts.HedgeDelay)
+	defer hedge.Stop()
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			escalate := r.err != nil
+			switch handle(r) {
+			case collectDone:
+				return nil
+			case collectEscalate:
+				escalate = true
+			}
+			if escalate && next < len(order) {
+				launch(order[next])
+				next++
+				outstanding++
+			}
+		case <-hedge.C:
+			// Primaries are slow but not (yet) failed: hedge to everyone.
+			for ; next < len(order); next++ {
+				launch(order[next])
+				outstanding++
+			}
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// FEIPPublic implements securemat.KeyService: the joint master public key
+// for dimension eta, fetched from the first node that answers.
+func (s *QuorumKeyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
+	s.mu.Lock()
+	cached, ok := s.feipCache[eta]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	var got *feip.MasterPublicKey
+	var lastErr error
+	err := s.collect(&Request{Kind: KindFEIPPublic, Eta: eta}, 1, func(r partialResult) int {
+		if r.err != nil {
+			lastErr = r.err
+			return collectMore // collect escalates on r.err itself
+		}
+		mpk := &feip.MasterPublicKey{Params: s.params, H: r.resp.H}
+		if err := mpk.Validate(); err != nil {
+			lastErr = fmt.Errorf("wire: node sent invalid FEIP key: %w", err)
+			s.opts.Logger.Printf("quorum: %v", lastErr)
+			return collectEscalate
+		}
+		if mpk.Eta() != eta {
+			lastErr = fmt.Errorf("wire: FEIP key has dimension %d, want %d", mpk.Eta(), eta)
+			return collectEscalate
+		}
+		if r.resp.GroupP.Cmp(s.params.P) != 0 {
+			lastErr = errors.New("wire: node switched groups")
+			return collectEscalate
+		}
+		got = mpk
+		return collectDone
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got == nil {
+		return nil, fmt.Errorf("%w: no node served the η=%d public key (last error: %v)", ErrQuorum, eta, lastErr)
+	}
+	s.mu.Lock()
+	s.feipCache[eta] = got
+	s.mu.Unlock()
+	return got, nil
+}
+
+// FEBOPublic implements securemat.KeyService; the joint key was verified
+// at bootstrap.
+func (s *QuorumKeyService) FEBOPublic() (*febo.PublicKey, error) {
+	return s.feboPK, nil
+}
+
+// IPKey implements securemat.KeyService.
+func (s *QuorumKeyService) IPKey(y []int64) (*feip.FunctionKey, error) {
+	ks, err := s.IPKeyBatch([][]int64{y})
+	if err != nil {
+		return nil, err
+	}
+	return ks[0], nil
+}
+
+// ipPartial is one node's validated partial IP key batch, folded for the
+// RLC check.
+type ipPartial struct {
+	index  int64
+	ks     []*big.Int
+	folded *big.Int // Σ_v e_v·ks[v] mod Q
+}
+
+// IPKeyBatch implements securemat.BatchKeyService: partial keys from the
+// first T valid nodes, Lagrange-combined and verified against the joint
+// public key in one batched check.
+func (s *QuorumKeyService) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error) {
+	if len(ys) == 0 {
+		return nil, errors.New("wire: empty key batch")
+	}
+	eta := len(ys[0])
+	for v, y := range ys {
+		if len(y) != eta {
+			return nil, fmt.Errorf("wire: batch vector %d has η=%d, want %d", v, len(y), eta)
+		}
+	}
+	mpk, err := s.FEIPPublic(eta)
+	if err != nil {
+		return nil, err
+	}
+
+	// The RLC coefficients and the verification RHS Π h_i^{Σ_v e_v·y_v,i}
+	// are subset-independent: computed once per request.
+	rhsExps := make([]*big.Int, eta)
+	var coeffs []*big.Int
+	var coeffWords []uint64
+	if w := s.words; w != nil {
+		// Word-sized groups: draw the coefficients as reduced words and
+		// run the O(batch·η) fold with deferred reduction (acc192).
+		coeffWords, err = verifierCoeffWords(len(ys), w)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rhsExps {
+			var acc acc192
+			for v, y := range ys {
+				acc.mulAdd(coeffWords[v], w.fromInt64(y[i]))
+			}
+			rhsExps[i] = new(big.Int).SetUint64(w.reduce(acc))
+		}
+	} else {
+		coeffs, err = verifierCoeffs(len(ys))
+		if err != nil {
+			return nil, err
+		}
+		for i := range rhsExps {
+			acc := new(big.Int)
+			var term big.Int
+			for v, y := range ys {
+				term.SetInt64(y[i])
+				term.Mul(&term, coeffs[v])
+				acc.Add(acc, &term)
+			}
+			rhsExps[i] = s.params.ReduceScalar(acc)
+		}
+	}
+	rhs := s.params.MultiExp(mpk.H, rhsExps)
+
+	var keys []*feip.FunctionKey
+	var partials []ipPartial
+	var lastErr error
+	err = s.collect(&Request{Kind: KindPartialIPKeyBatch, YBatch: ys}, s.t, func(r partialResult) int {
+		if r.err != nil {
+			lastErr = r.err
+			s.opts.Logger.Printf("quorum: partial IP keys from node %d: %v", r.node, r.err)
+			return collectMore // collect escalates on r.err itself
+		}
+		p, err := s.admitIPPartial(r, len(ys), coeffs, coeffWords)
+		if err != nil {
+			lastErr = err
+			s.opts.Logger.Printf("quorum: node %d partial rejected: %v", r.node, err)
+			return collectEscalate
+		}
+		partials = append(partials, *p)
+		if len(partials) < s.t {
+			return collectMore
+		}
+		if keys = s.combineIP(ys, partials, coeffs, rhs); keys != nil {
+			return collectDone
+		}
+		// Some collected partial is corrupted: widen the subset search.
+		lastErr = errors.New("wire: combined key failed verification against the joint public key")
+		return collectEscalate
+	})
+	if err != nil {
+		return nil, err
+	}
+	if keys == nil {
+		return nil, fmt.Errorf("%w: %d/%d valid partial IP answers (last error: %v)", ErrQuorum, len(partials), s.t, lastErr)
+	}
+	return keys, nil
+}
+
+// admitIPPartial structurally validates one node's partial batch.
+// coeffWords carries the RLC coefficients pre-reduced to machine words
+// when the fast scalar path applies (nil otherwise).
+func (s *QuorumKeyService) admitIPPartial(r partialResult, want int, coeffs []*big.Int, coeffWords []uint64) (*ipPartial, error) {
+	if r.index < 1 || r.index > int64(s.n) {
+		return nil, fmt.Errorf("wire: node claims share index %d", r.index)
+	}
+	if len(r.resp.KBatch) != want {
+		return nil, fmt.Errorf("wire: %d partial keys for %d vectors", len(r.resp.KBatch), want)
+	}
+	for v, k := range r.resp.KBatch {
+		if k == nil || k.Sign() < 0 || k.Cmp(s.params.Q) >= 0 {
+			return nil, fmt.Errorf("wire: partial key %d not a reduced scalar", v)
+		}
+	}
+	if w := s.words; w != nil && coeffWords != nil {
+		var acc acc192
+		for v, k := range r.resp.KBatch {
+			acc.mulAdd(coeffWords[v], k.Uint64())
+		}
+		return &ipPartial{index: r.index, ks: r.resp.KBatch, folded: new(big.Int).SetUint64(w.reduce(acc))}, nil
+	}
+	folded := new(big.Int)
+	var term big.Int
+	for v, k := range r.resp.KBatch {
+		term.Mul(coeffs[v], k)
+		folded.Add(folded, &term)
+	}
+	return &ipPartial{index: r.index, ks: r.resp.KBatch, folded: s.params.ReduceScalar(folded)}, nil
+}
+
+// combineIP searches T-subsets of the collected partials for one whose
+// Lagrange combination passes the RLC check, returning the derived keys.
+// The fold identity keeps the search cheap: for a subset with coefficients
+// λ_j, Σ_v e_v·k_v = Σ_j λ_j·folded_j, so each candidate subset costs one
+// fixed-base exponentiation, not a per-key pass.
+func (s *QuorumKeyService) combineIP(ys [][]int64, partials []ipPartial, coeffs []*big.Int, rhs *big.Int) []*feip.FunctionKey {
+	for _, subset := range subsets(len(partials), s.t) {
+		xs := make([]int64, s.t)
+		dup := false
+		seen := make(map[int64]bool, s.t)
+		for i, pi := range subset {
+			x := partials[pi].index
+			if seen[x] {
+				dup = true
+				break
+			}
+			seen[x] = true
+			xs[i] = x
+		}
+		if dup {
+			continue
+		}
+		lambdas, err := thresh.Lambda(s.params, xs)
+		if err != nil {
+			continue
+		}
+		// thresh.Lambda returns reduced scalars and partials were
+		// admission-checked < Q, so the word path applies directly.
+		if w := s.words; w != nil {
+			lws := w.reduceAll(lambdas)
+			var lhs acc192
+			for i, pi := range subset {
+				lhs.mulAdd(lws[i], partials[pi].folded.Uint64())
+			}
+			if s.params.PowG(new(big.Int).SetUint64(w.reduce(lhs))).Cmp(rhs) != 0 {
+				continue
+			}
+			keys := make([]*feip.FunctionKey, len(ys))
+			for v := range ys {
+				var k acc192
+				for i, pi := range subset {
+					k.mulAdd(lws[i], partials[pi].ks[v].Uint64())
+				}
+				keys[v] = &feip.FunctionKey{K: new(big.Int).SetUint64(w.reduce(k))}
+			}
+			return keys
+		}
+		lhs := new(big.Int)
+		var term big.Int
+		for i, pi := range subset {
+			term.Mul(lambdas[i], partials[pi].folded)
+			lhs.Add(lhs, &term)
+		}
+		if s.params.PowG(s.params.ReduceScalar(lhs)).Cmp(rhs) != 0 {
+			continue
+		}
+		// Verified: materialize the per-vector keys for this subset.
+		keys := make([]*feip.FunctionKey, len(ys))
+		for v := range ys {
+			k := new(big.Int)
+			for i, pi := range subset {
+				term.Mul(lambdas[i], partials[pi].ks[v])
+				k.Add(k, &term)
+			}
+			keys[v] = &feip.FunctionKey{K: s.params.ReduceScalar(k)}
+		}
+		return keys
+	}
+	return nil
+}
+
+// BOKey implements securemat.KeyService.
+func (s *QuorumKeyService) BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey, error) {
+	ks, err := s.BOKeyBatch([]*big.Int{cmt}, op, []int64{y})
+	if err != nil {
+		return nil, err
+	}
+	return ks[0], nil
+}
+
+// BOKeyBatch implements securemat.BatchKeyService: each node's partials
+// cmt^{s^(j)} are admitted only with a valid DLEQ proof against its share
+// commitment; the first T valid answers are combined and the public op
+// transform applied client-side.
+func (s *QuorumKeyService) BOKeyBatch(cmts []*big.Int, op febo.Op, ysc []int64) ([]*febo.FunctionKey, error) {
+	if len(cmts) == 0 || len(cmts) != len(ysc) {
+		return nil, fmt.Errorf("wire: %d commitments for %d scalars", len(cmts), len(ysc))
+	}
+	type boPartial struct {
+		index int64
+		ks    []*big.Int
+	}
+	var keys []*febo.FunctionKey
+	var keysErr error
+	var partials []boPartial
+	seen := make(map[int64]bool)
+	var lastErr error
+	err := s.collect(&Request{Kind: KindPartialBOKeyBatch, Cmts: cmts, Op: int(op), Scalars: ysc}, s.t, func(r partialResult) int {
+		if r.err != nil {
+			lastErr = r.err
+			s.opts.Logger.Printf("quorum: partial BO keys from node %d: %v", r.node, r.err)
+			return collectMore // collect escalates on r.err itself
+		}
+		if r.index < 1 || r.index > int64(s.n) || seen[r.index] {
+			lastErr = fmt.Errorf("wire: node claims share index %d", r.index)
+			return collectEscalate
+		}
+		if len(r.resp.KBatch) != len(cmts) {
+			lastErr = fmt.Errorf("wire: %d partials for %d commitments", len(r.resp.KBatch), len(cmts))
+			return collectEscalate
+		}
+		proof := &thresh.EqProof{C: r.resp.ProofC, Z: r.resp.ProofZ}
+		if err := thresh.VerifyEqBatch(s.params, s.pubShares[r.index-1], cmts, r.resp.KBatch, proof); err != nil {
+			lastErr = fmt.Errorf("wire: node %d partial proof: %w", r.node, err)
+			s.opts.Logger.Printf("quorum: %v", lastErr)
+			return collectEscalate
+		}
+		seen[r.index] = true
+		partials = append(partials, boPartial{index: r.index, ks: r.resp.KBatch})
+		if len(partials) < s.t {
+			return collectMore
+		}
+
+		// T proof-checked partials: combine and transform.
+		xs := make([]int64, s.t)
+		for i, p := range partials[:s.t] {
+			xs[i] = p.index
+		}
+		lambdas, err := thresh.Lambda(s.params, xs)
+		if err != nil {
+			keysErr = err
+			return collectDone
+		}
+		out := make([]*febo.FunctionKey, len(cmts))
+		elems := make([]*big.Int, s.t)
+		for v := range cmts {
+			for i, p := range partials[:s.t] {
+				elems[i] = p.ks[v]
+			}
+			cmtS, err := thresh.CombineElements(s.params, lambdas, elems)
+			if err != nil {
+				keysErr = err
+				return collectDone
+			}
+			k, err := s.applyBOOp(cmtS, op, ysc[v])
+			if err != nil {
+				keysErr = err
+				return collectDone
+			}
+			out[v] = &febo.FunctionKey{K: k}
+		}
+		keys = out
+		return collectDone
+	})
+	if err != nil {
+		return nil, err
+	}
+	if keysErr != nil {
+		return nil, keysErr
+	}
+	if keys == nil {
+		return nil, fmt.Errorf("%w: %d/%d valid partial BO answers (last error: %v)", ErrQuorum, len(partials), s.t, lastErr)
+	}
+	return keys, nil
+}
+
+// applyBOOp applies the public op-dependent transform to the combined
+// cmt^s, mirroring febo.KeyDerive exactly.
+func (s *QuorumKeyService) applyBOOp(cmtS *big.Int, op febo.Op, y int64) (*big.Int, error) {
+	switch op {
+	case febo.OpAdd:
+		return s.params.Mul(cmtS, s.params.PowGInt64(-y)), nil
+	case febo.OpSub:
+		return s.params.Mul(cmtS, s.params.PowGInt64(y)), nil
+	case febo.OpMul:
+		return s.params.Exp(cmtS, big.NewInt(y)), nil
+	case febo.OpDiv:
+		inv, err := s.params.InvScalar(big.NewInt(y))
+		if err != nil {
+			return nil, fmt.Errorf("wire: division key: %w", err)
+		}
+		return s.params.Exp(cmtS, inv), nil
+	default:
+		return nil, fmt.Errorf("wire: invalid FEBO op %d", int(op))
+	}
+}
+
+// verifierCoeffs draws fresh 128-bit random-linear-combination
+// coefficients. Unlike the prover-side Fiat–Shamir coefficients in
+// internal/thresh these are verifier-private randomness, so they come from
+// crypto/rand: a malicious node cannot predict them when crafting partials.
+func verifierCoeffs(n int) ([]*big.Int, error) {
+	coeffs := make([]*big.Int, n)
+	buf := make([]byte, 16*n)
+	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
+		return nil, fmt.Errorf("wire: drawing verifier coefficients: %w", err)
+	}
+	for i := range coeffs {
+		coeffs[i] = new(big.Int).SetBytes(buf[16*i : 16*(i+1)])
+	}
+	return coeffs, nil
+}
+
+// subsets yields size-k index subsets of [0, n) in lexicographic order,
+// capped to keep the corrupted-node search bounded (C(7,3)=35 covers every
+// supported cluster; the cap only guards pathological configurations).
+func subsets(n, k int) [][]int {
+	const maxSubsets = 64
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if len(out) >= maxSubsets {
+			return
+		}
+		if depth == k {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	if k <= n {
+		rec(0, 0)
+	}
+	return out
+}
+
+// Interface compliance checks.
+var (
+	_ securemat.KeyService      = (*QuorumKeyService)(nil)
+	_ securemat.BatchKeyService = (*QuorumKeyService)(nil)
+)

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// wordScalars is the quorum client's word-sized fast path for scalar
+// arithmetic over Z_Q: the RLC folds, verification exponents, and
+// Lagrange key materialization are all multiply-accumulate loops over
+// O(batch·η) reduced scalars, and running them through math/big costs
+// more than the partial-key derivation being verified. When Q fits in 63
+// bits (the embedded sub-256-bit groups) every operand is one word;
+// callers fall back to the equivalent big.Int arithmetic for wider
+// groups.
+type wordScalars struct {
+	q uint64
+}
+
+// newWordScalars returns the fast path for q, or nil when q needs more
+// than 63 bits (the one spare bit keeps modular addition overflow-free).
+func newWordScalars(q *big.Int) *wordScalars {
+	if q == nil || q.Sign() <= 0 || q.BitLen() > 63 {
+		return nil
+	}
+	return &wordScalars{q: q.Uint64()}
+}
+
+// mulAdd returns acc + a·b mod q for reduced a, b, acc.
+func (w *wordScalars) mulAdd(acc, a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// hi < q²/2⁶⁴ < q, so Div64 cannot panic.
+	_, r := bits.Div64(hi, lo, w.q)
+	s := acc + r // both < q < 2⁶³: no overflow
+	if s >= w.q {
+		s -= w.q
+	}
+	return s
+}
+
+// acc192 accumulates Σ aᵥ·bᵥ over reduced words without per-term modular
+// division: each product is below 2¹²⁶ and 2⁶⁶ terms fit in 192 bits, so
+// the (hardware-division) reduction is deferred to one wordScalars.reduce
+// per accumulated output — the difference between the fold costing more
+// than the key derivation it verifies and costing a fraction of it.
+type acc192 struct {
+	s0, s1, s2 uint64
+}
+
+func (a *acc192) mulAdd(x, y uint64) {
+	hi, lo := bits.Mul64(x, y)
+	var c uint64
+	a.s0, c = bits.Add64(a.s0, lo, 0)
+	a.s1, c = bits.Add64(a.s1, hi, c)
+	a.s2 += c
+}
+
+// reduce maps the accumulated 192-bit value into [0, q).
+func (w *wordScalars) reduce(a acc192) uint64 {
+	r := a.s2 % w.q
+	_, r = bits.Div64(r, a.s1, w.q) // r < q keeps Div64 in range
+	_, r = bits.Div64(r, a.s0, w.q)
+	return r
+}
+
+// fromInt64 maps a possibly-negative int64 into [0, q). The common case
+// (|v| already reduced, as every fixed-point-encoded weight is) costs a
+// compare, not a division.
+func (w *wordScalars) fromInt64(v int64) uint64 {
+	if v >= 0 {
+		u := uint64(v)
+		if u >= w.q {
+			u %= w.q
+		}
+		return u
+	}
+	m := -uint64(v) // two's complement magnitude; exact for MinInt64 too
+	if m >= w.q {
+		m %= w.q
+	}
+	if m == 0 {
+		return 0
+	}
+	return w.q - m
+}
+
+// reduceAll maps already-reduced scalars (each in [0, Q)) to words.
+func (w *wordScalars) reduceAll(vs []*big.Int) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Uint64()
+	}
+	return out
+}
+
+// verifierCoeffWords draws n random-linear-combination coefficients
+// straight into reduced words: 128 bits of entropy each (so the mod-q
+// distribution is uniform to ~2⁻⁶⁵) from one batched read, reduced with
+// two word divisions instead of a big.Int Mod.
+func verifierCoeffWords(n int, w *wordScalars) ([]uint64, error) {
+	buf := make([]byte, 16*n)
+	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
+		return nil, fmt.Errorf("wire: drawing verifier coefficients: %w", err)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		hi := binary.BigEndian.Uint64(buf[16*i:])
+		lo := binary.BigEndian.Uint64(buf[16*i+8:])
+		r := hi % w.q
+		_, r = bits.Div64(r, lo, w.q)
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestWordScalarsMatchBigInt cross-checks the word-sized scalar path
+// against math/big over random operands, including the 63-bit boundary
+// moduli the fast path admits and the negative-extreme int64 inputs.
+func TestWordScalarsMatchBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	moduli := []uint64{
+		3, 7, 1<<63 - 25, // largest prime below 2^63
+		9223372036854775783,
+	}
+	for _, q := range moduli {
+		w := newWordScalars(new(big.Int).SetUint64(q))
+		if w == nil {
+			t.Fatalf("q=%d rejected by newWordScalars", q)
+		}
+		bigQ := new(big.Int).SetUint64(q)
+		for i := 0; i < 2000; i++ {
+			acc := rng.Uint64() % q
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			got := w.mulAdd(acc, a, b)
+			want := new(big.Int).SetUint64(a)
+			want.Mul(want, new(big.Int).SetUint64(b))
+			want.Add(want, new(big.Int).SetUint64(acc))
+			want.Mod(want, bigQ)
+			if got != want.Uint64() {
+				t.Fatalf("mulAdd(%d,%d,%d) mod %d = %d, want %s", acc, a, b, q, got, want)
+			}
+		}
+		for _, v := range []int64{0, 1, -1, 1<<63 - 1, -(1 << 62), -9223372036854775808} {
+			got := w.fromInt64(v)
+			want := new(big.Int).Mod(big.NewInt(v), bigQ)
+			if got != want.Uint64() {
+				t.Fatalf("fromInt64(%d) mod %d = %d, want %s", v, q, got, want)
+			}
+		}
+		// Deferred-reduction accumulator vs big.Int over long random
+		// folds (the rhsExps/partial-fold shape, batch-scale term counts).
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(300)
+			var acc acc192
+			want := new(big.Int)
+			var term big.Int
+			for k := 0; k < n; k++ {
+				a := rng.Uint64() % q
+				b := rng.Uint64() % q
+				acc.mulAdd(a, b)
+				term.SetUint64(a)
+				term.Mul(&term, new(big.Int).SetUint64(b))
+				want.Add(want, &term)
+			}
+			want.Mod(want, bigQ)
+			if got := w.reduce(acc); got != want.Uint64() {
+				t.Fatalf("acc192 over %d terms mod %d = %d, want %s", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestVerifierCoeffWordsInRange checks the word-path coefficient draw:
+// every coefficient reduced, and not degenerately colliding (the RLC
+// soundness argument needs ~uniform coefficients; a constant output
+// would be a catastrophic bug this test catches cheaply).
+func TestVerifierCoeffWordsInRange(t *testing.T) {
+	w := newWordScalars(new(big.Int).SetUint64(1<<63 - 25))
+	cs, err := verifierCoeffWords(256, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[uint64]bool, len(cs))
+	for i, c := range cs {
+		if c >= w.q {
+			t.Fatalf("coefficient %d = %d not reduced", i, c)
+		}
+		distinct[c] = true
+	}
+	if len(distinct) < 250 {
+		t.Fatalf("only %d distinct coefficients out of 256", len(distinct))
+	}
+}
+
+// TestWordScalarsRejectsWideModuli pins the fallback condition: a 64-bit
+// (or wider) modulus must not take the word path, since modular addition
+// could overflow.
+func TestWordScalarsRejectsWideModuli(t *testing.T) {
+	wide := new(big.Int).Lsh(big.NewInt(1), 63) // 2^63: BitLen 64
+	if newWordScalars(wide) != nil {
+		t.Fatal("2^63 admitted to the word path")
+	}
+	if newWordScalars(nil) != nil || newWordScalars(big.NewInt(0)) != nil {
+		t.Fatal("degenerate moduli admitted")
+	}
+}
