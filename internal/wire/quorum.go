@@ -16,7 +16,11 @@ package wire
 //   - FEBO partials carry batched Chaum–Pedersen DLEQ proofs checked
 //     against each node's public share commitment before the partial is
 //     admitted to the combination (the combined FEBO key cannot be checked
-//     against the joint public key — that would be a DDH instance).
+//     against the joint public key — that would be a DDH instance),
+//   - cluster configuration at bootstrap and joint FEIP public keys are
+//     quorum reads: accepted only once T nodes serve them identically, so
+//     a minority of compromised nodes cannot hand the client an
+//     attacker-generated key to encrypt under.
 //
 // The service never sees a master secret and no single node can produce a
 // whole function key: compromise of up to T−1 nodes reveals nothing, and
@@ -25,6 +29,8 @@ package wire
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -231,10 +237,13 @@ func NewQuorumKeyService(dials []func() (net.Conn, error), opts QuorumOptions) (
 }
 
 // bootstrap learns the cluster configuration (T, N, group, joint FEBO key,
-// share commitments) from a KindClusterInfo fan-out. The first valid
-// response is the reference; later responses must agree or their node is
-// flagged — a node lying about the cluster configuration could otherwise
-// partition clients.
+// share commitments) from a KindClusterInfo fan-out. This is a quorum
+// read: a configuration is accepted only when at least T nodes — its own
+// claimed threshold — endorse it identically from distinct share indices.
+// Up to T−1 compromised nodes therefore cannot serve clients an
+// attacker-generated joint key or forked share commitments; at worst they
+// withhold endorsement or equivocate, which fails the bootstrap instead
+// of silently poisoning it.
 func (s *QuorumKeyService) bootstrap() error {
 	type res struct {
 		i    int
@@ -252,7 +261,14 @@ func (s *QuorumKeyService) bootstrap() error {
 			ch <- res{i, resp, err}
 		}(i, nd)
 	}
-	var ref *Response
+	// Group valid answers by configuration. Within a group, a share index
+	// may vote only once — duplicate indices would let one key vote twice.
+	type candidate struct {
+		ref     *Response
+		votes   int
+		indices map[int64]bool
+	}
+	var cands []*candidate
 	var lastErr error
 	for range s.nodes {
 		r := <-ch
@@ -266,16 +282,37 @@ func (s *QuorumKeyService) bootstrap() error {
 			s.opts.Logger.Printf("quorum: bootstrap node %d: %v", r.i, err)
 			continue
 		}
-		if ref == nil {
-			ref = r.resp
-		} else if err := sameCluster(ref, r.resp); err != nil {
-			s.opts.Logger.Printf("quorum: node %d disagrees on cluster configuration: %v", r.i, err)
-			continue
+		matched := false
+		for _, c := range cands {
+			if sameCluster(c.ref, r.resp) == nil {
+				if !c.indices[r.resp.NodeIndex] {
+					c.indices[r.resp.NodeIndex] = true
+					c.votes++
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			if len(cands) > 0 {
+				s.opts.Logger.Printf("quorum: node %d disagrees on cluster configuration: %v", r.i, sameCluster(cands[0].ref, r.resp))
+			}
+			cands = append(cands, &candidate{ref: r.resp, votes: 1, indices: map[int64]bool{r.resp.NodeIndex: true}})
 		}
 		s.nodes[r.i].index.Store(r.resp.NodeIndex)
 	}
+	var ref *Response
+	for _, c := range cands {
+		if c.votes < c.ref.Threshold {
+			continue
+		}
+		if ref != nil {
+			return fmt.Errorf("wire: cluster equivocation: two configurations each endorsed by a threshold of nodes")
+		}
+		ref = c.ref
+	}
 	if ref == nil {
-		return fmt.Errorf("%w: no node answered cluster info (last error: %v)", ErrQuorum, lastErr)
+		return fmt.Errorf("%w: no cluster configuration endorsed by a threshold of nodes (last error: %v)", ErrQuorum, lastErr)
 	}
 	params, err := groupFromResponse(ref)
 	if err != nil {
@@ -299,6 +336,10 @@ func (s *QuorumKeyService) bootstrap() error {
 	return nil
 }
 
+// validateClusterInfo structurally validates one node's cluster-info
+// answer. Gob decodes absent fields as nil, so every pointer sameCluster
+// later compares must be proven present here — one malformed response must
+// cost that node its vote, not panic the bootstrap.
 func validateClusterInfo(resp *Response, dialed int) error {
 	if resp.Threshold < 1 || resp.Nodes < resp.Threshold {
 		return fmt.Errorf("wire: invalid cluster shape T=%d N=%d", resp.Threshold, resp.Nodes)
@@ -306,8 +347,16 @@ func validateClusterInfo(resp *Response, dialed int) error {
 	if resp.Nodes != dialed {
 		return fmt.Errorf("wire: cluster reports %d nodes, client configured with %d", resp.Nodes, dialed)
 	}
-	if len(resp.H) != 1 || len(resp.HShares) != resp.Nodes {
+	if resp.GroupP == nil || resp.GroupQ == nil || resp.GroupG == nil {
+		return errors.New("wire: cluster info missing group parameters")
+	}
+	if len(resp.H) != 1 || resp.H[0] == nil || len(resp.HShares) != resp.Nodes {
 		return errors.New("wire: cluster info missing joint key or share commitments")
+	}
+	for j, a := range resp.HShares {
+		if a == nil {
+			return fmt.Errorf("wire: cluster info missing share commitment %d", j+1)
+		}
 	}
 	if resp.NodeIndex < 1 || resp.NodeIndex > int64(resp.Nodes) {
 		return fmt.Errorf("wire: node claims share index %d of %d", resp.NodeIndex, resp.Nodes)
@@ -486,7 +535,12 @@ func (s *QuorumKeyService) collect(req *Request, need int, handle func(partialRe
 }
 
 // FEIPPublic implements securemat.KeyService: the joint master public key
-// for dimension eta, fetched from the first node that answers.
+// for dimension eta. Like bootstrap, this is a quorum read: the key the
+// client will encrypt under is cached only after T nodes served it
+// byte-identically, so up to T−1 compromised nodes cannot swap in an
+// attacker-generated key whose secret they hold. Disagreement widens the
+// fan-out so the honest majority still answers; an equivocating cluster
+// can only fail the request, never poison the cache.
 func (s *QuorumKeyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
 	s.mu.Lock()
 	cached, ok := s.feipCache[eta]
@@ -495,8 +549,10 @@ func (s *QuorumKeyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
 		return cached, nil
 	}
 	var got *feip.MasterPublicKey
+	votes := make(map[string]int)
+	seen := make(map[string]*feip.MasterPublicKey)
 	var lastErr error
-	err := s.collect(&Request{Kind: KindFEIPPublic, Eta: eta}, 1, func(r partialResult) int {
+	err := s.collect(&Request{Kind: KindFEIPPublic, Eta: eta}, s.t, func(r partialResult) int {
 		if r.err != nil {
 			lastErr = r.err
 			return collectMore // collect escalates on r.err itself
@@ -511,18 +567,27 @@ func (s *QuorumKeyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
 			lastErr = fmt.Errorf("wire: FEIP key has dimension %d, want %d", mpk.Eta(), eta)
 			return collectEscalate
 		}
-		if r.resp.GroupP.Cmp(s.params.P) != 0 {
-			lastErr = errors.New("wire: node switched groups")
+		fp := elementsFingerprint(r.resp.H)
+		votes[fp]++
+		if seen[fp] == nil {
+			seen[fp] = mpk
+		}
+		if votes[fp] >= s.t {
+			got = seen[fp]
+			return collectDone
+		}
+		if len(votes) > 1 {
+			lastErr = errors.New("wire: nodes disagree on the joint FEIP public key")
+			s.opts.Logger.Printf("quorum: %v", lastErr)
 			return collectEscalate
 		}
-		got = mpk
-		return collectDone
+		return collectMore
 	})
 	if err != nil {
 		return nil, err
 	}
 	if got == nil {
-		return nil, fmt.Errorf("%w: no node served the η=%d public key (last error: %v)", ErrQuorum, eta, lastErr)
+		return nil, fmt.Errorf("%w: η=%d public key not confirmed by %d nodes (last error: %v)", ErrQuorum, eta, s.t, lastErr)
 	}
 	s.mu.Lock()
 	s.feipCache[eta] = got
@@ -610,6 +675,7 @@ func (s *QuorumKeyService) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error)
 
 	var keys []*feip.FunctionKey
 	var partials []ipPartial
+	suspicion := make(map[int64]int)
 	var lastErr error
 	err = s.collect(&Request{Kind: KindPartialIPKeyBatch, YBatch: ys}, s.t, func(r partialResult) int {
 		if r.err != nil {
@@ -627,7 +693,7 @@ func (s *QuorumKeyService) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error)
 		if len(partials) < s.t {
 			return collectMore
 		}
-		if keys = s.combineIP(ys, partials, coeffs, rhs); keys != nil {
+		if keys = s.combineIP(ys, partials, rhs, suspicion); keys != nil {
 			return collectDone
 		}
 		// Some collected partial is corrupted: widen the subset search.
@@ -679,70 +745,104 @@ func (s *QuorumKeyService) admitIPPartial(r partialResult, want int, coeffs []*b
 // The fold identity keeps the search cheap: for a subset with coefficients
 // λ_j, Σ_v e_v·k_v = Σ_j λ_j·folded_j, so each candidate subset costs one
 // fixed-base exponentiation, not a per-key pass.
-func (s *QuorumKeyService) combineIP(ys [][]int64, partials []ipPartial, coeffs []*big.Int, rhs *big.Int) []*feip.FunctionKey {
-	for _, subset := range subsets(len(partials), s.t) {
-		xs := make([]int64, s.t)
-		dup := false
-		seen := make(map[int64]bool, s.t)
-		for i, pi := range subset {
-			x := partials[pi].index
-			if seen[x] {
-				dup = true
-				break
-			}
-			seen[x] = true
-			xs[i] = x
-		}
-		if dup {
-			continue
-		}
-		lambdas, err := thresh.Lambda(s.params, xs)
-		if err != nil {
-			continue
-		}
-		// thresh.Lambda returns reduced scalars and partials were
-		// admission-checked < Q, so the word path applies directly.
-		if w := s.words; w != nil {
-			lws := w.reduceAll(lambdas)
-			var lhs acc192
-			for i, pi := range subset {
-				lhs.mulAdd(lws[i], partials[pi].folded.Uint64())
-			}
-			if s.params.PowG(new(big.Int).SetUint64(w.reduce(lhs))).Cmp(rhs) != 0 {
+//
+// Each failed subset raises the suspicion score of its members (keyed by
+// share index in the caller-held map, so knowledge persists as partials
+// accumulate across calls), and the search always tries the least-suspect
+// untried subset next: a corrupted partial collected early implicates
+// itself and cannot starve an honest subset, whatever the enumeration
+// order.
+func (s *QuorumKeyService) combineIP(ys [][]int64, partials []ipPartial, rhs *big.Int, suspicion map[int64]int) []*feip.FunctionKey {
+	subs, truncated := subsets(len(partials), s.t)
+	if truncated {
+		s.opts.Logger.Printf("quorum: subset search over %d partials truncated to %d candidates", len(partials), len(subs))
+	}
+	tried := make([]bool, len(subs))
+	for range subs {
+		best, bestScore := -1, 0
+		for si, sub := range subs {
+			if tried[si] {
 				continue
 			}
-			keys := make([]*feip.FunctionKey, len(ys))
-			for v := range ys {
-				var k acc192
-				for i, pi := range subset {
-					k.mulAdd(lws[i], partials[pi].ks[v].Uint64())
-				}
-				keys[v] = &feip.FunctionKey{K: new(big.Int).SetUint64(w.reduce(k))}
+			score := 0
+			for _, pi := range sub {
+				score += suspicion[partials[pi].index]
 			}
+			if best < 0 || score < bestScore {
+				best, bestScore = si, score
+			}
+		}
+		subset := subs[best]
+		tried[best] = true
+		if keys := s.combineIPSubset(ys, partials, subset, rhs); keys != nil {
 			return keys
 		}
-		lhs := new(big.Int)
-		var term big.Int
+		for _, pi := range subset {
+			suspicion[partials[pi].index]++
+		}
+	}
+	return nil
+}
+
+// combineIPSubset Lagrange-combines one candidate subset and verifies it
+// against the joint public key, returning nil if the subset is unusable
+// (duplicate share indices) or fails the RLC check.
+func (s *QuorumKeyService) combineIPSubset(ys [][]int64, partials []ipPartial, subset []int, rhs *big.Int) []*feip.FunctionKey {
+	xs := make([]int64, s.t)
+	seen := make(map[int64]bool, s.t)
+	for i, pi := range subset {
+		x := partials[pi].index
+		if seen[x] {
+			return nil
+		}
+		seen[x] = true
+		xs[i] = x
+	}
+	lambdas, err := thresh.Lambda(s.params, xs)
+	if err != nil {
+		return nil
+	}
+	// thresh.Lambda returns reduced scalars and partials were
+	// admission-checked < Q, so the word path applies directly.
+	if w := s.words; w != nil {
+		lws := w.reduceAll(lambdas)
+		var lhs acc192
 		for i, pi := range subset {
-			term.Mul(lambdas[i], partials[pi].folded)
-			lhs.Add(lhs, &term)
+			lhs.mulAdd(lws[i], partials[pi].folded.Uint64())
 		}
-		if s.params.PowG(s.params.ReduceScalar(lhs)).Cmp(rhs) != 0 {
-			continue
+		if s.params.PowG(new(big.Int).SetUint64(w.reduce(lhs))).Cmp(rhs) != 0 {
+			return nil
 		}
-		// Verified: materialize the per-vector keys for this subset.
 		keys := make([]*feip.FunctionKey, len(ys))
 		for v := range ys {
-			k := new(big.Int)
+			var k acc192
 			for i, pi := range subset {
-				term.Mul(lambdas[i], partials[pi].ks[v])
-				k.Add(k, &term)
+				k.mulAdd(lws[i], partials[pi].ks[v].Uint64())
 			}
-			keys[v] = &feip.FunctionKey{K: s.params.ReduceScalar(k)}
+			keys[v] = &feip.FunctionKey{K: new(big.Int).SetUint64(w.reduce(k))}
 		}
 		return keys
 	}
-	return nil
+	lhs := new(big.Int)
+	var term big.Int
+	for i, pi := range subset {
+		term.Mul(lambdas[i], partials[pi].folded)
+		lhs.Add(lhs, &term)
+	}
+	if s.params.PowG(s.params.ReduceScalar(lhs)).Cmp(rhs) != 0 {
+		return nil
+	}
+	// Verified: materialize the per-vector keys for this subset.
+	keys := make([]*feip.FunctionKey, len(ys))
+	for v := range ys {
+		k := new(big.Int)
+		for i, pi := range subset {
+			term.Mul(lambdas[i], partials[pi].ks[v])
+			k.Add(k, &term)
+		}
+		keys[v] = &feip.FunctionKey{K: s.params.ReduceScalar(k)}
+	}
+	return keys
 }
 
 // BOKey implements securemat.KeyService.
@@ -861,6 +961,21 @@ func (s *QuorumKeyService) applyBOOp(cmtS *big.Int, op febo.Op, y int64) (*big.I
 	}
 }
 
+// elementsFingerprint hashes a vector of group elements into a comparable
+// vote key for quorum reads (length-prefixed so element boundaries cannot
+// be shifted between distinct vectors with equal concatenations).
+func elementsFingerprint(es []*big.Int) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, e := range es {
+		b := e.Bytes()
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	return string(h.Sum(nil))
+}
+
 // verifierCoeffs draws fresh 128-bit random-linear-combination
 // coefficients. Unlike the prover-side Fiat–Shamir coefficients in
 // internal/thresh these are verifier-private randomness, so they come from
@@ -877,16 +992,19 @@ func verifierCoeffs(n int) ([]*big.Int, error) {
 	return coeffs, nil
 }
 
-// subsets yields size-k index subsets of [0, n) in lexicographic order,
-// capped to keep the corrupted-node search bounded (C(7,3)=35 covers every
-// supported cluster; the cap only guards pathological configurations).
-func subsets(n, k int) [][]int {
-	const maxSubsets = 64
-	var out [][]int
+// subsets yields size-k index subsets of [0, n), capped to keep the
+// corrupted-node search bounded in memory (C(16,8)=12870 < cap, so every
+// plausible cluster enumerates completely; truncated reports when a
+// pathological configuration did hit the cap — the caller logs it rather
+// than failing silently). Enumeration order is irrelevant to the caller,
+// which reorders by suspicion.
+func subsets(n, k int) (out [][]int, truncated bool) {
+	const maxSubsets = 16384
 	idx := make([]int, k)
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
 		if len(out) >= maxSubsets {
+			truncated = true
 			return
 		}
 		if depth == k {
@@ -901,7 +1019,7 @@ func subsets(n, k int) [][]int {
 	if k <= n {
 		rec(0, 0)
 	}
-	return out
+	return out, truncated
 }
 
 // Interface compliance checks.

@@ -220,9 +220,10 @@ type corruptingNode struct {
 	l     net.Listener
 }
 
-// startCorrupting replaces cluster node i with a proxy that flips partial
-// key values while forwarding everything else.
-func startCorrupting(t *testing.T, tc *testCluster, i int) string {
+// startRewriting replaces cluster node i with a proxy that applies an
+// arbitrary rewrite to each response while forwarding everything else —
+// the shape of a compromised but protocol-conformant cluster member.
+func startRewriting(t *testing.T, tc *testCluster, i int, rewrite func(req *wire.Request, resp *wire.Response)) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -254,12 +255,7 @@ func startCorrupting(t *testing.T, tc *testCluster, i int) string {
 					if err := wire.ReadMsg(up, &resp); err != nil {
 						return
 					}
-					// Corrupt partial keys only; leave the DLEQ proof as
-					// produced, so FEIP corruption is caught by the RLC
-					// check and FEBO corruption by the proof.
-					if (req.Kind == wire.KindPartialIPKeyBatch || req.Kind == wire.KindPartialBOKeyBatch) && len(resp.KBatch) > 0 {
-						resp.KBatch[0] = new(big.Int).Add(resp.KBatch[0], big.NewInt(1))
-					}
+					rewrite(&req, &resp)
 					if err := wire.WriteMsg(conn, &resp); err != nil {
 						return
 					}
@@ -269,6 +265,20 @@ func startCorrupting(t *testing.T, tc *testCluster, i int) string {
 	}()
 	t.Cleanup(func() { _ = l.Close() })
 	return l.Addr().String()
+}
+
+// startCorrupting replaces cluster node i with a proxy that flips partial
+// key values while forwarding everything else.
+func startCorrupting(t *testing.T, tc *testCluster, i int) string {
+	t.Helper()
+	// Corrupt partial keys only; leave the DLEQ proof as produced, so FEIP
+	// corruption is caught by the RLC check and FEBO corruption by the
+	// proof.
+	return startRewriting(t, tc, i, func(req *wire.Request, resp *wire.Response) {
+		if (req.Kind == wire.KindPartialIPKeyBatch || req.Kind == wire.KindPartialBOKeyBatch) && len(resp.KBatch) > 0 {
+			resp.KBatch[0] = new(big.Int).Add(resp.KBatch[0], big.NewInt(1))
+		}
+	})
 }
 
 func TestQuorumRejectsCorruptedPartials(t *testing.T) {
@@ -448,6 +458,176 @@ func TestPartialProofsVerifyAgainstClusterInfo(t *testing.T) {
 	if err := thresh.VerifyEqBatch(params, info.HShares[resp.NodeIndex-1], cmts, resp.KBatch, proof); err == nil {
 		t.Fatal("tampered partial passed DLEQ verification")
 	}
+}
+
+// clusterInfoFrom queries one node's cluster-info view directly, outside
+// the quorum client.
+func clusterInfoFrom(t *testing.T, addr string) *wire.Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMsg(conn, &wire.Request{Kind: wire.KindClusterInfo}); err != nil {
+		t.Fatal(err)
+	}
+	var info wire.Response
+	if err := wire.ReadMsg(conn, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Err != "" {
+		t.Fatal(info.Err)
+	}
+	return &info
+}
+
+// TestQuorumBootstrapRequiresThresholdEndorsement pins the quorum-read
+// bootstrap: with T=N=3, one node serving a forged cluster view (an
+// attacker-generated joint key and share commitments, all well-formed)
+// leaves only two honest endorsements, so the client must refuse to start
+// — whichever answer arrives first — rather than risk caching a joint key
+// whose secret the attacker holds.
+func TestQuorumBootstrapRequiresThresholdEndorsement(t *testing.T) {
+	params, err := group.Embedded(group.TestBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 3, 3, 17)
+	evil := startRewriting(t, tc, 0, func(req *wire.Request, resp *wire.Response) {
+		if req.Kind == wire.KindClusterInfo && resp.Err == "" {
+			resp.H = []*big.Int{params.PowGInt64(31337)}
+			shares := make([]*big.Int, len(resp.HShares))
+			for j := range shares {
+				shares[j] = params.PowGInt64(int64(1000 + j))
+			}
+			resp.HShares = shares
+		}
+	})
+	dials := tc.dialers()
+	dials[0] = func() (net.Conn, error) { return net.DialTimeout("tcp", evil, time.Second) }
+	q, err := wire.NewQuorumKeyService(dials, quickOpts())
+	if err == nil {
+		q.Close()
+		t.Fatal("bootstrap accepted a cluster view lacking threshold endorsement")
+	}
+	if !errors.Is(err, wire.ErrQuorum) {
+		t.Fatalf("want ErrQuorum, got %v", err)
+	}
+}
+
+// TestQuorumBootstrapOutvotesForkedClusterInfo: with T=2 and N=3, the two
+// honest nodes outvote one forged view regardless of arrival order, and
+// the client adopts the honest joint FEBO key.
+func TestQuorumBootstrapOutvotesForkedClusterInfo(t *testing.T) {
+	params, err := group.Embedded(group.TestBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 2, 3, 19)
+	forged := params.PowGInt64(31337)
+	evil := startRewriting(t, tc, 0, func(req *wire.Request, resp *wire.Response) {
+		if req.Kind == wire.KindClusterInfo && resp.Err == "" {
+			resp.H = []*big.Int{forged}
+		}
+	})
+	dials := tc.dialers()
+	dials[0] = func() (net.Conn, error) { return net.DialTimeout("tcp", evil, time.Second) }
+	q, err := wire.NewQuorumKeyService(dials, quickOpts())
+	if err != nil {
+		t.Fatalf("NewQuorumKeyService: %v", err)
+	}
+	defer q.Close()
+	pk, err := q.FEBOPublic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.H.Cmp(forged) == 0 {
+		t.Fatal("client adopted the forged joint key")
+	}
+	if honest := clusterInfoFrom(t, tc.addrs[1]); pk.H.Cmp(honest.H[0]) != 0 {
+		t.Fatal("adopted joint key matches neither the forged nor the honest view")
+	}
+	verifyIPKeys(t, q, [][]int64{{1, -2, 3}})
+}
+
+// TestQuorumBootstrapSurvivesMalformedClusterInfo: gob decodes absent
+// fields as nil, so a node answering cluster-info with the group
+// parameters stripped must cost that node its vote — not panic the
+// client — and the honest majority still bootstraps.
+func TestQuorumBootstrapSurvivesMalformedClusterInfo(t *testing.T) {
+	tc := startCluster(t, 2, 3, 23)
+	evil := startRewriting(t, tc, 2, func(req *wire.Request, resp *wire.Response) {
+		if req.Kind == wire.KindClusterInfo {
+			resp.GroupP, resp.GroupQ, resp.GroupG = nil, nil, nil
+		}
+	})
+	dials := tc.dialers()
+	dials[2] = func() (net.Conn, error) { return net.DialTimeout("tcp", evil, time.Second) }
+	q, err := wire.NewQuorumKeyService(dials, quickOpts())
+	if err != nil {
+		t.Fatalf("NewQuorumKeyService with one malformed responder: %v", err)
+	}
+	defer q.Close()
+	verifyIPKeys(t, q, [][]int64{{2, 0, -5}})
+}
+
+// TestQuorumFEIPPublicOutvotesForgedKey pins the quorum read on FEIP
+// master public keys: one compromised node serving a well-formed but
+// attacker-generated key can never win the vote, whatever the arrival
+// order; the honest nodes confirm the real key and derivation proceeds.
+func TestQuorumFEIPPublicOutvotesForgedKey(t *testing.T) {
+	params, err := group.Embedded(group.TestBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 3, 5, 29)
+	evil := startRewriting(t, tc, 1, func(req *wire.Request, resp *wire.Response) {
+		if req.Kind == wire.KindFEIPPublic && resp.Err == "" {
+			forged := make([]*big.Int, len(resp.H))
+			for i := range forged {
+				forged[i] = params.PowGInt64(int64(7 + i))
+			}
+			resp.H = forged
+		}
+	})
+	dials := tc.dialers()
+	dials[1] = func() (net.Conn, error) { return net.DialTimeout("tcp", evil, time.Second) }
+	q, err := wire.NewQuorumKeyService(dials, quickOpts())
+	if err != nil {
+		t.Fatalf("NewQuorumKeyService: %v", err)
+	}
+	defer q.Close()
+
+	conn, err := net.Dial("tcp", tc.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Vary η so each round is a fresh (uncached) vote with its own
+	// arrival order.
+	for eta := 2; eta <= 5; eta++ {
+		mpk, err := q.FEIPPublic(eta)
+		if err != nil {
+			t.Fatalf("FEIPPublic(%d): %v", eta, err)
+		}
+		if err := wire.WriteMsg(conn, &wire.Request{Kind: wire.KindFEIPPublic, Eta: eta}); err != nil {
+			t.Fatal(err)
+		}
+		var honest wire.Response
+		if err := wire.ReadMsg(conn, &honest); err != nil {
+			t.Fatal(err)
+		}
+		if honest.Err != "" {
+			t.Fatal(honest.Err)
+		}
+		for i, h := range mpk.H {
+			if h.Cmp(honest.H[i]) != 0 {
+				t.Fatalf("η=%d: adopted key differs from the honest key at h[%d]", eta, i)
+			}
+		}
+	}
+	verifyIPKeys(t, q, [][]int64{{1, 2, 3}, {-4, 5, 0}})
 }
 
 // TestQuorumWideGroupBigIntFallback pins the big.Int scalar path: the
