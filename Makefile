@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the tier-1 gate (format + build +
 # vet + tests); `make bench` emits the hot-path benchmarks in
 # benchstat-comparable form (set COUNT=10 and pipe two runs into benchstat
-# to compare; CI's bench-smoke job runs COUNT=1 BENCHTIME=10x so the
+# to compare; CI's bench-smoke job runs COUNT=1 BENCHTIME=100ms so the
 # benchmarks themselves cannot rot unnoticed).
 
 GO        ?= go
@@ -11,9 +11,14 @@ BENCHTIME ?= 1s
 # a fixed round count keeps its samples/sec numbers comparable across
 # runs (time-based -benchtime would vary the round count with load).
 SERVE_BENCHTIME ?= 200x
+# The wire-codec benchmark opens up to 1024 real TCP connections per
+# sub-benchmark; a smaller fixed round count keeps the full sweep short
+# while still averaging thousands of requests per data point.
+WIRE_BENCHTIME ?= 20x
 STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check fmt-check build vet staticcheck test race chaos bench bench-json
+.PHONY: check fmt-check build vet staticcheck govulncheck test race chaos bench bench-json
 
 check: fmt-check build vet staticcheck test
 
@@ -38,6 +43,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
+# Known-vulnerability scan over the module's call graph. Pinned in CI;
+# locally the target skips with a hint when the binary is absent, same
+# pattern as staticcheck.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -48,7 +63,8 @@ test:
 race:
 	$(GO) test -race ./internal/group/ ./internal/feip/ ./internal/febo/ \
 		./internal/elgamal/ ./internal/dlog/ ./internal/securemat/ \
-		./internal/thresh/ ./internal/authority/ ./internal/wire/
+		./internal/thresh/ ./internal/authority/ ./internal/wire/ \
+		./internal/service/
 
 # Fault-injection and robustness suites: the faultconn wrappers (drop /
 # truncate / reset mid-stream), quorum behaviour against slow, dead, and
@@ -76,19 +92,29 @@ bench:
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
 	$(GO) test -run '^$$' -bench 'BenchmarkServeCoalesced' \
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/service/
+	$(GO) test -run '^$$' -bench 'BenchmarkServeWire' \
+		-count $(COUNT) -benchtime $(WIRE_BENCHTIME) -timeout 30m ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkQuorumIPKeyBatch' \
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/wire/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
 
 # Machine-readable perf snapshot: one short pass over the full bench suite,
-# folded into BENCH_pr6.json (qualified benchmark name → ns/op, B/op,
+# folded into BENCH_pr<N>.json (qualified benchmark name → ns/op, B/op,
 # allocs/op, plus custom metrics like samples/sec) by cmd/benchjson.
 # Commit the refreshed snapshot when a PR changes the perf story; diff two
 # snapshots (or two CI artifacts) to see the trajectory without parsing
-# benchmark text.
-BENCH_JSON      ?= BENCH_pr6.json
+# benchmark text. The default output name is derived from the latest
+# committed snapshot plus one, so `make bench-json` never silently
+# overwrites the previous PR's history; pass BENCH_JSON=... to override.
+BENCH_NEXT = $(shell n=$$(ls BENCH_pr*.json 2>/dev/null | sed -E 's/.*BENCH_pr([0-9]+)\.json/\1/' | sort -n | tail -1); echo $$(( $${n:-0} + 1 )))
+BENCH_JSON      ?= BENCH_pr$(BENCH_NEXT).json
 JSON_COUNT      ?= 1
-JSON_BENCHTIME  ?= 10x
+# Time-based, not 10x: the gated atoms run in microseconds, so a
+# 10-iteration sample is ~50µs of measurement — pure timer noise, and
+# cmd/benchdiff would gate on garbage. 100ms/benchmark keeps the whole
+# snapshot pass under a few minutes (the serving benchmarks keep their
+# fixed round counts via SERVE_BENCHTIME/WIRE_BENCHTIME).
+JSON_BENCHTIME  ?= 100ms
 bench-json:
 	@$(MAKE) --no-print-directory bench COUNT=$(JSON_COUNT) BENCHTIME=$(JSON_BENCHTIME) > $(BENCH_JSON).txt
 	@$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt

@@ -1,0 +1,153 @@
+// Command benchdiff compares two benchjson snapshots (see cmd/benchjson)
+// and enforces the CI perf-regression gate: benchmarks whose qualified
+// name matches -gate fail the run when their ns/op regresses beyond
+// -threshold against the committed baseline; everything else is
+// report-only. Names are matched exactly, so renamed or new benchmarks
+// never fail the gate — they are listed as NEW/GONE for the reviewer.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_pr7.json -current bench.json [-threshold 0.25]
+//
+// The threshold is a fraction: 0.25 fails a gated benchmark that got
+// >25% slower. CI compares runner measurements against a baseline
+// recorded on a different machine, so its threshold is deliberately
+// generous (see .github/workflows/ci.yml) — the gate exists to catch
+// order-of-magnitude rots (an accidental O(n²), a lost fast path), not
+// single-digit noise. Exit status: 0 clean, 1 gate failure, 2 usage or
+// I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's Result.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// defaultGate selects the single-threaded hot-path benchmarks stable
+// enough to gate on: the group arithmetic atoms, the FE primitive
+// costs, the dlog lookup, and the securemat decrypt pipeline. Loopback
+// throughput benchmarks (ServeCoalesced, ServeWire, Fig3 parallel) are
+// load-sensitive and stay report-only by default.
+const defaultGate = `Benchmark(Exp/|MulMont|FixedBasePow.*table|Lookup$|Encrypt/|Decrypt/|BatchedDecrypt)`
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "baseline snapshot (the committed BENCH_pr<N>.json)")
+	current := fs.String("current", "", "snapshot to check (the fresh bench run)")
+	threshold := fs.Float64("threshold", 0.25, "fractional ns/op regression that fails a gated benchmark")
+	gate := fs.String("gate", defaultGate, "regexp over qualified names; matching benchmarks fail on regression, others are report-only")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		return 2
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		return 2
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(out, "NEW   %s  %.0f ns/op (no baseline)\n", name, c.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(out, "SKIP  %s  zero baseline\n", name)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok   "
+		gated := gateRe.MatchString(name)
+		switch {
+		case gated && delta > *threshold:
+			verdict = "FAIL "
+			failures++
+		case !gated:
+			verdict = "info "
+		}
+		fmt.Fprintf(out, "%s %s  %.0f → %.0f ns/op (%+.1f%%)%s\n",
+			verdict, name, b.NsPerOp, c.NsPerOp, delta*100, throughputNote(b, c))
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(out, "GONE  %s  (in baseline, not in current run)\n", name)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(out, "benchdiff: %d gated benchmark(s) regressed beyond %.0f%% — see FAIL lines; if the\n", failures, *threshold*100)
+		fmt.Fprintf(out, "slowdown is intended, refresh the baseline via `make bench-json` and commit it.\n")
+		return 1
+	}
+	fmt.Fprintf(out, "benchdiff: %d benchmark(s) compared, no gated regression beyond %.0f%%\n", len(names), *threshold*100)
+	return 0
+}
+
+// throughputNote annotates the samples/sec delta when both runs carry it.
+func throughputNote(b, c result) string {
+	bs, cs := b.Extra["samples/sec"], c.Extra["samples/sec"]
+	if bs <= 0 || cs <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [%.0f → %.0f samples/sec]", bs, cs)
+}
+
+// load reads one benchjson snapshot into a name-keyed map.
+func load(path string) (map[string]result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(buf, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: empty snapshot", path)
+	}
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapshot writes a benchjson array to a temp file and returns its path.
+func snapshot(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseJSON = `[
+  {"name": "pkg.BenchmarkExp/bits=256", "iterations": 100, "ns_per_op": 1000},
+  {"name": "pkg.BenchmarkServeWire/codec=binary/conns=1024", "iterations": 20,
+   "ns_per_op": 300000000, "extra": {"samples/sec": 3400}},
+  {"name": "pkg.BenchmarkRetired", "iterations": 5, "ns_per_op": 50}
+]`
+
+func TestBenchdiffCleanRun(t *testing.T) {
+	base := snapshot(t, "base.json", baseJSON)
+	cur := snapshot(t, "cur.json", `[
+  {"name": "pkg.BenchmarkExp/bits=256", "iterations": 100, "ns_per_op": 1100},
+  {"name": "pkg.BenchmarkServeWire/codec=binary/conns=1024", "iterations": 20,
+   "ns_per_op": 310000000, "extra": {"samples/sec": 3300}},
+  {"name": "pkg.BenchmarkFresh", "iterations": 9, "ns_per_op": 70}
+]`)
+	var out strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ok    pkg.BenchmarkExp/bits=256", // +10% is under the 25% default threshold
+		"NEW   pkg.BenchmarkFresh",
+		"GONE  pkg.BenchmarkRetired",
+		"[3400 → 3300 samples/sec]",
+		"no gated regression",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBenchdiffGatedRegressionFails(t *testing.T) {
+	base := snapshot(t, "base.json", baseJSON)
+	cur := snapshot(t, "cur.json", `[
+  {"name": "pkg.BenchmarkExp/bits=256", "iterations": 100, "ns_per_op": 2000}
+]`)
+	var out strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  pkg.BenchmarkExp/bits=256") {
+		t.Errorf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffUngatedRegressionIsReportOnly(t *testing.T) {
+	// A 10x slowdown on a benchmark outside the gate regexp must not
+	// fail the run — loopback throughput numbers are load-sensitive.
+	base := snapshot(t, "base.json", baseJSON)
+	cur := snapshot(t, "cur.json", `[
+  {"name": "pkg.BenchmarkServeWire/codec=binary/conns=1024", "iterations": 20,
+   "ns_per_op": 3000000000, "extra": {"samples/sec": 340}}
+]`)
+	var out strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "info  pkg.BenchmarkServeWire") {
+		t.Errorf("missing info line:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffCustomGateAndThreshold(t *testing.T) {
+	base := snapshot(t, "base.json", baseJSON)
+	cur := snapshot(t, "cur.json", `[
+  {"name": "pkg.BenchmarkServeWire/codec=binary/conns=1024", "iterations": 20,
+   "ns_per_op": 400000000, "extra": {"samples/sec": 2550}}
+]`)
+	var out strings.Builder
+	args := []string{"-baseline", base, "-current", cur, "-gate", "ServeWire", "-threshold", "0.30"}
+	if code := run(args, &out); code != 1 {
+		t.Fatalf("exit %d, want 1 (+33%% > 30%% threshold)\n%s", code, out.String())
+	}
+	out.Reset()
+	args[len(args)-1] = "0.40"
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit %d, want 0 (+33%% < 40%% threshold)\n%s", code, out.String())
+	}
+}
+
+func TestBenchdiffBadInputs(t *testing.T) {
+	base := snapshot(t, "base.json", baseJSON)
+	empty := snapshot(t, "empty.json", `[]`)
+	for _, tc := range [][]string{
+		{"-current", base},                                  // missing -baseline
+		{"-baseline", base},                                 // missing -current
+		{"-baseline", base, "-current", empty},              // empty snapshot
+		{"-baseline", base, "-current", "nope"},             // unreadable file
+		{"-baseline", base, "-current", base, "-gate", "("}, // bad regexp
+	} {
+		var out strings.Builder
+		if code := run(tc, &out); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", tc, code)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +62,7 @@ func run(args []string) error {
 	denyDot := fs.Bool("deny-dot", false, "refuse dot-product keys")
 	denyDiv := fs.Bool("deny-div", false, "refuse division keys")
 	maxEta := fs.Int("max-eta", 0, "cap on client-supplied dimension/batch size (0 = default, <0 = unlimited)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty: disabled)")
 	share := fs.String("share", "", "cluster-node mode: serve partial keys from this share file")
 	setupNodes := fs.Int("setup-nodes", 0, "setup ceremony: shard the master secrets across N nodes")
 	setupThreshold := fs.Int("setup-threshold", 0, "setup ceremony: quorum size T (partial keys from any T nodes combine)")
@@ -122,6 +124,23 @@ func run(args []string) error {
 		}
 		logger.Printf("serving %s keys", params)
 		stats = func() string { return fmt.Sprintf("%+v", auth.Stats()) }
+	}
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", wire.MetricsHandler(srv))
+		ms := &http.Server{Handler: mux}
+		go func() {
+			if err := ms.Serve(ml); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		defer ms.Close() //nolint:errcheck // shutdown is best-effort
+		logger.Printf("serving /metrics on %s", ml.Addr())
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"strings"
 	"time"
@@ -126,7 +125,9 @@ func run(args []string) error {
 	}
 	logger.Printf("encrypted %d batches in %s", len(batches), time.Since(start).Round(time.Millisecond))
 
-	conn, err := net.Dial("tcp", *serverAddr)
+	// wire.Dial negotiates the binary codec and falls back to gob
+	// against a pre-codec server.
+	conn, err := wire.Dial(*serverAddr)
 	if err != nil {
 		return err
 	}
@@ -135,9 +136,9 @@ func run(args []string) error {
 			logger.Printf("closing server connection: %v", err)
 		}
 	}()
-	if err := wire.SubmitBatches(conn, batches); err != nil {
+	if err := conn.SubmitBatches(batches); err != nil {
 		return err
 	}
-	logger.Printf("submitted %d encrypted batches to %s", len(batches), *serverAddr)
+	logger.Printf("submitted %d encrypted batches to %s (%s codec)", len(batches), *serverAddr, conn.Codec())
 	return nil
 }

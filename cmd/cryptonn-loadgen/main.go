@@ -10,21 +10,28 @@
 //	cryptonn-loadgen -authority 127.0.0.1:7001 -server 127.0.0.1:7003 \
 //	    -features 784 -classes 10 -clients 8 -samples 1 -requests 50
 //
-// Each client encrypts one deterministic batch of -samples inputs up
-// front (prediction touches only the input ciphertexts, so the batch is
-// reusable) and then issues -requests back-to-back prediction calls on
-// its own connection. Requests rejected under server backpressure
-// (wire.ErrBusy) back off exponentially and retry; retries are counted
-// and reported.
+// Connections negotiate the binary wire codec by default (-codec auto);
+// -codec gob forces the legacy encoding for A/B comparison, and -sweep
+// "16,256,1024" measures a whole connection-count scaling curve in one
+// run. -pipeline N keeps N requests in flight per connection (binary
+// codec only — the gob protocol is one-outstanding-request).
+//
+// Encrypted batches are prepared before the clock starts (prediction
+// touches only the input ciphertexts, so batches are reusable and
+// read-only) and shared from a fixed-size pool, so thousands of
+// connections do not need thousands of encryptions. Requests rejected
+// under server backpressure (wire.ErrBusy) back off exponentially and
+// retry; retries are counted and reported.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,11 +66,35 @@ func run(args []string) error {
 	requests := fs.Int("requests", 20, "requests per client")
 	seed := fs.Int64("seed", 7, "synthetic data seed")
 	maxBackoff := fs.Duration("max-backoff", 100*time.Millisecond, "cap for the busy-retry backoff")
+	codec := fs.String("codec", "auto", "wire codec: auto (negotiate binary, fall back), binary, or gob")
+	pipeline := fs.Int("pipeline", 1, "in-flight requests per connection (binary codec only)")
+	batchPool := fs.Int("batch-pool", 0, "distinct encrypted batches shared across clients (0 = min(clients, 8))")
+	sweep := fs.String("sweep", "", "comma-separated client counts to sweep (overrides -clients)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *clients < 1 || *requests < 1 || *samples < 1 {
-		return errors.New("-clients, -requests and -samples must be positive")
+	if *clients < 1 || *requests < 1 || *samples < 1 || *pipeline < 1 {
+		return errors.New("-clients, -requests, -samples and -pipeline must be positive")
+	}
+	var counts []int
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid -sweep count %q", s)
+			}
+			counts = append(counts, n)
+		}
+	} else {
+		counts = []int{*clients}
+	}
+	switch *codec {
+	case "auto", string(wire.CodecBinary), string(wire.CodecGob):
+	default:
+		return fmt.Errorf("unknown -codec %q", *codec)
+	}
+	if *pipeline > 1 && *codec == string(wire.CodecGob) {
+		return errors.New("-pipeline needs the binary codec (gob is one-outstanding-request)")
 	}
 
 	keys, err := wire.DialKeyService(*authorityAddr)
@@ -76,26 +107,45 @@ func run(args []string) error {
 		return err
 	}
 
-	// One encrypted batch per client, prepared before the clock starts:
-	// the load generator measures serving, not client-side encryption.
-	fmt.Printf("encrypting %d batch(es) of %d sample(s)...\n", *clients, *samples)
-	batches := make([]*core.EncryptedBatch, *clients)
+	// A fixed pool of encrypted batches, prepared before the clock
+	// starts and shared read-only across clients: the load generator
+	// measures serving, not client-side encryption.
+	maxClients := 0
+	for _, n := range counts {
+		maxClients = max(maxClients, n)
+	}
+	pool := *batchPool
+	if pool <= 0 {
+		pool = min(maxClients, 8)
+	}
+	fmt.Printf("encrypting %d batch(es) of %d sample(s)...\n", pool, *samples)
+	batches := make([]*core.EncryptedBatch, pool)
 	for c := range batches {
 		if batches[c], err = syntheticBatch(eng, *features, *classes, *samples, *seed+int64(c)); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("driving %d client(s) × %d request(s) × %d sample(s) against %s\n",
-		*clients, *requests, *samples, *serverAddr)
-	reports := make([]clientReport, *clients)
+	for _, n := range counts {
+		if err := runOnce(*serverAddr, wire.Codec(*codec), n, *requests, *pipeline, *samples, batches, *maxBackoff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOnce drives one client-count measurement and prints its results.
+func runOnce(addr string, codec wire.Codec, clients, requests, pipeline, samples int, batches []*core.EncryptedBatch, maxBackoff time.Duration) error {
+	fmt.Printf("driving %d client(s) × %d request(s) × %d sample(s) against %s (codec %s, pipeline %d)\n",
+		clients, requests, samples, addr, codec, pipeline)
+	reports := make([]clientReport, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reports[c] = drive(*serverAddr, batches[c], *requests, *maxBackoff)
+			reports[c] = drive(addr, codec, batches[c%len(batches)], requests, pipeline, maxBackoff)
 		}()
 	}
 	wg.Wait()
@@ -111,9 +161,9 @@ func run(args []string) error {
 		busy += r.busyRetries
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	total := len(lats) * *samples
-	fmt.Printf("served %d samples (%d requests) in %s: %.1f samples/sec\n",
-		total, len(lats), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	total := len(lats) * samples
+	fmt.Printf("clients=%d served %d samples (%d requests) in %s: %.1f samples/sec\n",
+		clients, total, len(lats), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	fmt.Printf("request latency p50 %s p99 %s max %s; %d busy retries\n",
 		lats[len(lats)/2].Round(time.Microsecond),
 		lats[len(lats)*99/100].Round(time.Microsecond),
@@ -121,39 +171,73 @@ func run(args []string) error {
 	return nil
 }
 
-// drive issues back-to-back prediction requests on one connection,
-// backing off and retrying when the server signals backpressure.
-func drive(addr string, enc *core.EncryptedBatch, requests int, maxBackoff time.Duration) clientReport {
+// dialLoad opens one measured connection with the requested codec.
+func dialLoad(addr string, codec wire.Codec) (*wire.ClientConn, error) {
+	if codec == "auto" || codec == "" {
+		return wire.Dial(addr)
+	}
+	return wire.DialCodec(addr, codec)
+}
+
+// drive issues prediction requests on one connection — back-to-back, or
+// `pipeline`-deep when multiplexing — backing off and retrying when the
+// server signals backpressure.
+func drive(addr string, codec wire.Codec, enc *core.EncryptedBatch, requests, pipeline int, maxBackoff time.Duration) clientReport {
 	var rep clientReport
-	conn, err := net.Dial("tcp", addr)
+	cc, err := dialLoad(addr, codec)
 	if err != nil {
 		rep.err = err
 		return rep
 	}
-	defer conn.Close()
-	for i := 0; i < requests; i++ {
-		backoff := time.Millisecond
-		for {
-			start := time.Now()
-			preds, err := wire.RequestPrediction(conn, enc)
-			if errors.Is(err, wire.ErrBusy) {
-				rep.busyRetries++
-				time.Sleep(backoff)
-				backoff = min(backoff*2, maxBackoff)
-				continue
-			}
-			if err != nil {
-				rep.err = fmt.Errorf("request %d: %w", i, err)
-				return rep
-			}
-			if len(preds) != enc.N {
-				rep.err = fmt.Errorf("request %d: %d predictions for %d samples", i, len(preds), enc.N)
-				return rep
-			}
-			rep.lats = append(rep.lats, time.Since(start))
-			break
-		}
+	defer cc.Close()
+	if pipeline > 1 && cc.Codec() != wire.CodecBinary {
+		rep.err = errors.New("pipelining requires the binary codec")
+		return rep
 	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int, requests)
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < min(pipeline, requests); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				backoff := time.Millisecond
+				for {
+					start := time.Now()
+					preds, err := cc.Predict(nil, enc, 0)
+					if errors.Is(err, wire.ErrBusy) {
+						mu.Lock()
+						rep.busyRetries++
+						mu.Unlock()
+						time.Sleep(backoff)
+						backoff = min(backoff*2, maxBackoff)
+						continue
+					}
+					if err == nil && len(preds) != enc.N {
+						err = fmt.Errorf("%d predictions for %d samples", len(preds), enc.N)
+					}
+					mu.Lock()
+					if err != nil {
+						if rep.err == nil {
+							rep.err = fmt.Errorf("request %d: %w", i, err)
+						}
+						mu.Unlock()
+						return
+					}
+					rep.lats = append(rep.lats, time.Since(start))
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return rep
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,6 +84,7 @@ func run(args []string) error {
 	coalesceSamples := fs.Int("coalesce-samples", 0, "max samples per coalesced prediction evaluation (0 = default)")
 	coalesceDelay := fs.Duration("coalesce-delay", 0, "how long the first prediction request of a round waits for stragglers (0 = greedy)")
 	predictQueue := fs.Int("predict-queue", 0, "prediction dispatch queue bound; full queue rejects with a retryable error (0 = default)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty: disabled)")
 	savePath := fs.String("save", "", "write the trained model checkpoint to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +124,30 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *metricsAddr != "" {
+		// The prediction source resolves lazily, so mounting before
+		// training is fine — counters read zero until serving starts.
+		// A quorum key service contributes its fan-out health counters.
+		sources := []wire.MetricsSource{srv.PredictionMetrics()}
+		if q, ok := keys.(wire.MetricsSource); ok {
+			sources = append(sources, q)
+		}
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", wire.MetricsHandler(sources...))
+		ms := &http.Server{Handler: mux}
+		go func() {
+			if err := ms.Serve(ml); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		defer ms.Close() //nolint:errcheck // shutdown is best-effort
+		logger.Printf("serving /metrics on %s", ml.Addr())
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -126,6 +126,11 @@ type Server struct {
 	// Predict callers. It also guards the lazily built predictTrainer.
 	predictMu sync.Mutex
 	predictTr *core.Trainer
+
+	// predictSrv is the live prediction server, set while
+	// ServePredictions runs; PredictionMetrics exposes it for /metrics.
+	srvMu      sync.Mutex
+	predictSrv *wire.PredictionServer
 }
 
 // New assembles a training service around a key service (the authority
@@ -287,6 +292,9 @@ func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
 	if err != nil {
 		return err
 	}
+	s.srvMu.Lock()
+	s.predictSrv = ps
+	s.srvMu.Unlock()
 	s.cfg.Logger.Printf("serving predictions on %s", l.Addr())
 	err = ps.Serve(ctx, l)
 	if st := ps.Stats(); st.Requests > 0 {
@@ -298,6 +306,27 @@ func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
 		return nil
 	}
 	return err
+}
+
+// PredictionMetrics returns the live prediction server as a metrics
+// source for wire.MetricsHandler. It is nil until ServePredictions has
+// started; the handler skips nil sources, so callers may register it
+// eagerly through this indirection.
+func (s *Server) PredictionMetrics() wire.MetricsSource {
+	return serverMetrics{s}
+}
+
+// serverMetrics defers the predictSrv lookup to scrape time, so a
+// /metrics endpoint can be mounted before serving starts.
+type serverMetrics struct{ s *Server }
+
+func (m serverMetrics) WriteMetrics(w io.Writer) {
+	m.s.srvMu.Lock()
+	ps := m.s.predictSrv
+	m.s.srvMu.Unlock()
+	if ps != nil {
+		ps.WriteMetrics(w)
+	}
 }
 
 // newPredictTrainer builds the serving trainer: like newTrainer, but the

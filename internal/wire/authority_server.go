@@ -48,6 +48,9 @@ func (o AuthorityServerOptions) maxEta() int {
 
 // AuthorityServerStats counts server-side incidents.
 type AuthorityServerStats struct {
+	// Served is the number of requests dispatched to the key services
+	// (everything that passed the limit guard, whatever its outcome).
+	Served uint64
 	// Panics is the number of request dispatches that panicked and were
 	// recovered (the connection survived and got an error response).
 	Panics uint64
@@ -65,6 +68,7 @@ type AuthorityServer struct {
 	log    *log.Logger
 	maxEta int
 
+	served   atomic.Uint64
 	panics   atomic.Uint64
 	rejected atomic.Uint64
 
@@ -115,6 +119,7 @@ func newServer(auth *authority.Authority, node *authority.Node, logger *log.Logg
 // Stats returns a snapshot of server incident counters.
 func (s *AuthorityServer) Stats() AuthorityServerStats {
 	return AuthorityServerStats{
+		Served:   s.served.Load(),
 		Panics:   s.panics.Load(),
 		Rejected: s.rejected.Load(),
 	}
@@ -209,6 +214,7 @@ func (s *AuthorityServer) safeDispatch(req *Request) (resp *Response) {
 		s.rejected.Add(1)
 		return &Response{Err: err.Error()}
 	}
+	s.served.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)

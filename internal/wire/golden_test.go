@@ -1,0 +1,370 @@
+package wire
+
+// Golden-frame protocol compatibility tests: one committed frame per
+// message kind, for both codecs, under testdata/golden/.
+//
+// The two codecs pin different contracts, each the strongest its format
+// offers:
+//
+//   - Binary frames are byte-compared in both directions (today's
+//     encoder must reproduce the golden, today's decoder must accept it
+//     and re-encode it canonically). The layout is hand-specified in
+//     docs/PROTOCOL.md, so any byte drift is a compatibility break.
+//   - Gob frames are decode-compared: the committed bytes must still
+//     decode to the expected message. Gob streams are self-describing
+//     and their type-descriptor IDs depend on process history (the
+//     encoding/gob type registry is global and first-use ordered), so
+//     byte identity is not gob's contract — decodability is.
+//
+// A binary mismatch is only allowed together with a codec version bump
+// and regenerated goldens (see "Changing the wire format" in
+// docs/PROTOCOL.md):
+//
+//	go test ./internal/wire/ -run TestGolden -update
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cryptonn/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden frame files")
+
+// memConn adapts a bytes.Buffer to net.Conn so binConn frames can be
+// built and replayed in memory.
+type memConn struct{ bytes.Buffer }
+
+func (*memConn) Close() error                     { return nil }
+func (*memConn) LocalAddr() net.Addr              { return nil }
+func (*memConn) RemoteAddr() net.Addr             { return nil }
+func (*memConn) SetDeadline(time.Time) error      { return nil }
+func (*memConn) SetReadDeadline(time.Time) error  { return nil }
+func (*memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// binFrame renders one full binary frame (header + body) to bytes.
+func binFrame(t *testing.T, ftype byte, id uint64, fill func([]byte) ([]byte, error)) []byte {
+	t.Helper()
+	var mc memConn
+	if err := newBinConn(&mc).writeFrame(ftype, id, fill); err != nil {
+		t.Fatalf("frame type 0x%02x: %v", ftype, err)
+	}
+	return append([]byte(nil), mc.Bytes()...)
+}
+
+// gobFrame renders one legacy gob frame (length header + gob stream).
+func gobFrame(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// goldenMessages is the canonical message set, built from a fixed seed.
+// The construction order is part of the fixture: the shared rng makes
+// each message's contents depend on it.
+type goldenMessages struct {
+	predictBatch *core.EncryptedBatch
+	submitBatch  *core.EncryptedBatch
+	convBatch    *core.EncryptedConvBatch
+	preds        []int
+}
+
+func newGoldenMessages() goldenMessages {
+	rng := rand.New(rand.NewSource(42))
+	return goldenMessages{
+		predictBatch: synthBatch(rng, 3, 4, 2, false),
+		submitBatch:  synthBatch(rng, 3, 4, 2, true),
+		convBatch:    synthConvBatch(rng),
+		preds:        []int{3, 0, 2},
+	}
+}
+
+// binaryGoldens renders the byte-pinned binary-codec frame set.
+func binaryGoldens(t *testing.T, m goldenMessages) map[string][]byte {
+	t.Helper()
+	hello := helloFrame(CodecVersion)
+	helloAck := ackFrame(CodecVersion)
+	var errConn memConn
+	if err := newBinConn(&errConn).writeErr(11, "prediction queue full", true); err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		// Handshake: byte-frozen by construction — a legacy server reads
+		// the hello as a length header, so its shape can never change
+		// within a major codec generation.
+		"hello.bin":     hello[:],
+		"hello_ack.bin": helloAck[:],
+
+		"predict_binary.bin": binFrame(t, bfPredict, 7, func(b []byte) ([]byte, error) {
+			return appendEncryptedBatch(b, m.predictBatch)
+		}),
+		"submit_binary.bin": binFrame(t, bfSubmit, 8, func(b []byte) ([]byte, error) {
+			return appendEncryptedBatch(b, m.submitBatch)
+		}),
+		"submitconv_binary.bin": binFrame(t, bfSubmitConv, 9, func(b []byte) ([]byte, error) {
+			return appendConvBatch(b, m.convBatch)
+		}),
+		"done_binary.bin": binFrame(t, bfDone, 10, func(b []byte) ([]byte, error) { return b, nil }),
+		"ack_binary.bin":  binFrame(t, bfAck, 10, func(b []byte) ([]byte, error) { return b, nil }),
+		"preds_binary.bin": binFrame(t, bfPreds, 7, func(b []byte) ([]byte, error) {
+			return appendPreds(b, m.preds)
+		}),
+		"err_binary.bin": append([]byte(nil), errConn.Bytes()...),
+	}
+}
+
+// gobGoldens renders the same kinds as legacy gob envelope frames.
+func gobGoldens(t *testing.T, m goldenMessages) map[string][]byte {
+	t.Helper()
+	predictPayload, err := encodePayload(m.predictBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitPayload, err := encodePayload(m.submitBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convPayload, err := encodePayload(m.convBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"predict_gob.bin":    gobFrame(t, &Request{Kind: KindPredict, Payload: predictPayload}),
+		"submit_gob.bin":     gobFrame(t, &Request{Kind: KindSubmitBatch, Payload: submitPayload}),
+		"submitconv_gob.bin": gobFrame(t, &Request{Kind: KindSubmitConvBatch, Payload: convPayload}),
+		"done_gob.bin":       gobFrame(t, &Request{Kind: KindDone}),
+		"ack_gob.bin":        gobFrame(t, &Response{}),
+		"preds_gob.bin":      gobFrame(t, &Response{Preds: m.preds}),
+		"err_gob.bin":        gobFrame(t, &Response{Err: "prediction queue full", Retryable: true}),
+	}
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	frame, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden (run with -update after an intentional format change): %v", err)
+	}
+	return frame
+}
+
+// sameBatch compares two encrypted batches through their canonical
+// binary encoding — exactly one encoding exists per message, so byte
+// equality is deep equality.
+func sameBatch(t *testing.T, got, want *core.EncryptedBatch) bool {
+	t.Helper()
+	g, err := appendEncryptedBatch(nil, got)
+	if err != nil {
+		t.Fatalf("re-encoding decoded batch: %v", err)
+	}
+	w, err := appendEncryptedBatch(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(g, w)
+}
+
+func TestGoldenFrames(t *testing.T) {
+	m := newGoldenMessages()
+	binFrames := binaryGoldens(t, m)
+	if *updateGolden {
+		dir := filepath.Join("testdata", "golden")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, frame := range binFrames {
+			if err := os.WriteFile(filepath.Join(dir, name), frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, frame := range gobGoldens(t, m) {
+			if err := os.WriteFile(filepath.Join(dir, name), frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote golden frames in %s", dir)
+		return
+	}
+	for name, frame := range binFrames {
+		if want := readGolden(t, name); !bytes.Equal(frame, want) {
+			t.Errorf("%s: encoding changed (%d bytes, golden %d).\n"+
+				"The wire format is a compatibility contract: bump CodecVersion and regenerate\n"+
+				"goldens with -update per docs/PROTOCOL.md, or revert the encoding change.",
+				name, len(frame), len(want))
+		}
+	}
+}
+
+// TestGoldenFramesDecodeBinary replays each committed binary golden
+// through the current decoder and re-encodes it. Byte-identity both
+// proves the decoder still accepts historical frames and pins the
+// canonical-form property (exactly one encoding per message).
+func TestGoldenFramesDecodeBinary(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens being rewritten")
+	}
+	reencode := map[string]func(body []byte) ([]byte, error){
+		"predict_binary.bin": func(body []byte) ([]byte, error) {
+			enc, err := decodeEncryptedBatch(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendEncryptedBatch(nil, enc)
+		},
+		"submit_binary.bin": func(body []byte) ([]byte, error) {
+			enc, err := decodeEncryptedBatch(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendEncryptedBatch(nil, enc)
+		},
+		"submitconv_binary.bin": func(body []byte) ([]byte, error) {
+			enc, err := decodeConvBatch(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendConvBatch(nil, enc)
+		},
+		"preds_binary.bin": func(body []byte) ([]byte, error) {
+			preds, err := decodePreds(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendPreds(nil, preds)
+		},
+		"err_binary.bin": func(body []byte) ([]byte, error) {
+			msg, retryable, err := decodeErrBody(body)
+			if err != nil {
+				return nil, err
+			}
+			if !retryable || msg != "prediction queue full" {
+				return nil, fmt.Errorf("decoded msg=%q retryable=%v", msg, retryable)
+			}
+			return body, nil
+		},
+	}
+	for name, re := range reencode {
+		frame := readGolden(t, name)
+		var mc memConn
+		mc.Write(frame)
+		ftype, id, body, err := newBinConn(&mc).readFrame()
+		if err != nil {
+			t.Errorf("%s: decoder rejects committed frame: %v", name, err)
+			continue
+		}
+		if id == 0 {
+			t.Errorf("%s: zero request id", name)
+		}
+		round, err := re(body)
+		if err != nil {
+			t.Errorf("%s (type 0x%02x): %v", name, ftype, err)
+			continue
+		}
+		if !bytes.Equal(round, frame[binHeaderLen:]) {
+			t.Errorf("%s: decode→re-encode is not canonical (%d vs %d body bytes)",
+				name, len(round), len(frame)-binHeaderLen)
+		}
+	}
+}
+
+// TestGoldenFramesDecodeGob replays the committed gob goldens through
+// ReadMsg and checks the decoded values — the legacy decoder must keep
+// accepting frames written by older peers, whatever their descriptor
+// IDs were.
+func TestGoldenFramesDecodeGob(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens being rewritten")
+	}
+	m := newGoldenMessages()
+
+	decodeBatch := func(payload []byte) *core.EncryptedBatch {
+		t.Helper()
+		var enc core.EncryptedBatch
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&enc); err != nil {
+			t.Fatalf("decoding payload: %v", err)
+		}
+		return &enc
+	}
+
+	var req Request
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "predict_gob.bin")), &req); err != nil {
+		t.Fatalf("predict_gob.bin: %v", err)
+	}
+	if req.Kind != KindPredict || !sameBatch(t, decodeBatch(req.Payload), m.predictBatch) {
+		t.Errorf("predict_gob.bin decoded to kind %v or wrong batch", req.Kind)
+	}
+
+	req = Request{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "submit_gob.bin")), &req); err != nil {
+		t.Fatalf("submit_gob.bin: %v", err)
+	}
+	if req.Kind != KindSubmitBatch || !sameBatch(t, decodeBatch(req.Payload), m.submitBatch) {
+		t.Errorf("submit_gob.bin decoded to kind %v or wrong batch", req.Kind)
+	}
+
+	req = Request{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "submitconv_gob.bin")), &req); err != nil {
+		t.Fatalf("submitconv_gob.bin: %v", err)
+	}
+	var conv core.EncryptedConvBatch
+	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&conv); err != nil {
+		t.Fatalf("submitconv_gob.bin payload: %v", err)
+	}
+	gotConv, err := appendConvBatch(nil, &conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantConv, err := appendConvBatch(nil, m.convBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindSubmitConvBatch || !bytes.Equal(gotConv, wantConv) {
+		t.Errorf("submitconv_gob.bin decoded to kind %v or wrong batch", req.Kind)
+	}
+
+	req = Request{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "done_gob.bin")), &req); err != nil {
+		t.Fatalf("done_gob.bin: %v", err)
+	}
+	if req.Kind != KindDone {
+		t.Errorf("done_gob.bin decoded to kind %v", req.Kind)
+	}
+
+	var resp Response
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "ack_gob.bin")), &resp); err != nil {
+		t.Fatalf("ack_gob.bin: %v", err)
+	}
+	if resp.Err != "" || resp.Preds != nil {
+		t.Errorf("ack_gob.bin decoded to %+v", resp)
+	}
+
+	resp = Response{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "preds_gob.bin")), &resp); err != nil {
+		t.Fatalf("preds_gob.bin: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Preds, m.preds) {
+		t.Errorf("preds_gob.bin decoded preds %v, want %v", resp.Preds, m.preds)
+	}
+
+	resp = Response{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "err_gob.bin")), &resp); err != nil {
+		t.Fatalf("err_gob.bin: %v", err)
+	}
+	if resp.Err != "prediction queue full" || !resp.Retryable {
+		t.Errorf("err_gob.bin decoded to %+v", resp)
+	}
+}

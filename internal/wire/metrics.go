@@ -1,0 +1,122 @@
+package wire
+
+// Prometheus text-format exposition (version 0.0.4) for the serving
+// stack, written by hand so the repo stays dependency-free. Each server
+// type exposes WriteMetrics; MetricsHandler aggregates any number of
+// them behind one /metrics endpoint. Counter names are part of the
+// operational interface — the CI loadgen smoke job greps for them, and
+// README.md documents each one — so renaming a metric is a breaking
+// change on par with a wire-format bump.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// MetricsSource is anything that can contribute to a /metrics scrape.
+type MetricsSource interface {
+	// WriteMetrics appends Prometheus text-format samples. Implementations
+	// must emit complete metric families (HELP/TYPE then samples) and
+	// must not assume exclusive ownership of the writer.
+	WriteMetrics(w io.Writer)
+}
+
+// MetricsHandler serves a Prometheus text-format scrape aggregating the
+// given sources, in order. Nil sources are skipped, so callers can pass
+// optional components unconditionally.
+func MetricsHandler(sources ...MetricsSource) http.Handler {
+	// Scrapes are cheap (atomic loads) but serialized anyway so two
+	// concurrent scrapes cannot interleave partially buffered output.
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, s := range sources {
+			if s != nil {
+				s.WriteMetrics(w)
+			}
+		}
+	})
+}
+
+// metricFamily writes one HELP/TYPE preamble followed by its samples.
+func metricFamily(w io.Writer, name, typ, help string, samples ...string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s%s\n", name, s)
+	}
+}
+
+// WriteMetrics exposes the prediction server's dispatcher and codec
+// counters (see DispatcherStats).
+func (s *PredictionServer) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	metricFamily(w, "cryptonn_predict_requests_total", "counter",
+		"Prediction requests accepted into the dispatch queue.",
+		fmt.Sprintf(" %d", st.Requests))
+	metricFamily(w, "cryptonn_predict_rejected_total", "counter",
+		"Prediction requests rejected with retryable backpressure (queue full).",
+		fmt.Sprintf(" %d", st.Rejected))
+	metricFamily(w, "cryptonn_predict_samples_total", "counter",
+		"Encrypted samples evaluated.",
+		fmt.Sprintf(" %d", st.Samples))
+	metricFamily(w, "cryptonn_predict_evals_total", "counter",
+		"Engine evaluations (coalesced rounds).",
+		fmt.Sprintf(" %d", st.Evals))
+	metricFamily(w, "cryptonn_predict_panics_total", "counter",
+		"Recovered panics while evaluating predictions.",
+		fmt.Sprintf(" %d", st.Panics))
+	metricFamily(w, "cryptonn_predict_queue_depth", "gauge",
+		"Prediction requests currently queued.",
+		fmt.Sprintf(" %d", st.QueueDepth))
+	metricFamily(w, "cryptonn_predict_max_coalesced", "gauge",
+		"Widest coalesced round so far, in requests.",
+		fmt.Sprintf(" %d", st.MaxCoalesced))
+	metricFamily(w, "cryptonn_predict_latency_seconds", "gauge",
+		"Recent per-request dispatch latency quantiles.",
+		fmt.Sprintf("{quantile=\"0.5\"} %g", st.P50.Seconds()),
+		fmt.Sprintf("{quantile=\"0.99\"} %g", st.P99.Seconds()))
+	metricFamily(w, "cryptonn_predict_connections_total", "counter",
+		"Prediction connections accepted, by negotiated codec.",
+		fmt.Sprintf("{codec=\"binary\"} %d", s.binConns.Load()),
+		fmt.Sprintf("{codec=\"gob\"} %d", s.gobConns.Load()))
+}
+
+// WriteMetrics exposes the authority server's incident counters (see
+// AuthorityServerStats).
+func (s *AuthorityServer) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	metricFamily(w, "cryptonn_authority_served_total", "counter",
+		"Key requests dispatched to the key services.",
+		fmt.Sprintf(" %d", st.Served))
+	metricFamily(w, "cryptonn_authority_rejected_total", "counter",
+		"Key requests refused by the resource-limit guard.",
+		fmt.Sprintf(" %d", st.Rejected))
+	metricFamily(w, "cryptonn_authority_panics_total", "counter",
+		"Recovered panics while serving key requests.",
+		fmt.Sprintf(" %d", st.Panics))
+}
+
+// WriteMetrics exposes the quorum client's fan-out health counters (see
+// QuorumStats).
+func (s *QuorumKeyService) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	metricFamily(w, "cryptonn_quorum_round_trips_total", "counter",
+		"Cluster node exchanges, including retries and hedges.",
+		fmt.Sprintf(" %d", st.RoundTrips))
+	metricFamily(w, "cryptonn_quorum_escalations_total", "counter",
+		"Standby nodes contacted because a primary failed or misbehaved.",
+		fmt.Sprintf(" %d", st.Escalations))
+	metricFamily(w, "cryptonn_quorum_hedges_total", "counter",
+		"Standby nodes contacted because primaries stalled past the hedge delay.",
+		fmt.Sprintf(" %d", st.Hedges))
+	metricFamily(w, "cryptonn_quorum_suspicions_total", "counter",
+		"Node exchanges that exhausted retries and marked the node suspect.",
+		fmt.Sprintf(" %d", st.Suspicions))
+	metricFamily(w, "cryptonn_quorum_suspect_nodes", "gauge",
+		"Cluster nodes currently marked suspect.",
+		fmt.Sprintf(" %d", st.SuspectNodes))
+}

@@ -91,6 +91,9 @@ type PredictionServer struct {
 	dispatcher *Dispatcher
 	log        *log.Logger
 	panics     atomic.Uint64
+	// Connections accepted per negotiated codec, for /metrics.
+	gobConns atomic.Uint64
+	binConns atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -211,9 +214,30 @@ func (s *PredictionServer) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	bin, hdr, err := sniffHello(conn)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.log.Printf("prediction server: negotiating with %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if bin {
+		s.binConns.Add(1)
+		s.handleBinary(conn)
+		return
+	}
+	s.gobConns.Add(1)
+	first := true
 	for {
 		var req Request
-		if err := ReadMsg(conn, &req); err != nil {
+		var err error
+		if first {
+			// The sniffed bytes are the first gob frame's length header.
+			err, first = readMsgAfterHeader(conn, hdr, &req), false
+		} else {
+			err = ReadMsg(conn, &req)
+		}
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log.Printf("prediction server: read from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -223,6 +247,84 @@ func (s *PredictionServer) handle(conn net.Conn) {
 		if err := WriteMsg(conn, resp); err != nil {
 			s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+	}
+}
+
+// maxInflightPerConn bounds concurrent evaluations spawned by one binary
+// connection, so a single aggressive client cannot monopolize the
+// dispatch queue. Further frames simply wait for a slot — TCP backpressure
+// does the rest.
+const maxInflightPerConn = 32
+
+// handleBinary serves one negotiated binary connection. Prediction
+// frames are multiplexed: each runs on its own goroutine (bounded by
+// maxInflightPerConn) and responses go out in completion order, matched
+// by request id. Gob-wrapped frames serve cold kinds inline.
+func (s *PredictionServer) handleBinary(conn net.Conn) {
+	bc := newBinConn(conn)
+	sem := make(chan struct{}, maxInflightPerConn)
+	var wg sync.WaitGroup
+	defer wg.Wait() // drain in-flight evaluations before the conn closes
+	for {
+		ftype, id, body, err := bc.readFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("prediction server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch ftype {
+		case bfPredict:
+			enc, err := decodeEncryptedBatch(body)
+			if err != nil {
+				if werr := bc.writeErr(id, fmt.Sprintf("decoding prediction batch: %v", err), false); werr != nil {
+					s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), werr)
+					return
+				}
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(id uint64, enc *core.EncryptedBatch) {
+				defer func() { <-sem; wg.Done() }()
+				preds, err := s.evaluate(enc)
+				var werr error
+				if err != nil {
+					werr = bc.writeErr(id, fmt.Sprintf("prediction failed: %v", err), errors.Is(err, ErrBusy))
+				} else {
+					werr = bc.writeFrame(bfPreds, id, func(b []byte) ([]byte, error) {
+						return appendPreds(b, preds)
+					})
+				}
+				if werr != nil && !errors.Is(werr, net.ErrClosed) {
+					s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), werr)
+				}
+			}(id, enc)
+		case bfGobRequest:
+			var req Request
+			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+				if werr := bc.writeErr(id, fmt.Sprintf("decoding request: %v", err), false); werr != nil {
+					return
+				}
+				continue
+			}
+			resp := s.answer(&req)
+			err := bc.writeFrame(bfGobResponse, id, func(b []byte) ([]byte, error) {
+				fb := frameBuffer{buf: b}
+				if err := gob.NewEncoder(&fb).Encode(resp); err != nil {
+					return nil, fmt.Errorf("wire: encoding response: %w", err)
+				}
+				return fb.buf, nil
+			})
+			if err != nil {
+				s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+		default:
+			if err := bc.writeErr(id, fmt.Sprintf("prediction server cannot serve frame type %#x", ftype), false); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -248,21 +350,34 @@ func (s *PredictionServer) answer(req *Request) (resp *Response) {
 	if enc.N <= 0 || enc.X == nil {
 		return &Response{Err: "empty prediction batch"}
 	}
-	var preds []int
-	var err error
-	if s.dispatcher != nil {
-		// Background context: the framed request/response protocol gives
-		// no way to observe a client disconnect while its request is in
-		// flight (that would need a concurrent reader per connection), so
-		// a vanished client's request is evaluated and the write error
-		// then tears the connection down — the same cost the serial path
-		// pays. Dispatcher shutdown is covered by its own done channel.
-		preds, err = s.dispatcher.Do(context.Background(), &enc)
-	} else {
-		preds, err = s.predict(&enc)
-	}
+	preds, err := s.evaluate(&enc)
 	if err != nil {
 		return &Response{Err: fmt.Sprintf("prediction failed: %v", err), Retryable: errors.Is(err, ErrBusy)}
 	}
 	return &Response{Preds: preds}
+}
+
+// evaluate runs one decoded batch through the dispatcher (or the direct
+// predict function) with panic containment — shared by the gob and
+// binary paths.
+func (s *PredictionServer) evaluate(enc *core.EncryptedBatch) (preds []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.log.Printf("prediction server: panic evaluating batch: %v\n%s", r, debug.Stack())
+			preds, err = nil, errors.New("internal error")
+		}
+	}()
+	if enc.N <= 0 || enc.X == nil {
+		return nil, errors.New("empty prediction batch")
+	}
+	if s.dispatcher != nil {
+		// Background context: the framed request/response protocol gives
+		// no way to observe a client disconnect while its request is in
+		// flight, so a vanished client's request is evaluated and the
+		// write error then tears the connection down. Dispatcher shutdown
+		// is covered by its own done channel.
+		return s.dispatcher.Do(context.Background(), enc)
+	}
+	return s.predict(enc)
 }

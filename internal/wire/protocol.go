@@ -179,6 +179,13 @@ func ReadMsg(r io.Reader, v any) error {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err // io.EOF passes through for clean close detection
 	}
+	return readMsgAfterHeader(r, hdr, v)
+}
+
+// readMsgAfterHeader finishes reading a gob frame whose 8-byte length
+// header was already consumed — servers sniff those bytes for the binary
+// codec hello (codec.go) before falling back to the gob path.
+func readMsgAfterHeader(r io.Reader, hdr [8]byte, v any) error {
 	n := binary.BigEndian.Uint64(hdr[:])
 	if n > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)

@@ -194,6 +194,10 @@ type QuorumKeyService struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	trips  atomic.Uint64
+	// Fan-out health counters (see QuorumStats).
+	escalations atomic.Uint64
+	hedges      atomic.Uint64
+	suspicions  atomic.Uint64
 
 	mu        sync.Mutex
 	feipCache map[int]*feip.MasterPublicKey
@@ -397,6 +401,41 @@ func (s *QuorumKeyService) Threshold() (t, n int) { return s.t, s.n }
 // RoundTrips reports the total number of node exchanges performed.
 func (s *QuorumKeyService) RoundTrips() uint64 { return s.trips.Load() }
 
+// QuorumStats counts fan-out health incidents. All-zero under healthy
+// primaries; non-zero values mean the cluster is absorbing faults.
+type QuorumStats struct {
+	// RoundTrips is the total number of node exchanges (including
+	// retries and hedges).
+	RoundTrips uint64
+	// Escalations counts standby nodes contacted because a primary
+	// failed, refused, or returned an invalid partial.
+	Escalations uint64
+	// Hedges counts standby nodes contacted because the primaries
+	// stalled past HedgeDelay without failing outright.
+	Hedges uint64
+	// Suspicions counts node exchanges that exhausted their retries and
+	// marked the node suspect (steering later primary selection).
+	Suspicions uint64
+	// SuspectNodes is the number of nodes currently marked suspect.
+	SuspectNodes int
+}
+
+// Stats snapshots the fan-out health counters.
+func (s *QuorumKeyService) Stats() QuorumStats {
+	st := QuorumStats{
+		RoundTrips:  s.trips.Load(),
+		Escalations: s.escalations.Load(),
+		Hedges:      s.hedges.Load(),
+		Suspicions:  s.suspicions.Load(),
+	}
+	for _, nd := range s.nodes {
+		if nd.suspect.Load() {
+			st.SuspectNodes++
+		}
+	}
+	return st
+}
+
 // tryNode performs one exchange with retries and jittered exponential
 // backoff. Protocol refusals (resp.Err) are returned immediately — the
 // node answered; asking again buys nothing. I/O errors are retried. The
@@ -439,6 +478,7 @@ func (s *QuorumKeyService) tryNode(nd *quorumNode, kind MsgKind, frame []byte) (
 		}
 	}
 	nd.suspect.Store(true)
+	s.suspicions.Add(1)
 	return nil, err
 }
 
@@ -517,6 +557,7 @@ func (s *QuorumKeyService) collect(req *Request, need int, handle func(partialRe
 				escalate = true
 			}
 			if escalate && next < len(order) {
+				s.escalations.Add(1)
 				launch(order[next])
 				next++
 				outstanding++
@@ -524,6 +565,7 @@ func (s *QuorumKeyService) collect(req *Request, need int, handle func(partialRe
 		case <-hedge.C:
 			// Primaries are slow but not (yet) failed: hedge to everyone.
 			for ; next < len(order); next++ {
+				s.hedges.Add(1)
 				launch(order[next])
 				outstanding++
 			}

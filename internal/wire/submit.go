@@ -224,9 +224,28 @@ func (s *TrainingServer) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	bin, hdr, err := sniffHello(conn)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.log.Printf("training server: negotiating with %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if bin {
+		s.handleBinary(conn)
+		return
+	}
+	first := true
 	for {
 		var req Request
-		if err := ReadMsg(conn, &req); err != nil {
+		var err error
+		if first {
+			// The sniffed bytes are the first gob frame's length header.
+			err, first = readMsgAfterHeader(conn, hdr, &req), false
+		} else {
+			err = ReadMsg(conn, &req)
+		}
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log.Printf("training server: read from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -238,6 +257,67 @@ func (s *TrainingServer) handle(conn net.Conn) {
 			return
 		}
 		if req.Kind == KindDone {
+			return
+		}
+	}
+}
+
+// handleBinary serves one negotiated binary submission connection.
+// Submission is a serial protocol (batch, ack, batch, ack, …, done), so
+// frames are handled inline; the win over gob is the slab batch
+// encoding, not multiplexing.
+func (s *TrainingServer) handleBinary(conn net.Conn) {
+	bc := newBinConn(conn)
+	for {
+		ftype, id, body, err := bc.readFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("training server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		var werr error
+		switch ftype {
+		case bfSubmit:
+			b, err := decodeEncryptedBatch(body)
+			switch {
+			case err != nil:
+				werr = bc.writeErr(id, fmt.Sprintf("decoding batch: %v", err), false)
+			case b.N <= 0 || b.X == nil || b.Y == nil:
+				werr = bc.writeErr(id, "empty batch", false)
+			default:
+				s.mu.Lock()
+				s.batches = append(s.batches, b)
+				s.mu.Unlock()
+				werr = bc.writeEmpty(bfAck, id)
+			}
+		case bfSubmitConv:
+			b, err := decodeConvBatch(body)
+			switch {
+			case err != nil:
+				werr = bc.writeErr(id, fmt.Sprintf("decoding conv batch: %v", err), false)
+			case b.N <= 0 || len(b.Windows) == 0 || b.Y == nil:
+				werr = bc.writeErr(id, "empty conv batch", false)
+			default:
+				s.mu.Lock()
+				s.convBatches = append(s.convBatches, b)
+				s.mu.Unlock()
+				werr = bc.writeEmpty(bfAck, id)
+			}
+		case bfDone:
+			s.mu.Lock()
+			s.done++
+			s.mu.Unlock()
+			s.signalDone()
+			if err := bc.writeEmpty(bfAck, id); err != nil {
+				s.log.Printf("training server: write to %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		default:
+			werr = bc.writeErr(id, fmt.Sprintf("training server cannot serve frame type %#x", ftype), false)
+		}
+		if werr != nil {
+			s.log.Printf("training server: write to %s: %v", conn.RemoteAddr(), werr)
 			return
 		}
 	}
