@@ -46,12 +46,15 @@ import (
 // ErrBinaryEncoding reports a malformed binary body.
 var ErrBinaryEncoding = errors.New("wire: malformed binary frame body")
 
-// maxBinCount bounds any single decoded count so a hostile 4-byte header
-// cannot trigger a huge allocation before slicing catches the overrun.
+// maxBinCount bounds any single count or dimension on both sides of the
+// wire: the decoder rejects hostile 4-byte headers before they trigger a
+// huge allocation, and the encoder rejects the same values up front so a
+// legitimate oversize payload fails fast locally instead of being
+// refused by every binary peer (the two codecs accept identical domains).
 const maxBinCount = 1 << 24
 
 func appendU32(b []byte, v int) ([]byte, error) {
-	if v < 0 || v > 1<<31 {
+	if v < 0 || v > maxBinCount {
 		return nil, fmt.Errorf("%w: value %d out of range", ErrBinaryEncoding, v)
 	}
 	return binary.BigEndian.AppendUint32(b, uint32(v)), nil
@@ -469,7 +472,27 @@ func appendConvBatch(b []byte, enc *core.EncryptedConvBatch) ([]byte, error) {
 	return b, nil
 }
 
-// decodeConvBatch reads a bfSubmitConv body.
+// mulBounded multiplies two decoded dimensions with overflow-safe
+// arithmetic: both factors and the product must lie in [1, maxBinCount].
+// Because each checked value is at most 2^24 the uint64 product is at
+// most 2^48 and can never wrap, so chained calls stay exact no matter
+// what geometry a hostile frame declares.
+func mulBounded(a, b int) (int, error) {
+	if a < 1 || a > maxBinCount || b < 1 || b > maxBinCount {
+		return 0, fmt.Errorf("%w: conv geometry out of range", ErrBinaryEncoding)
+	}
+	p := uint64(a) * uint64(b)
+	if p > maxBinCount {
+		return 0, fmt.Errorf("%w: conv geometry product %d exceeds limit", ErrBinaryEncoding, p)
+	}
+	return int(p), nil
+}
+
+// decodeConvBatch reads a bfSubmitConv body. The geometry words are
+// attacker-controlled, so windowLen (C·K·K) and numWindows (OutH·OutW)
+// are derived via mulBounded rather than the in-memory helpers — a
+// product that overflows int64 to a negative value would otherwise
+// disable readCtVec's shape checks and panic in the re-slicing below.
 func decodeConvBatch(body []byte) (*core.EncryptedConvBatch, error) {
 	c := &binCursor{b: body}
 	enc := &core.EncryptedConvBatch{}
@@ -483,11 +506,26 @@ func decodeConvBatch(body []byte) (*core.EncryptedConvBatch, error) {
 	if err != nil {
 		return nil, err
 	}
-	windowLen, numWindows := enc.WindowLen(), enc.NumWindows()
-	if enc.N > maxBinCount || numWindows > maxBinCount || windowLen > maxBinCount {
-		return nil, fmt.Errorf("%w: conv geometry out of range", ErrBinaryEncoding)
+	windowLen, err := mulBounded(enc.C, enc.K)
+	if err == nil {
+		windowLen, err = mulBounded(windowLen, enc.K)
 	}
-	flat, err := readCtVec(c, enc.N*numWindows, windowLen)
+	if err != nil {
+		return nil, err
+	}
+	numWindows, err := mulBounded(enc.OutH, enc.OutW)
+	if err != nil {
+		return nil, err
+	}
+	totalWindows, err := mulBounded(enc.N, numWindows)
+	if err != nil {
+		return nil, err
+	}
+	totalPositions, err := mulBounded(enc.N, windowLen)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := readCtVec(c, totalWindows, windowLen)
 	if err != nil {
 		return nil, fmt.Errorf("wire: decoding windows: %w", err)
 	}
@@ -495,7 +533,7 @@ func decodeConvBatch(body []byte) (*core.EncryptedConvBatch, error) {
 	for s := range enc.Windows {
 		enc.Windows[s] = flat[s*numWindows : (s+1)*numWindows]
 	}
-	if flat, err = readCtVec(c, enc.N*windowLen, numWindows); err != nil {
+	if flat, err = readCtVec(c, totalPositions, numWindows); err != nil {
 		return nil, fmt.Errorf("wire: decoding positions: %w", err)
 	}
 	enc.Positions = make([][]*feip.Ciphertext, enc.N)

@@ -9,12 +9,14 @@ package wire
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/big"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -193,6 +195,56 @@ func TestBinaryDecodeRejectsHostileBodies(t *testing.T) {
 	}
 	if _, err := decodePreds([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
 		t.Fatal("oversized preds count accepted")
+	}
+}
+
+// hostileConvBody builds a bfSubmitConv body with the given geometry
+// words and a token payload byte — enough to reach the geometry checks.
+func hostileConvBody(c, h, w, k, stride, pad, outH, outW, classes, n uint32) []byte {
+	var body []byte
+	for _, v := range []uint32{c, h, w, k, stride, pad, outH, outW, classes, n} {
+		body = binary.BigEndian.AppendUint32(body, v)
+	}
+	return append(body, 0) // flags
+}
+
+func TestDecodeConvBatchRejectsOverflowGeometry(t *testing.T) {
+	// Each geometry word individually passes the per-field cap, but the
+	// C·K·K product overflows int64 to a negative value (2^15·2^24·2^24 =
+	// 2^63). The old in-memory product check let that through, disabling
+	// readCtVec's shape checks and panicking in the Positions re-slicing.
+	for name, body := range map[string][]byte{
+		"windowLen overflows int64": hostileConvBody(1<<15, 1, 1, 1<<24, 1, 1, 1, 1, 1, 1),
+		"windowLen over limit":      hostileConvBody(2, 1, 1, 1<<13, 1, 1, 1, 1, 1, 1),
+		"numWindows over limit":     hostileConvBody(1, 1, 1, 1, 1, 1, 1<<13, 1<<13, 1, 1),
+		"total windows over limit":  hostileConvBody(1, 1, 1, 1, 1, 1, 1<<12, 1<<12, 1, 2),
+		"zero channel dim":          hostileConvBody(0, 1, 1, 1, 1, 1, 1, 1, 1, 1),
+		"zero sample count":         hostileConvBody(1, 1, 1, 1, 1, 1, 1, 1, 1, 0),
+	} {
+		if _, err := decodeConvBatch(body); err == nil {
+			t.Errorf("%s: hostile conv geometry accepted", name)
+		} else if !errors.Is(err, ErrBinaryEncoding) {
+			t.Errorf("%s: want ErrBinaryEncoding, got %v", name, err)
+		}
+	}
+}
+
+func TestAppendU32MatchesDecoderLimit(t *testing.T) {
+	// The encoder must reject exactly what the decoder rejects, so an
+	// oversize batch fails fast locally instead of being refused by every
+	// binary peer after the bytes are on the wire.
+	if _, err := appendU32(nil, maxBinCount); err != nil {
+		t.Fatalf("value at the shared cap rejected: %v", err)
+	}
+	if _, err := appendU32(nil, maxBinCount+1); err == nil {
+		t.Fatal("encoder accepted a value the decoder always rejects")
+	}
+	b, err := appendU32(nil, maxBinCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := (&binCursor{b: b}).u32(); err != nil || v != maxBinCount {
+		t.Fatalf("cap value did not round-trip: %d, %v", v, err)
 	}
 }
 
@@ -431,6 +483,106 @@ func TestTrainingServerBinarySubmission(t *testing.T) {
 	}
 	if n := len(ts.ConvBatches()); n != 1 {
 		t.Fatalf("%d conv batches, want 1", n)
+	}
+}
+
+// startTrainingServer boots a TrainingServer and returns it with a raw
+// negotiated binary connection for frame-level tests.
+func startTrainingServerConn(t *testing.T) (*TrainingServer, *binConn) {
+	t.Helper()
+	ts := NewTrainingServer(nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ts.Serve(context.Background(), l)
+	}()
+	t.Cleanup(func() {
+		_ = ts.Close()
+		<-done
+	})
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := negotiateBinary(conn); err != nil {
+		t.Fatal(err)
+	}
+	return ts, newBinConn(conn)
+}
+
+// expectFrame reads one frame and fails unless it has the wanted type/id.
+func expectFrame(t *testing.T, bc *binConn, wantType byte, wantID uint64) []byte {
+	t.Helper()
+	ftype, id, body, err := bc.readFrame()
+	if err != nil {
+		t.Fatalf("reading frame: %v", err)
+	}
+	if ftype != wantType || id != wantID {
+		t.Fatalf("frame type %#x id %d, want %#x id %d", ftype, id, wantType, wantID)
+	}
+	return body
+}
+
+func TestTrainingServerSurvivesHostileConvFrame(t *testing.T) {
+	// The exact remote-DoS frame from the overflow report: crafted conv
+	// geometry must cost the client a bfErr, and the connection (and
+	// process) must keep serving afterwards.
+	ts, bc := startTrainingServerConn(t)
+	hostile := hostileConvBody(1<<15, 1, 1, 1<<24, 1, 1, 1, 1, 1, 1)
+	err := bc.writeFrame(bfSubmitConv, 1, func(b []byte) ([]byte, error) {
+		return append(b, hostile...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := expectFrame(t, bc, bfErr, 1)
+	if msg, _, err := decodeErrBody(body); err != nil || !strings.Contains(msg, "decoding conv batch") {
+		t.Fatalf("error frame %q, %v", msg, err)
+	}
+	// The same connection still completes a submission round.
+	if err := bc.writeEmpty(bfDone, 2); err != nil {
+		t.Fatal(err)
+	}
+	expectFrame(t, bc, bfAck, 2)
+	if ts.panics.Load() != 0 {
+		t.Fatalf("geometry rejection should be an error, not a recovered panic (%d)", ts.panics.Load())
+	}
+}
+
+func TestTrainingServerBinaryPanicContained(t *testing.T) {
+	// A panic anywhere in frame handling (standing in for a future codec
+	// bug) must be answered as a bfErr on that frame — recover, count,
+	// log — never a process crash.
+	orig := decodeSubmitConv
+	decodeSubmitConv = func([]byte) (*core.EncryptedConvBatch, error) { panic("injected decoder bug") }
+	t.Cleanup(func() { decodeSubmitConv = orig })
+
+	ts, bc := startTrainingServerConn(t)
+	err := bc.writeFrame(bfSubmitConv, 3, func(b []byte) ([]byte, error) {
+		return append(b, 0xAB), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := expectFrame(t, bc, bfErr, 3)
+	if msg, _, err := decodeErrBody(body); err != nil || !strings.Contains(msg, "internal error") {
+		t.Fatalf("error frame %q, %v", msg, err)
+	}
+	if got := ts.panics.Load(); got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+	// The connection survives the contained panic.
+	if err := bc.writeEmpty(bfDone, 4); err != nil {
+		t.Fatal(err)
+	}
+	expectFrame(t, bc, bfAck, 4)
+	if ts.Submissions() != 1 {
+		t.Fatalf("%d submissions, want 1", ts.Submissions())
 	}
 }
 

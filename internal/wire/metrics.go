@@ -75,7 +75,11 @@ func (s *PredictionServer) WriteMetrics(w io.Writer) {
 	metricFamily(w, "cryptonn_predict_max_coalesced", "gauge",
 		"Widest coalesced round so far, in requests.",
 		fmt.Sprintf(" %d", st.MaxCoalesced))
-	metricFamily(w, "cryptonn_predict_latency_seconds", "gauge",
+	// Quantile-labeled samples must be TYPE summary: Prometheus tooling
+	// treats the reserved "quantile" label specially based on the type.
+	// The _sum/_count series are omitted — the ring only keeps recent
+	// samples, and partial sums would misreport rates.
+	metricFamily(w, "cryptonn_predict_latency_seconds", "summary",
 		"Recent per-request dispatch latency quantiles.",
 		fmt.Sprintf("{quantile=\"0.5\"} %g", st.P50.Seconds()),
 		fmt.Sprintf("{quantile=\"0.99\"} %g", st.P99.Seconds()))

@@ -9,7 +9,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"cryptonn/internal/core"
 )
@@ -84,7 +86,8 @@ func readAck(conn net.Conn) error {
 // only stores ciphertext batches — the training loop itself runs on top
 // through the usual core.Trainer.
 type TrainingServer struct {
-	log *log.Logger
+	log    *log.Logger
+	panics atomic.Uint64
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -276,50 +279,69 @@ func (s *TrainingServer) handleBinary(conn net.Conn) {
 			}
 			return
 		}
-		var werr error
-		switch ftype {
-		case bfSubmit:
-			b, err := decodeEncryptedBatch(body)
-			switch {
-			case err != nil:
-				werr = bc.writeErr(id, fmt.Sprintf("decoding batch: %v", err), false)
-			case b.N <= 0 || b.X == nil || b.Y == nil:
-				werr = bc.writeErr(id, "empty batch", false)
-			default:
-				s.mu.Lock()
-				s.batches = append(s.batches, b)
-				s.mu.Unlock()
-				werr = bc.writeEmpty(bfAck, id)
-			}
-		case bfSubmitConv:
-			b, err := decodeConvBatch(body)
-			switch {
-			case err != nil:
-				werr = bc.writeErr(id, fmt.Sprintf("decoding conv batch: %v", err), false)
-			case b.N <= 0 || len(b.Windows) == 0 || b.Y == nil:
-				werr = bc.writeErr(id, "empty conv batch", false)
-			default:
-				s.mu.Lock()
-				s.convBatches = append(s.convBatches, b)
-				s.mu.Unlock()
-				werr = bc.writeEmpty(bfAck, id)
-			}
-		case bfDone:
-			s.mu.Lock()
-			s.done++
-			s.mu.Unlock()
-			s.signalDone()
-			if err := bc.writeEmpty(bfAck, id); err != nil {
-				s.log.Printf("training server: write to %s: %v", conn.RemoteAddr(), err)
-			}
-			return
-		default:
-			werr = bc.writeErr(id, fmt.Sprintf("training server cannot serve frame type %#x", ftype), false)
-		}
+		done, werr := s.handleBinaryFrame(bc, ftype, id, body)
 		if werr != nil {
 			s.log.Printf("training server: write to %s: %v", conn.RemoteAddr(), werr)
 			return
 		}
+		if done {
+			return
+		}
+	}
+}
+
+// decodeSubmitConv is an indirection over decodeConvBatch so tests can
+// inject a panicking decoder and prove handleBinaryFrame contains it.
+var decodeSubmitConv = decodeConvBatch
+
+// handleBinaryFrame serves one binary frame; done reports the closing
+// bfDone. A panic reachable from decoding or storing a frame (a codec
+// bug tripped by one client's bytes) must cost that frame an error
+// response, not the whole training process: recover, count, log, keep
+// the connection alive — mirroring PredictionServer.answer.
+func (s *TrainingServer) handleBinaryFrame(bc *binConn, ftype byte, id uint64, body []byte) (done bool, werr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.log.Printf("training server: panic handling frame %#x: %v\n%s", ftype, r, debug.Stack())
+			done, werr = false, bc.writeErr(id, "submission failed: internal error", false)
+		}
+	}()
+	switch ftype {
+	case bfSubmit:
+		b, err := decodeEncryptedBatch(body)
+		switch {
+		case err != nil:
+			return false, bc.writeErr(id, fmt.Sprintf("decoding batch: %v", err), false)
+		case b.N <= 0 || b.X == nil || b.Y == nil:
+			return false, bc.writeErr(id, "empty batch", false)
+		default:
+			s.mu.Lock()
+			s.batches = append(s.batches, b)
+			s.mu.Unlock()
+			return false, bc.writeEmpty(bfAck, id)
+		}
+	case bfSubmitConv:
+		b, err := decodeSubmitConv(body)
+		switch {
+		case err != nil:
+			return false, bc.writeErr(id, fmt.Sprintf("decoding conv batch: %v", err), false)
+		case b.N <= 0 || len(b.Windows) == 0 || b.Y == nil:
+			return false, bc.writeErr(id, "empty conv batch", false)
+		default:
+			s.mu.Lock()
+			s.convBatches = append(s.convBatches, b)
+			s.mu.Unlock()
+			return false, bc.writeEmpty(bfAck, id)
+		}
+	case bfDone:
+		s.mu.Lock()
+		s.done++
+		s.mu.Unlock()
+		s.signalDone()
+		return true, bc.writeEmpty(bfAck, id)
+	default:
+		return false, bc.writeErr(id, fmt.Sprintf("training server cannot serve frame type %#x", ftype), false)
 	}
 }
 
