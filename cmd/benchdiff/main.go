@@ -39,11 +39,13 @@ type result struct {
 }
 
 // defaultGate selects the single-threaded hot-path benchmarks stable
-// enough to gate on: the group arithmetic atoms, the FE primitive
-// costs, the dlog lookup, and the securemat decrypt pipeline. Loopback
-// throughput benchmarks (ServeCoalesced, ServeWire, Fig3 parallel) are
-// load-sensitive and stay report-only by default.
-const defaultGate = `Benchmark(Exp/|MulMont|FixedBasePow.*table|Lookup$|Encrypt/|Decrypt/|BatchedDecrypt)`
+// enough to gate on: the group arithmetic atoms (including the 4-limb
+// Montgomery kernels and the comb-vs-window fixed-base sweep), the FE
+// primitive costs, the dlog lookup, the securemat decrypt pipeline, and
+// the table-cache cold-start load path. Loopback throughput benchmarks
+// (ServeCoalesced, ServeWire, Fig3 parallel) are load-sensitive and
+// stay report-only by default.
+const defaultGate = `Benchmark(Exp/|MulMont|FixedBasePow.*table|CombVsWindow|ColdStart.*load|Lookup$|Encrypt/|Decrypt/|BatchedDecrypt)`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))

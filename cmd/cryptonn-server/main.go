@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"cryptonn/internal/group"
 	"cryptonn/internal/nn"
 	"cryptonn/internal/securemat"
 	"cryptonn/internal/service"
@@ -86,11 +87,21 @@ func run(args []string) error {
 	predictQueue := fs.Int("predict-queue", 0, "prediction dispatch queue bound; full queue rejects with a retryable error (0 = default)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty: disabled)")
 	savePath := fs.String("save", "", "write the trained model checkpoint to this file")
+	tableCache := fs.String("table-cache", "", "persist precomputed group tables in this directory (warm starts skip table derivation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
+	if *tableCache != "" {
+		tc, err := group.OpenTableCache(*tableCache)
+		if err != nil {
+			return err
+		}
+		group.SetTableCache(tc)
+		logger.Printf("table cache: %s", tc.Dir())
+		defer func() { logger.Printf("table cache: %s", tc.Stats()) }()
+	}
 	keys, err := dialKeys(*authorityAddr, *pool, logger)
 	if err != nil {
 		return err

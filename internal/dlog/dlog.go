@@ -82,11 +82,29 @@ func coreFor(params *group.Params, mc *group.MontCtx, mNeed int64) *solverCore {
 	}
 	k := mc.Limbs()
 	c := &solverCore{
-		m:      mNeed,
-		elems:  make([]uint64, mNeed*int64(k)),
-		tab:    newBabyTable(mNeed),
-		giantM: mc.Elem(),
+		m:   mNeed,
+		tab: newBabyTable(mNeed),
 	}
+	// The baby steps and the giant-step element are a pure function of
+	// (group, m), so a configured table cache restores them — elems and
+	// giantM as one payload — and only the hash table (derived data: the
+	// low limb of each element) is rebuilt, with zero group operations.
+	tc := params.TableCache()
+	shape := []int64{mNeed}
+	want := int((mNeed + 1) * int64(k))
+	if tc != nil {
+		if payload, ok := tc.LoadLimbs(params, "dlogcore", nil, shape, want); ok {
+			c.elems = payload[:mNeed*int64(k)]
+			c.giantM = payload[mNeed*int64(k):]
+			for j := int64(0); j < mNeed; j++ {
+				c.tab.insert(c.elems[j*int64(k)], j)
+			}
+			cores[params] = c
+			return c
+		}
+	}
+	c.elems = make([]uint64, mNeed*int64(k))
+	c.giantM = mc.Elem()
 	gM := mc.Elem()
 	mc.ToMont(gM, params.G)
 	cur := mc.Elem()
@@ -98,6 +116,12 @@ func coreFor(params *group.Params, mc *group.MontCtx, mNeed int64) *solverCore {
 	}
 	// cur is now g^m; its inverse is the giant step.
 	mc.ToMont(c.giantM, params.Inv(mc.FromMont(cur)))
+	if tc != nil {
+		payload := make([]uint64, 0, want)
+		payload = append(payload, c.elems...)
+		payload = append(payload, c.giantM...)
+		tc.StoreLimbs(params, "dlogcore", nil, shape, payload)
+	}
 	cores[params] = c
 	return c
 }

@@ -1,0 +1,5 @@
+package feip
+
+// SetCombGeomForTest overrides the per-key comb geometry for the
+// geometry-sweep benchmark.
+func SetCombGeomForTest(h, v int) { keyCombTeeth, keyCombSplit = h, v }

@@ -20,38 +20,44 @@ var (
 
 // MasterPublicKey is mpk = (group, h_i = g^{s_i}). Clients encrypt under it.
 //
-// The key caches a fixed-base exponentiation table per h_i, built lazily
-// on first Encrypt (or eagerly via Precompute) under a sync.Once and then
-// shared read-only across goroutines — the same contract as dlog.Solver.
-// The cache is unexported, so gob/json wire encoding is unaffected; pass
+// The key caches a Lim–Lee comb table per h_i, built lazily on first
+// Encrypt (or eagerly via Precompute) under a sync.Once and then shared
+// read-only across goroutines — the same contract as dlog.Solver. The
+// cache is unexported, so gob/json wire encoding is unaffected; pass
 // *MasterPublicKey around, never a copy.
 type MasterPublicKey struct {
 	Params *group.Params
 	H      []*big.Int
 
-	tabOnce sync.Once
-	hTabs   []*group.FixedBaseTable
+	combOnce sync.Once
+	hCombs   []*group.FixedBaseComb
 }
 
 // Eta returns the vector dimension η the key was set up for.
 func (k *MasterPublicKey) Eta() int { return len(k.H) }
 
-// Precompute builds the per-h_i fixed-base tables now instead of on the
-// first Encrypt. Callers that are about to encrypt many vectors under the
-// same key (securemat, batched clients) use it to keep the table build out
-// of their per-column loop; it is idempotent and concurrency-safe.
-func (k *MasterPublicKey) Precompute() { k.tables() }
+// Precompute builds the per-h_i comb tables now instead of on the first
+// Encrypt. Callers that are about to encrypt many vectors under the same
+// key (securemat, batched clients) use it to keep the table build out of
+// their per-column loop; it is idempotent and concurrency-safe.
+func (k *MasterPublicKey) Precompute() { k.combs() }
 
-func (k *MasterPublicKey) tables() []*group.FixedBaseTable {
-	k.tabOnce.Do(func() {
-		tabs := make([]*group.FixedBaseTable, len(k.H))
-		for i, h := range k.H {
-			// No dense cache: the h_i only ever see full-size nonces.
-			tabs[i] = k.Params.NewFixedBaseTable(h, 0)
+// keyCombTeeth/keyCombSplit overrides the per-key comb geometry when
+// non-zero (package vars so the geometry-sweep benchmark can vary them;
+// zero means the group package's width-adaptive default).
+var keyCombTeeth, keyCombSplit int
+
+func (k *MasterPublicKey) combs() []*group.FixedBaseComb {
+	k.combOnce.Do(func() {
+		// The h_i only ever see full-width nonces, exactly the regime the
+		// comb wins: no recoding, no negative accumulator, b−1 squarings.
+		if keyCombTeeth > 0 {
+			k.hCombs = k.Params.NewFixedBaseCombsGeometry(k.H, keyCombTeeth, keyCombSplit)
+		} else {
+			k.hCombs = k.Params.NewFixedBaseCombs(k.H)
 		}
-		k.hTabs = tabs
 	})
-	return k.hTabs
+	return k.hCombs
 }
 
 // Validate checks group membership of every h_i; it is applied to keys
@@ -153,17 +159,15 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 // to use; an EncryptScratch must not be shared between concurrent
 // encryptions.
 type EncryptScratch struct {
-	pos, neg, gx, inv []uint64
-	hDigits, gDigits  []int16
+	pos, gx, rl []uint64
+	us          []uint32
 }
 
 func (sc *EncryptScratch) ensure(slots, k int) {
 	if need := slots * k; cap(sc.pos) < need {
 		sc.pos = make([]uint64, need)
-		sc.neg = make([]uint64, need)
 	} else {
 		sc.pos = sc.pos[:need]
-		sc.neg = sc.neg[:need]
 	}
 	if cap(sc.gx) < k {
 		sc.gx = make([]uint64, k)
@@ -175,12 +179,12 @@ func (sc *EncryptScratch) ensure(slots, k int) {
 // Encrypt encrypts the signed integer vector x under mpk.
 //
 // The whole ciphertext is computed in the Montgomery domain: the nonce is
-// recoded once into signed windows (shared by all η per-key tables, which
-// have the same width), every h_i^r·g^{x_i} chain is pure limb
-// multiplication against the precomputed tables, the η+1 negative-digit
-// accumulators of the signed recoding are inverted together with a single
-// modular inversion (Montgomery's trick), and each coordinate converts out
-// of the domain exactly once.
+// packed once into limbs (shared by all η per-key combs and the generator
+// comb), every h_i^r·g^{x_i} chain is pure limb multiplication against
+// the comb slabs, and each coordinate converts out of the domain exactly
+// once. The comb evaluation is inversion-free, so the signed-recoding
+// machinery the previous table path needed — one recoding pass plus an
+// η+1-element batch inversion per ciphertext — is gone entirely.
 func Encrypt(mpk *MasterPublicKey, x []int64, r io.Reader) (*Ciphertext, error) {
 	return EncryptWithScratch(mpk, x, r, nil)
 }
@@ -200,7 +204,7 @@ func EncryptWithScratch(mpk *MasterPublicKey, x []int64, r io.Reader, sc *Encryp
 	if err != nil {
 		return nil, fmt.Errorf("feip: encrypt: %w", err)
 	}
-	tabs := mpk.tables()
+	combs := mpk.combs()
 	gt := p.GTable()
 	mc := p.Mont()
 	k := mc.Limbs()
@@ -209,32 +213,27 @@ func EncryptWithScratch(mpk *MasterPublicKey, x []int64, r io.Reader, sc *Encryp
 		sc = &EncryptScratch{}
 	}
 	sc.ensure(eta+1, k)
-	sc.hDigits = tabs[0].Recode(nonce, sc.hDigits)
-	sc.gDigits = gt.Recode(nonce, sc.gDigits)
-	hDigits, gDigits := sc.hDigits, sc.gDigits
-	// pos[i] accumulates the ciphertext coordinate, neg[i] the negative
-	// signed digits' product; slot eta holds ct_0 = g^r.
-	pos, neg, gx := sc.pos, sc.neg, sc.gx
+	sc.rl = p.ScalarLimbs(nonce, sc.rl)
+	// pos[i] accumulates the ciphertext coordinate; slot eta holds
+	// ct_0 = g^r, evaluated on the deeper generator comb.
+	pos, gx, rl := sc.pos, sc.gx, sc.rl
+	// Every per-key comb shares one geometry and one exponent, so the
+	// column patterns are gathered once and reused η times.
+	if eta > 0 {
+		sc.us = combs[0].Gather(rl, sc.us)
+	}
 	for i, xi := range x {
-		pi, ni := pos[i*k:(i+1)*k], neg[i*k:(i+1)*k]
-		tabs[i].PowRecoded(pi, ni, hDigits)
+		pi := pos[i*k : (i+1)*k]
+		combs[i].PowMontGathered(pi, sc.us)
 		gt.PowInt64Mont(gx, xi)
 		mc.MulMont(pi, pi, gx)
 	}
-	gt.PowRecoded(pos[eta*k:], neg[eta*k:], gDigits)
-	var invErr error
-	if sc.inv, invErr = mc.BatchInvMont(neg, sc.inv); invErr != nil {
-		return nil, fmt.Errorf("feip: encrypt: %w", invErr)
-	}
+	p.GComb().PowMontLimbs(pos[eta*k:], rl)
 	ct := make([]*big.Int, eta)
 	for i := range ct {
-		pi := pos[i*k : (i+1)*k]
-		mc.MulMont(pi, pi, neg[i*k:(i+1)*k])
-		ct[i] = mc.FromMont(pi)
+		ct[i] = mc.FromMont(pos[i*k : (i+1)*k])
 	}
-	p0 := pos[eta*k:]
-	mc.MulMont(p0, p0, neg[eta*k:])
-	return &Ciphertext{Ct0: mc.FromMont(p0), Ct: ct}, nil
+	return &Ciphertext{Ct0: mc.FromMont(pos[eta*k:]), Ct: ct}, nil
 }
 
 // Decrypt recovers ⟨x, y⟩ from a ciphertext of x and the function key for

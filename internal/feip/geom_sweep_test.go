@@ -1,0 +1,47 @@
+package feip_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cryptonn/internal/feip"
+	"cryptonn/internal/group"
+)
+
+// BenchmarkGeomSweep sweeps per-key comb geometries over the full
+// η=784 Encrypt, the workload group.keyCombGeometry's defaults are
+// tuned for. It is not in any CI regex — run it by hand when revisiting
+// the geometry choice (e.g. on new hardware). The regimes it exposes:
+// narrow groups are operation-bound (taller teeth win), wide groups are
+// cache-bound across the ~784 cold per-key slabs (compact slabs win) —
+// on the tuning machine (Xeon 2.10 GHz) h=8/v=4 won 64-bit and h=6/v=2
+// won 256-bit, each by ≥20% over the worst sensible choice.
+func BenchmarkGeomSweep(b *testing.B) {
+	for _, bits := range []int{64, 256} {
+		for _, g := range [][2]int{{8, 4}, {8, 2}, {8, 1}, {6, 2}, {6, 1}, {5, 1}, {4, 2}, {4, 1}} {
+			b.Run(fmt.Sprintf("bits=%d/h=%d/v=%d", bits, g[0], g[1]), func(b *testing.B) {
+				feip.SetCombGeomForTest(g[0], g[1])
+				defer feip.SetCombGeomForTest(0, 0)
+				params, err := group.Embedded(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mpk, _, err := feip.Setup(params, 784, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mpk.Precompute()
+				x := make([]int64, 784)
+				for i := range x {
+					x[i] = int64(i%201 - 100)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := feip.Encrypt(mpk, x, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package group_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/group"
+)
+
+// TestCombMatchesExp property-pins the comb evaluator against naive Exp
+// for both group sizes, across the default and several explicit
+// geometries, over edge and random exponents — the same contract every
+// prior accelerated path in this package is held to.
+func TestCombMatchesExp(t *testing.T) {
+	for _, params := range []*group.Params{group.TestParams(), group.PaperParams()} {
+		rng := rand.New(rand.NewSource(31))
+		base := params.PowG(big.NewInt(1234567))
+		exps := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(255), big.NewInt(256),
+			big.NewInt(-1), big.NewInt(-97),
+			new(big.Int).Sub(params.Q, big.NewInt(1)),
+			new(big.Int).Set(params.Q),
+			new(big.Int).Add(params.Q, big.NewInt(5)),
+		}
+		for i := 0; i < 40; i++ {
+			e, err := params.RandScalar(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exps = append(exps, e)
+		}
+		type geom struct{ h, v int }
+		for _, g := range []geom{{0, 0}, {2, 1}, {4, 2}, {8, 4}, {10, 4}, {12, 2}} {
+			var comb *group.FixedBaseComb
+			var err error
+			if g.h == 0 {
+				comb = params.NewFixedBaseComb(base)
+			} else if comb, err = params.NewFixedBaseCombGeometry(base, g.h, g.v); err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range exps {
+				if got, want := comb.Pow(e), params.Exp(base, e); got.Cmp(want) != 0 {
+					h, v := comb.Geometry()
+					t.Fatalf("%s h=%d v=%d: comb.Pow(%v) = %v, want %v", params, h, v, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCombGeometryValidation pins the constructor's bounds.
+func TestCombGeometryValidation(t *testing.T) {
+	params := group.TestParams()
+	base := params.PowG(big.NewInt(7))
+	for _, g := range []struct{ h, v int }{{1, 1}, {17, 1}, {4, 0}, {2, -1}} {
+		if _, err := params.NewFixedBaseCombGeometry(base, g.h, g.v); err == nil {
+			t.Errorf("h=%d v=%d accepted", g.h, g.v)
+		}
+	}
+	if _, err := params.NewFixedBaseCombGeometry(base, 2, 1); err != nil {
+		t.Errorf("h=2 v=1 rejected: %v", err)
+	}
+}
+
+// TestCombPowMontLimbs pins the packed-limb fast path (the batch-encrypt
+// entry point) against the big.Int path, and checks it does not allocate.
+func TestCombPowMontLimbs(t *testing.T) {
+	params := group.PaperParams()
+	mc := params.Mont()
+	base := params.PowG(big.NewInt(424242))
+	comb := params.NewFixedBaseComb(base)
+	rng := rand.New(rand.NewSource(32))
+	dst := mc.Elem()
+	var el []uint64
+	for i := 0; i < 25; i++ {
+		e, err := params.RandScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el = params.ScalarLimbs(e, el)
+		comb.PowMontLimbs(dst, el)
+		if got, want := mc.FromMont(dst), params.Exp(base, e); got.Cmp(want) != 0 {
+			t.Fatalf("PowMontLimbs(%v) = %v, want %v", e, got, want)
+		}
+	}
+	e, _ := params.RandScalar(rng)
+	el = params.ScalarLimbs(e, el)
+	if n := testing.AllocsPerRun(20, func() { comb.PowMontLimbs(dst, el) }); n != 0 {
+		t.Errorf("PowMontLimbs allocates %.1f times per call", n)
+	}
+}
+
+// TestPowGUsesComb pins the rerouted PowG against Exp across the dense,
+// small-integer and full-width regimes on both group sizes.
+func TestPowGUsesComb(t *testing.T) {
+	for _, params := range []*group.Params{group.TestParams(), group.PaperParams()} {
+		rng := rand.New(rand.NewSource(33))
+		exps := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(-1),
+			big.NewInt(group.DenseDefault), big.NewInt(group.DenseDefault + 1),
+			big.NewInt(-group.DenseDefault), big.NewInt(-group.DenseDefault - 1),
+			big.NewInt(1 << 40), new(big.Int).Neg(big.NewInt(1 << 40)),
+			new(big.Int).Sub(params.Q, big.NewInt(1)),
+		}
+		for i := 0; i < 20; i++ {
+			e, err := params.RandScalar(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exps = append(exps, e)
+		}
+		for _, e := range exps {
+			if got, want := params.PowG(e), params.Exp(params.G, e); got.Cmp(want) != 0 {
+				t.Fatalf("%s: PowG(%v) = %v, want %v", params, e, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkCombVsWindow races one full-width fixed-base exponentiation
+// through the comb against the signed-window paths it displaces (PowMont's
+// unsigned split and the generator comb vs the w=8 generator table) on the
+// 256-bit paper group — the gated evidence for the comb layer.
+func BenchmarkCombVsWindow(b *testing.B) {
+	params := group.PaperParams()
+	mc := params.Mont()
+	base := params.PowG(big.NewInt(987654321))
+	e, _ := params.RandScalar(rand.New(rand.NewSource(34)))
+	dst := mc.Elem()
+	el := params.ScalarLimbs(e, nil)
+
+	b.Run("comb_h8v4", func(b *testing.B) {
+		comb, err := params.NewFixedBaseCombGeometry(base, 8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comb.PowMontLimbs(dst, el)
+		}
+	})
+	// The per-key default at this width: compact-slab h=6/v=2, tuned for
+	// the cache-cold batch regime (see keyCombGeometry) — hot it spends
+	// more squarings than h=8/v=4, so it sits between that and the window.
+	b.Run("comb_h6v2", func(b *testing.B) {
+		comb := params.NewFixedBaseComb(base)
+		if h, v := comb.Geometry(); h != 6 || v != 2 {
+			b.Fatalf("per-key default geometry = h=%d v=%d, want 6/2", h, v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comb.PowMontLimbs(dst, el)
+		}
+	})
+	b.Run("window_w5", func(b *testing.B) {
+		tab := params.NewFixedBaseTable(base, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tab.PowMont(dst, e)
+		}
+	})
+	b.Run("gen_comb_h10v4", func(b *testing.B) {
+		comb := params.GComb()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comb.PowMontLimbs(dst, el)
+		}
+	})
+	b.Run("gen_window_w8", func(b *testing.B) {
+		tab := params.GTable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tab.PowMont(dst, e)
+		}
+	})
+}

@@ -73,11 +73,13 @@ type FixedBaseTable struct {
 	// slab[(i*half + d-1)*k : …+k] = base^{d·2^{w·i}} mod P in Montgomery
 	// form, for d in 1..half.
 	slab []uint64
-	// dense[x] = base^x and denseInv[x] = base^{−x} for 0 ≤ x ≤ denseBound;
-	// denseM/denseInvM are the same values as Montgomery limb slabs. All
-	// nil when the table was built without a dense cache.
-	dense     []*big.Int
-	denseInv  []*big.Int
+	// denseM[x·k:(x+1)·k] = base^x and denseInvM likewise base^{−x} for
+	// 0 ≤ x ≤ denseBound, as Montgomery limb slabs; big.Int results are
+	// converted out on demand (the conversion is one REDC, cheaper than
+	// the big.Int copy a lookup allocates anyway, which is why no
+	// standard-domain mirror is kept — it would dominate a cache-warmed
+	// cold start). Both nil when the table was built without a dense
+	// cache; denseInvM additionally nil when the base is not invertible.
 	denseM    []uint64
 	denseInvM []uint64
 }
@@ -131,29 +133,23 @@ func (p *Params) newFixedBaseTable(base *big.Int, denseBound, w int) *FixedBaseT
 		}
 		if i+1 < nw {
 			last := row[(half-1)*k : half*k]
-			mc.MulMont(winBase, last, last)
+			mc.SquareMont(winBase, last)
 		}
 	}
 	if denseBound > 0 {
 		t.denseM = make([]uint64, (denseBound+1)*k)
-		t.dense = make([]*big.Int, denseBound+1)
 		baseM := t.slab[:k] // base^{2^0·1}
 		mc.SetOne(t.denseM[:k])
-		t.dense[0] = big.NewInt(1)
 		for x := 1; x <= denseBound; x++ {
 			mc.MulMont(t.denseM[x*k:(x+1)*k], t.denseM[(x-1)*k:x*k], baseM)
-			t.dense[x] = mc.FromMont(t.denseM[x*k : (x+1)*k])
 		}
 		if inv := p.Inv(base); inv != nil {
 			t.denseInvM = make([]uint64, (denseBound+1)*k)
-			t.denseInv = make([]*big.Int, denseBound+1)
 			invM := mc.Elem()
 			mc.ToMont(invM, inv)
 			mc.SetOne(t.denseInvM[:k])
-			t.denseInv[0] = big.NewInt(1)
 			for x := 1; x <= denseBound; x++ {
 				mc.MulMont(t.denseInvM[x*k:(x+1)*k], t.denseInvM[(x-1)*k:x*k], invM)
-				t.denseInv[x] = mc.FromMont(t.denseInvM[x*k : (x+1)*k])
 			}
 		}
 	}
@@ -169,10 +165,10 @@ func (t *FixedBaseTable) WindowBits() int { return t.w }
 // DenseBound returns the bound of the dense small-exponent cache, 0 when
 // the table was built without one.
 func (t *FixedBaseTable) DenseBound() int {
-	if t.dense == nil {
+	if t.denseM == nil {
 		return 0
 	}
-	return len(t.dense) - 1
+	return len(t.denseM)/t.k - 1
 }
 
 // recodeWindows returns the signed-digit count for window width w: one
@@ -328,7 +324,7 @@ func (t *FixedBaseTable) denseLookupMont(dst []uint64, x int64) bool {
 	}
 	// x > -bound (rather than -x < bound) keeps math.MinInt64 off the
 	// cache path, where -x overflows.
-	if x < 0 && t.denseInvM != nil && x > -int64(len(t.denseInv)) {
+	if x < 0 && t.denseInvM != nil && x > -int64(len(t.denseInvM)/k) {
 		copy(dst[:k], t.denseInvM[int(-x)*k:])
 		return true
 	}
@@ -355,13 +351,18 @@ func (t *FixedBaseTable) Pow(exp *big.Int) *big.Int {
 }
 
 // PowInt64 computes base^x for a machine integer x; the hot path for
-// plaintext exponents. Values within the dense cache are a single copy.
+// plaintext exponents. Values within the dense cache are one REDC plus
+// the result allocation every lookup pays.
 func (t *FixedBaseTable) PowInt64(x int64) *big.Int {
-	if 0 <= x && x < int64(len(t.dense)) {
-		return new(big.Int).Set(t.dense[x])
+	var stack [montStackLimbs]uint64
+	var dst []uint64
+	if t.k <= montStackLimbs {
+		dst = stack[:t.k]
+	} else {
+		dst = make([]uint64, t.k)
 	}
-	if x < 0 && x > -int64(len(t.denseInv)) {
-		return new(big.Int).Set(t.denseInv[-x])
+	if t.denseLookupMont(dst, x) {
+		return t.mc.FromMont(dst)
 	}
 	var e big.Int
 	e.SetInt64(x)
@@ -371,15 +372,18 @@ func (t *FixedBaseTable) PowInt64(x int64) *big.Int {
 // denseLookup serves exp from the dense cache when it is a cached small
 // integer, returning nil on a miss.
 func (t *FixedBaseTable) denseLookup(exp *big.Int) *big.Int {
-	if t.dense == nil || !exp.IsInt64() {
+	if t.denseM == nil || !exp.IsInt64() {
 		return nil
 	}
-	x := exp.Int64()
-	if 0 <= x && x < int64(len(t.dense)) {
-		return new(big.Int).Set(t.dense[x])
+	var stack [montStackLimbs]uint64
+	var dst []uint64
+	if t.k <= montStackLimbs {
+		dst = stack[:t.k]
+	} else {
+		dst = make([]uint64, t.k)
 	}
-	if x < 0 && x > -int64(len(t.denseInv)) {
-		return new(big.Int).Set(t.denseInv[-x])
+	if t.denseLookupMont(dst, exp.Int64()) {
+		return t.mc.FromMont(dst)
 	}
 	return nil
 }
@@ -396,10 +400,12 @@ type LazyTable struct {
 
 // Get returns the cached table, building it for base on first call. Later
 // calls ignore the arguments and return the original table, so a LazyTable
-// must be tied to exactly one base (the key field it caches for).
+// must be tied to exactly one base (the key field it caches for). LazyTable
+// bases are long-lived public-key material, so the build goes through the
+// persisted table cache when one is configured.
 func (l *LazyTable) Get(p *Params, base *big.Int, denseBound int) *FixedBaseTable {
 	l.once.Do(func() {
-		l.tab = p.NewFixedBaseTable(base, denseBound)
+		l.tab = p.cachedFixedBaseTable(base, denseBound, fixedBaseWindow)
 	})
 	return l.tab
 }

@@ -180,6 +180,147 @@ func BenchmarkModMulBig(b *testing.B) {
 	}
 }
 
+// TestMulMont4MatchesGeneric pins the unrolled 4-limb kernel against the
+// generic CIOS loop over random odd moduli spanning the whole 4-limb range
+// (193–256 bits), including in-place aliasing on either operand.
+func TestMulMont4MatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, bits := range []int{193, 200, 224, 255, 256} {
+		c, err := NewMontCtx(randOdd(rng, bits))
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if c.Limbs() != 4 {
+			t.Fatalf("bits=%d: limbs = %d, want 4", bits, c.Limbs())
+		}
+		p := c.Modulus()
+		for trial := 0; trial < 200; trial++ {
+			a := new(big.Int).Rand(rng, p)
+			b := new(big.Int).Rand(rng, p)
+			am, bm, want, got := c.Elem(), c.Elem(), c.Elem(), c.Elem()
+			c.ToMont(am, a)
+			c.ToMont(bm, b)
+			c.mulMontGeneric(want, am, bm)
+			mulMont4(got, am, bm, &c.p4, c.n0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d: mulMont4(%v,%v) = %v, want %v", bits, a, b, got, want)
+				}
+			}
+			// dst aliasing a, then both operands.
+			copy(got, am)
+			mulMont4(got, got, bm, &c.p4, c.n0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d: aliased mulMont4 mismatch", bits)
+				}
+			}
+			c.mulMontGeneric(want, am, am)
+			copy(got, am)
+			mulMont4(got, got, got, &c.p4, c.n0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d: in-place square via mulMont4 mismatch", bits)
+				}
+			}
+		}
+	}
+}
+
+// TestSquareMont4MatchesMul pins the dedicated squaring kernel against the
+// generic loop's a·a across the 4-limb modulus range, plus edge values
+// (0, 1, p−1) where the doubled cross products and the final subtraction
+// are most likely to go wrong.
+func TestSquareMont4MatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, bits := range []int{193, 224, 256} {
+		c, err := NewMontCtx(randOdd(rng, bits))
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		p := c.Modulus()
+		vals := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2),
+			new(big.Int).Sub(p, big.NewInt(1)),
+		}
+		for trial := 0; trial < 200; trial++ {
+			vals = append(vals, new(big.Int).Rand(rng, p))
+		}
+		for _, a := range vals {
+			am, want, got := c.Elem(), c.Elem(), c.Elem()
+			c.ToMont(am, a)
+			c.mulMontGeneric(want, am, am)
+			squareMont4(got, am, &c.p4, c.n0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d: squareMont4(%v) = %v, want %v", bits, a, got, want)
+				}
+			}
+			// SquareMont must allow dst to alias a (ExpMont squares in place).
+			c.SquareMont(am, am)
+			for i := range want {
+				if am[i] != want[i] {
+					t.Fatalf("bits=%d: in-place SquareMont mismatch", bits)
+				}
+			}
+		}
+	}
+}
+
+// TestSquareMontGenericWidths pins SquareMont at non-4-limb widths (where
+// it routes through MulMont) so the dispatch itself is covered.
+func TestSquareMontGenericWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, bits := range []int{64, 128, 512} {
+		c, err := NewMontCtx(randOdd(rng, bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Modulus()
+		for trial := 0; trial < 50; trial++ {
+			a := new(big.Int).Rand(rng, p)
+			am := c.Elem()
+			c.ToMont(am, a)
+			c.SquareMont(am, am)
+			want := new(big.Int).Mul(a, a)
+			want.Mod(want, p)
+			if got := c.FromMont(am); got.Cmp(want) != 0 {
+				t.Fatalf("bits=%d: SquareMont(%v) = %v, want %v", bits, a, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkMulMont4 measures the unrolled 256-bit kernels against the
+// generic CIOS loop they displace — the ≥2× headline of the speed-floor
+// work, and the gated evidence that the dispatch keeps paying.
+func BenchmarkMulMont4(b *testing.B) {
+	params := PaperParams()
+	c := params.Mont()
+	x, _ := params.RandScalar(rand.New(rand.NewSource(4)))
+	xm := c.Elem()
+	c.ToMont(xm, params.PowG(x))
+	dst := c.Elem()
+	b.Run("unrolled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mulMont4(dst, xm, xm, &c.p4, c.n0)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.mulMontGeneric(dst, xm, xm)
+		}
+	})
+	b.Run("square", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			squareMont4(dst, xm, &c.p4, c.n0)
+		}
+	})
+}
+
 // TestBatchInvMontMatchesInv pins the Montgomery-domain batch inversion
 // against per-element ModInverse across batch sizes (including the
 // single-element batch) and both group sizes.

@@ -162,7 +162,7 @@ func (p *Params) strausProdMont(dst []uint64, bases, exps []*big.Int, scratch []
 	for i := (maxBits - 1) / w; i >= 0; i-- {
 		if started {
 			for s := 0; s < w; s++ {
-				mc.MulMont(dst, dst, dst)
+				mc.SquareMont(dst, dst)
 			}
 		}
 		for j, e := range exps {

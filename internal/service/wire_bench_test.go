@@ -141,6 +141,115 @@ func BenchmarkServeWire(b *testing.B) {
 	}
 }
 
+// BenchmarkServeWirePipeline is BenchmarkServeWire's multiplexing
+// sibling: a fixed, small connection count with depth concurrent
+// requests in flight per connection, sweeping depth 1/8/32. The binary
+// codec demultiplexes replies by request id, so one TCP connection can
+// carry a whole client process's concurrency — this pins how much of
+// the conns=N throughput a multiplexing client recovers without paying
+// N sockets. Gob is excluded by construction: its legacy protocol
+// serializes to one outstanding request per connection, so depth>1
+// would only measure lock convoying.
+func BenchmarkServeWirePipeline(b *testing.B) {
+	const (
+		features  = 16
+		classes   = 10
+		batchPool = 8
+		conns     = 16
+	)
+	auth, err := authority.New(group.TestParams(), authority.AllowAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(auth, Config{
+		Features:    features,
+		Classes:     classes,
+		Hidden:      []int{4},
+		Parallelism: 1,
+		Seed:        11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ceng, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Predict(benchBatch(b, ceng, features, classes, 1, 99)); err != nil {
+		b.Fatal(err)
+	}
+	batches := make([]*core.EncryptedBatch, batchPool)
+	for c := range batches {
+		batches[c] = benchBatch(b, ceng, features, classes, 1, int64(c))
+	}
+
+	for _, depth := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			ps, err := wire.NewCoalescingPredictionServer(srv.Predict, nil, wire.DispatcherOptions{
+				MaxCoalescedSamples: 256,
+				MaxDelay:            time.Millisecond,
+				MaxQueue:            2 * conns * depth,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			addr, stop := serveBench(b, ps)
+			defer stop()
+			ccs := make([]*wire.ClientConn, conns)
+			for c := range ccs {
+				if ccs[c], err = wire.DialCodec(addr, wire.CodecBinary); err != nil {
+					b.Fatalf("conn %d: %v", c, err)
+				}
+				defer ccs[c].Close()
+			}
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make([]error, conns*depth)
+			for c := 0; c < conns; c++ {
+				for d := 0; d < depth; d++ {
+					wg.Add(1)
+					go func(w int, cc *wire.ClientConn) {
+						defer wg.Done()
+						enc := batches[w%len(batches)]
+						for i := 0; i < b.N; i++ {
+							backoff := time.Millisecond
+							for {
+								preds, err := cc.Predict(nil, enc, 0)
+								if errors.Is(err, wire.ErrBusy) {
+									time.Sleep(backoff)
+									backoff = min(2*backoff, 50*time.Millisecond)
+									continue
+								}
+								if err == nil && len(preds) != enc.N {
+									err = fmt.Errorf("%d predictions for %d samples", len(preds), enc.N)
+								}
+								if err != nil {
+									errs[w] = fmt.Errorf("request %d: %w", i, err)
+									return
+								}
+								break
+							}
+						}
+					}(c*depth+d, ccs[c])
+				}
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			samples := float64(b.N) * float64(conns) * float64(depth)
+			b.ReportMetric(samples/b.Elapsed().Seconds(), "samples/sec")
+			if st := ps.Stats(); st.Evals > 0 {
+				b.ReportMetric(float64(st.Samples)/float64(st.Evals), "samples/eval")
+			}
+		})
+	}
+}
+
 // serveBench boots ps on a loopback listener and returns its address and
 // a stop function.
 func serveBench(b *testing.B, ps *wire.PredictionServer) (string, func()) {
