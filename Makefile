@@ -74,19 +74,21 @@ chaos:
 	$(GO) test -count 1 -run 'TestChaos|TestFault|TestQuorum|TestNodeServer|TestPartialProofs' \
 		-v ./internal/wire/
 
-# Hot-path benchmarks: group-level multiplication/exponentiation atoms,
-# FEIP primitive costs (sequential + shared-key parallel encryption), the
-# dlog solver (sequential + shared-table parallel), the securemat batched
-# encrypt/decrypt pipelines, the prediction-serving throughput engine
-# (coalesced vs serial over loopback TCP), the threshold-quorum
-# key-derivation overhead vs a single authority, and the paper's Fig. 3
-# element-wise pipeline.
+# Hot-path benchmarks: group-level multiplication/exponentiation atoms
+# (dense + sparse MultiExp), FEIP primitive costs (sequential +
+# shared-key parallel + coordinate-form sparse encryption), the dlog
+# solver (sequential + shared-table parallel + the top-k descending
+# scan), the securemat batched encrypt/decrypt pipelines, the
+# prediction-serving throughput engine (coalesced vs serial over
+# loopback TCP), the threshold-quorum key-derivation overhead vs a
+# single authority, the paper's Fig. 3 element-wise pipeline, and the
+# end-to-end sparse multi-label (ICD) sweep.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExp$$|BenchmarkFixedBasePow|BenchmarkMultiExp|BenchmarkPowGInt64|BenchmarkMulMont|BenchmarkBatchInv|BenchmarkCombVsWindow|BenchmarkColdStart' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/group/
 	$(GO) test -run '^$$' -bench 'BenchmarkEncrypt|BenchmarkDecrypt' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/feip/
-	$(GO) test -run '^$$' -bench 'BenchmarkLookup' \
+	$(GO) test -run '^$$' -bench 'BenchmarkLookup|BenchmarkTopKDecrypt' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/dlog/
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchedDecrypt|BenchmarkEncryptParallel|BenchmarkSecureElementwise$$|BenchmarkEngineDotKeyCache' \
 		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./internal/securemat/
@@ -97,6 +99,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkQuorumIPKeyBatch' \
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/wire/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .
+	$(GO) test -run '^$$' -bench 'BenchmarkICDEndToEnd' \
+		-benchmem -count $(COUNT) -benchtime $(BENCHTIME) ./examples/icd/
 
 # Machine-readable perf snapshot: one short pass over the full bench suite,
 # folded into BENCH_pr<N>.json (qualified benchmark name → ns/op, B/op,

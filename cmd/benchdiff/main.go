@@ -40,12 +40,14 @@ type result struct {
 
 // defaultGate selects the single-threaded hot-path benchmarks stable
 // enough to gate on: the group arithmetic atoms (including the 4-limb
-// Montgomery kernels and the comb-vs-window fixed-base sweep), the FE
-// primitive costs, the dlog lookup, the securemat decrypt pipeline, and
-// the table-cache cold-start load path. Loopback throughput benchmarks
-// (ServeCoalesced, ServeWire, Fig3 parallel) are load-sensitive and
-// stay report-only by default.
-const defaultGate = `Benchmark(Exp/|MulMont|FixedBasePow.*table|CombVsWindow|ColdStart.*load|Lookup$|Encrypt/|Decrypt/|BatchedDecrypt)`
+// Montgomery kernels, the comb-vs-window fixed-base sweep, and the
+// sparse MultiExp variants), the FE primitive costs (dense and
+// coordinate-form sparse encryption), the dlog lookup and the top-k
+// descending scan, the securemat decrypt pipeline, and the table-cache
+// cold-start load path. Loopback throughput benchmarks (ServeCoalesced,
+// ServeWire, Fig3 parallel) and the parallelism-sensitive end-to-end
+// ICD sweep are load-sensitive and stay report-only by default.
+const defaultGate = `Benchmark(Exp/|MulMont|FixedBasePow.*table|CombVsWindow|ColdStart.*load|Lookup$|Encrypt/|Decrypt/|BatchedDecrypt|EncryptSparse/|MultiExpSparse|TopKDecrypt)`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))

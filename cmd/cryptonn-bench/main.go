@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cryptonn/internal/experiments"
@@ -36,8 +37,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cryptonn-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, table3, comm, ablation")
+	exp := fs.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, table3, comm, ablation, icd")
 	arch := fs.String("arch", "mlp", "fig6/table3 architecture: mlp or cnn")
+	etaDensity := fs.String("eta-density", "0.005,0.01,0.05", "icd: comma-separated input densities to sweep")
+	topk := fs.Int("topk", 10, "icd: logits decrypted per sample by the top-k head")
 	paper := fs.Bool("paper", false, "use the paper's parameters (256-bit group, full sweeps; slow)")
 	bits := fs.Int("bits", 0, "override group modulus bits (default: 64, or 256 with -paper)")
 	par := fs.Int("par", -1, "decryption workers (-1 = NumCPU)")
@@ -99,6 +102,62 @@ func run(args []string) error {
 	if err := run("ablation", func() error { return ablationExp(groupBits, *par, *seed) }); err != nil {
 		return err
 	}
+	if err := run("icd", func() error {
+		return icdExp(groupBits, *paper, *etaDensity, *topk, *par, *seed)
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// icdExp prints the sparse extreme multi-label sweep: encryption and
+// decryption cost per input density, sparse path vs dense, top-k head vs
+// full solve.
+func icdExp(bits int, paper bool, densities string, topk, par int, seed int64) error {
+	var ds []float64
+	for _, s := range strings.Split(densities, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad -eta-density %q: %w", s, err)
+		}
+		ds = append(ds, d)
+	}
+	cfg := experiments.ICDConfig{
+		Bits:        bits,
+		Densities:   ds,
+		TopK:        topk,
+		Parallelism: par,
+		Seed:        seed,
+	}
+	if paper {
+		// The ICD-scale shape: 10k vocabulary, 5k codes. The dense
+		// reference at this η dominates wall-clock, so only the sparse
+		// path is measured; drop -paper for the side-by-side comparison.
+		cfg.Eta = 10000
+		cfg.Labels = 5000
+		cfg.SkipDense = true
+	}
+	points, err := experiments.ICD(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encrypted ICD coding (sparse engine, top-%d head)\n", topk)
+	fmt.Printf("%-9s %7s %13s %13s %12s %13s %13s %12s\n",
+		"density", "nnz", "enc-sparse", "enc-dense", "keyderive", "topk", "full-solve", "dlogs")
+	for _, p := range points {
+		encDense, full := "-", "-"
+		if p.EncryptDense > 0 {
+			encDense = p.EncryptDense.Round(10e3).String()
+		}
+		if p.FullCompute > 0 {
+			full = p.FullCompute.Round(10e3).String()
+		}
+		fmt.Printf("%-9g %7d %13s %13s %12s %13s %13s %12s\n",
+			p.Density, p.Nnz, p.EncryptSparse.Round(10e3), encDense,
+			p.KeyDerive.Round(10e3), p.TopKCompute.Round(10e3), full,
+			fmt.Sprintf("%d/%d", p.TopKSolved, p.TopKSolved+p.TopKSkipped))
+	}
+	fmt.Println()
 	return nil
 }
 

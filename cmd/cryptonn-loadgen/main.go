@@ -22,6 +22,12 @@
 // connections do not need thousands of encryptions. Requests rejected
 // under server backpressure (wire.ErrBusy) back off exponentially and
 // retry; retries are counted and reported.
+//
+// For sparse extreme-multi-label workloads (the ICD coding scenario:
+// bag-of-words inputs at <5% density, hundreds of output labels, top-k
+// decryption — see examples/icd and docs/SPARSE.md), this tool measures
+// the serving path only; run `cryptonn-bench -exp icd` for the
+// client-side sparse encryption and top-k decryption sweep.
 package main
 
 import (

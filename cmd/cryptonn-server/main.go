@@ -139,8 +139,9 @@ func run(args []string) error {
 	if *metricsAddr != "" {
 		// The prediction source resolves lazily, so mounting before
 		// training is fine — counters read zero until serving starts.
-		// A quorum key service contributes its fan-out health counters.
-		sources := []wire.MetricsSource{srv.PredictionMetrics()}
+		// The engine contributes sparsity/top-k counters, and a quorum
+		// key service contributes its fan-out health counters.
+		sources := []wire.MetricsSource{srv.PredictionMetrics(), srv.EngineMetrics()}
 		if q, ok := keys.(wire.MetricsSource); ok {
 			sources = append(sources, q)
 		}

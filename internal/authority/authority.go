@@ -173,6 +173,33 @@ func (a *Authority) IPKey(y []int64) (*feip.FunctionKey, error) {
 	return fk, nil
 }
 
+// IPKeySparse derives the support-masked inner-product key for the
+// η-dimensional weight vector equal to vals on idx and zero elsewhere —
+// the securemat.SparseKeyService fast path. The derivation walks only the
+// support (feip.KeyDeriveSparse), and the traffic counter accounts only
+// the nnz scalars a coordinate-form request actually carries, so the
+// communication-overhead measurements see the sparse win too. Note the
+// request reveals the support to the authority; docs/SPARSE.md discusses
+// the leakage.
+func (a *Authority) IPKeySparse(eta int, idx []int, vals []int64) (*feip.FunctionKey, error) {
+	if !a.policy.DotProduct {
+		return nil, fmt.Errorf("%w: dot-product", ErrNotPermitted)
+	}
+	p, err := a.feipPairFor(eta)
+	if err != nil {
+		return nil, err
+	}
+	fk, err := feip.KeyDeriveSparse(a.params, p.msk, idx, vals)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.stats.IPKeys++
+	a.stats.IPKeyScalars += uint64(len(vals))
+	a.mu.Unlock()
+	return fk, nil
+}
+
 // IPKeyBatch derives one inner-product key per weight vector, in order.
 // In process it is a convenience loop; its purpose is to satisfy
 // securemat.BatchKeyService so the in-process and networked authorities
@@ -229,6 +256,7 @@ func (a *Authority) BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey,
 // Interface compliance: the authority is a (batch-capable) key service
 // for the secure matrix computation layer.
 var (
-	_ securemat.KeyService      = (*Authority)(nil)
-	_ securemat.BatchKeyService = (*Authority)(nil)
+	_ securemat.KeyService       = (*Authority)(nil)
+	_ securemat.BatchKeyService  = (*Authority)(nil)
+	_ securemat.SparseKeyService = (*Authority)(nil)
 )

@@ -146,6 +146,9 @@ func KeyDerive(params *group.Params, msk *MasterSecretKey, y []int64) (*Function
 	acc := new(big.Int)
 	var term, yb big.Int // scratch reused across coordinates
 	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
 		yb.SetInt64(yi)
 		term.Mul(msk.S[i], &yb)
 		acc.Add(acc, &term)
@@ -225,8 +228,13 @@ func EncryptWithScratch(mpk *MasterPublicKey, x []int64, r io.Reader, sc *Encryp
 	for i, xi := range x {
 		pi := pos[i*k : (i+1)*k]
 		combs[i].PowMontGathered(pi, sc.us)
-		gt.PowInt64Mont(gx, xi)
-		mc.MulMont(pi, pi, gx)
+		// h_i^r·g^0 = h_i^r: a zero coordinate needs no payload factor, so
+		// skip its table lookup and limb multiplication. Sparse vectors get
+		// part of the coordinate-form win on the legacy dense path for free.
+		if xi != 0 {
+			gt.PowInt64Mont(gx, xi)
+			mc.MulMont(pi, pi, gx)
+		}
 	}
 	p.GComb().PowMontLimbs(pos[eta*k:], rl)
 	ct := make([]*big.Int, eta)

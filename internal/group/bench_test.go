@@ -3,6 +3,7 @@ package group_test
 import (
 	"fmt"
 	"math/big"
+	"math/rand"
 	"testing"
 
 	"cryptonn/internal/group"
@@ -95,6 +96,47 @@ func BenchmarkMultiExp(b *testing.B) {
 			benchSink = acc
 		}
 	})
+}
+
+// BenchmarkMultiExpSparse sweeps the density axis of the ICD workload: a
+// wide exponent vector (η=10000 bag-of-words row) where only density·η
+// coordinates are non-zero. The sparse coordinate-form walk should scale
+// with nnz; the dense walk at the same density pays the η-wide zero scan
+// plus big.Int slab allocation and is included as the reference.
+func BenchmarkMultiExpSparse(b *testing.B) {
+	params := group.TestParams()
+	const eta = 10000
+	bases := make([]*big.Int, eta)
+	for i := range bases {
+		bases[i] = params.PowGInt64(int64(3*i + 7))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, density := range []float64{0.001, 0.01, 0.1} {
+		var idx []int
+		var vals []int64
+		dense := make([]int64, eta)
+		for i := 0; i < eta; i++ {
+			if rng.Float64() < density {
+				v := rng.Int63n(21) - 10
+				if v == 0 {
+					v = 1
+				}
+				dense[i] = v
+				idx = append(idx, i)
+				vals = append(vals, v)
+			}
+		}
+		b.Run(fmt.Sprintf("density=%g/sparse", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = params.MultiExpInt64Sparse(bases, idx, vals)
+			}
+		})
+		b.Run(fmt.Sprintf("density=%g/dense", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = params.MultiExpInt64(bases, dense)
+			}
+		})
+	}
 }
 
 func BenchmarkMul(b *testing.B) {

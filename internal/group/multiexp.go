@@ -45,14 +45,41 @@ func (p *Params) MultiExp(bases, exps []*big.Int) *big.Int {
 
 // MultiExpInt64 is MultiExp for machine-integer exponents; it converts via
 // one backing slab instead of a big.NewInt per coordinate, which matters
-// because FEIP decryption calls it once per output matrix cell.
+// because FEIP decryption calls it once per output matrix cell. Zero
+// exponents are filtered before any big.Int is materialized, so a mostly-
+// zero exps (a sparse weight row against a dense ciphertext) only pays for
+// its non-zero coordinates.
 func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
-	vals := make([]big.Int, len(exps))
-	ptrs := make([]*big.Int, len(exps))
-	for i, e := range exps {
-		ptrs[i] = vals[i].SetInt64(e)
+	if len(bases) != len(exps) {
+		panic("group: MultiExp length mismatch")
 	}
-	return p.MultiExp(bases, ptrs)
+	bs, ptrs := packInt64Nonzero(bases, exps)
+	return p.MultiExp(bs, ptrs)
+}
+
+// packInt64Nonzero gathers the non-zero (base, exponent) pairs into compact
+// slices, backing all exponents with one slab. The order of surviving pairs
+// is preserved, which keeps products bit-identical with the unfiltered walk.
+func packInt64Nonzero(bases []*big.Int, exps []int64) ([]*big.Int, []*big.Int) {
+	nnz := 0
+	for _, e := range exps {
+		if e != 0 {
+			nnz++
+		}
+	}
+	vals := make([]big.Int, nnz)
+	bs := make([]*big.Int, nnz)
+	ptrs := make([]*big.Int, nnz)
+	t := 0
+	for i, e := range exps {
+		if e == 0 {
+			continue
+		}
+		bs[t] = bases[i]
+		ptrs[t] = vals[t].SetInt64(e)
+		t++
+	}
+	return bs, ptrs
 }
 
 // MultiExpInt64MontParts computes the sign-split halves of Π bases[i]^exps[i]
@@ -64,15 +91,58 @@ func (p *Params) MultiExpInt64(bases []*big.Int, exps []int64) *big.Int {
 // cell and keep one slab per worker. bases and exps must have equal length
 // (panics otherwise, like MultiExp).
 func (p *Params) MultiExpInt64MontParts(pos, neg []uint64, bases []*big.Int, exps []int64, scratch []uint64) []uint64 {
-	vals := make([]big.Int, len(exps))
-	ptrs := make([]*big.Int, len(exps))
-	for i, e := range exps {
-		ptrs[i] = vals[i].SetInt64(e)
+	if len(bases) != len(exps) {
+		panic("group: MultiExp length mismatch")
 	}
-	posB, posE, negB, negE := p.splitSigned(bases, ptrs)
+	bs, ptrs := packInt64Nonzero(bases, exps)
+	posB, posE, negB, negE := p.splitSigned(bs, ptrs)
 	scratch = p.strausProdMont(pos, posB, posE, scratch)
 	scratch = p.strausProdMont(neg, negB, negE, scratch)
 	return scratch
+}
+
+// MultiExpInt64Sparse computes Π bases[idx[t]]^vals[t] mod P for a sparse
+// exponent vector given in coordinate form: idx holds the indices of the
+// non-zero entries and vals the matching exponents. The dense equivalent is
+// MultiExpInt64(bases, e) with e[idx[t]] = vals[t] and zeros elsewhere —
+// the two agree exactly, but the sparse walk never touches the η−nnz zero
+// coordinates, so its cost scales with nnz alone. idx and vals must have
+// equal length (panics otherwise, like MultiExp); an out-of-range index
+// panics like any slice access. Duplicate indices multiply both factors in,
+// same as the dense path summing can't express — callers pass canonical
+// (strictly increasing) supports.
+func (p *Params) MultiExpInt64Sparse(bases []*big.Int, idx []int, vals []int64) *big.Int {
+	bs, ptrs := gatherSparse(bases, idx, vals)
+	return p.MultiExp(bs, ptrs)
+}
+
+// MultiExpInt64SparseMontParts is the Montgomery-domain sign-split variant
+// of MultiExpInt64Sparse, the sparse analogue of MultiExpInt64MontParts:
+// pos/neg receive the positive and |negative| partial products and scratch
+// is grown and returned for reuse.
+func (p *Params) MultiExpInt64SparseMontParts(pos, neg []uint64, bases []*big.Int, idx []int, vals []int64, scratch []uint64) []uint64 {
+	bs, ptrs := gatherSparse(bases, idx, vals)
+	posB, posE, negB, negE := p.splitSigned(bs, ptrs)
+	scratch = p.strausProdMont(pos, posB, posE, scratch)
+	scratch = p.strausProdMont(neg, negB, negE, scratch)
+	return scratch
+}
+
+func gatherSparse(bases []*big.Int, idx []int, vals []int64) ([]*big.Int, []*big.Int) {
+	if len(idx) != len(vals) {
+		panic("group: MultiExpSparse index/value length mismatch")
+	}
+	slab := make([]big.Int, len(idx))
+	bs := make([]*big.Int, 0, len(idx))
+	ptrs := make([]*big.Int, 0, len(idx))
+	for t, i := range idx {
+		if vals[t] == 0 {
+			continue
+		}
+		bs = append(bs, bases[i])
+		ptrs = append(ptrs, slab[t].SetInt64(vals[t]))
+	}
+	return bs, ptrs
 }
 
 // splitSigned partitions (base, exponent) pairs into a positive and a

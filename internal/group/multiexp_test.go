@@ -128,6 +128,88 @@ func TestMultiExpInt64MatchesMultiExp(t *testing.T) {
 	}
 }
 
+// sparseCase materializes a coordinate-form sparse vector plus its dense
+// equivalent so sparse entry points can be pinned exactly against dense ones.
+func sparseCase(rng *rand.Rand, n int, density float64) (idx []int, vals []int64, dense []int64) {
+	dense = make([]int64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v := rng.Int63n(2001) - 1000
+			if v == 0 {
+				v = 1
+			}
+			dense[i] = v
+			idx = append(idx, i)
+			vals = append(vals, v)
+		}
+	}
+	return idx, vals, dense
+}
+
+// TestMultiExpSparseMatchesDense pins the sparse coordinate-form entry
+// points value-exact (and, for the Mont variant, limb-exact) against the
+// dense walk across the density spectrum on both embedded group widths.
+func TestMultiExpSparseMatchesDense(t *testing.T) {
+	for _, bits := range []int{64, 256} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			params, err := group.Embedded(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := params.Mont()
+			k := mc.Limbs()
+			rng := rand.New(rand.NewSource(int64(bits) + 9))
+			pos := make([]uint64, k)
+			neg := make([]uint64, k)
+			dPos := make([]uint64, k)
+			dNeg := make([]uint64, k)
+			var scratch []uint64
+			for _, density := range []float64{0, 0.01, 0.5, 1} {
+				for trial := 0; trial < 8; trial++ {
+					n := 1 + rng.Intn(200)
+					bases := randomBases(params, rng, n)
+					idx, vals, dense := sparseCase(rng, n, density)
+					want := params.MultiExpInt64(bases, dense)
+					if got := params.MultiExpInt64Sparse(bases, idx, vals); got.Cmp(want) != 0 {
+						t.Fatalf("density=%g trial %d: sparse %v want %v", density, trial, got, want)
+					}
+					scratch = params.MultiExpInt64SparseMontParts(pos, neg, bases, idx, vals, scratch)
+					scratch = params.MultiExpInt64MontParts(dPos, dNeg, bases, dense, scratch)
+					for i := 0; i < k; i++ {
+						if pos[i] != dPos[i] || neg[i] != dNeg[i] {
+							t.Fatalf("density=%g trial %d: Mont parts diverge at limb %d", density, trial, i)
+						}
+					}
+				}
+			}
+			// Single nonzero degenerates to one Exp; negative entry takes
+			// the sign-split inverse path.
+			bases := randomBases(params, rng, 50)
+			for _, v := range []int64{7, -7} {
+				want := params.Exp(bases[31], big.NewInt(v))
+				if got := params.MultiExpInt64Sparse(bases, []int{31}, []int64{v}); got.Cmp(want) != 0 {
+					t.Fatalf("single nonzero %d: got %v want %v", v, got, want)
+				}
+			}
+			// Explicit zeros inside the coordinate form are dropped.
+			want := params.Exp(bases[3], big.NewInt(5))
+			if got := params.MultiExpInt64Sparse(bases, []int{1, 3, 8}, []int64{0, 5, 0}); got.Cmp(want) != 0 {
+				t.Fatalf("zero-valued coords: got %v want %v", got, want)
+			}
+			// Empty support is the empty product.
+			if got := params.MultiExpInt64Sparse(bases, nil, nil); got.Cmp(big.NewInt(1)) != 0 {
+				t.Fatalf("empty support = %v, want 1", got)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatal("index/value length mismatch did not panic")
+				}
+			}()
+			params.MultiExpInt64Sparse(bases, []int{1, 2}, []int64{1})
+		})
+	}
+}
+
 // TestMultiExpInt64MontPartsMatchesNaive pins the Montgomery-domain
 // sign-split halves: pos/neg must equal the naive product, with the split
 // exactly covering positive and negative exponents.

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"cryptonn/internal/tensor"
+)
+
+// Top-k prediction head for extreme multi-label models: per sample only
+// the k highest-scoring labels matter, both at serving time (the secure
+// pipeline solves just those k discrete logs — securemat.DotTopK) and at
+// evaluation time (precision@k is the standard XMC metric). These are the
+// plaintext counterparts the secure path is pinned against.
+
+// TopKCols returns, for each column (sample) of out, the indices of its k
+// largest entries in descending value order, ties broken by lower index —
+// the same contract as dlog.TopK, so plaintext and secure heads compare
+// element-for-element. k is clamped to the number of rows.
+func TopKCols(out *tensor.Dense, k int) [][]int {
+	if k > out.Rows {
+		k = out.Rows
+	}
+	top := make([][]int, out.Cols)
+	idx := make([]int, out.Rows)
+	for j := 0; j < out.Cols; j++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		col := j
+		sort.SliceStable(idx, func(a, b int) bool {
+			return out.At(idx[a], col) > out.At(idx[b], col)
+		})
+		top[j] = append([]int(nil), idx[:k]...)
+	}
+	return top
+}
+
+// PredictTopK runs the forward pass and returns the top-k label indices
+// per sample — the multi-label generalization of Predict (which is the
+// k = 1 special case).
+func (m *Model) PredictTopK(x *tensor.Dense, k int) ([][]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("nn: top-k count must be positive, got %d", k)
+	}
+	out, err := m.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return TopKCols(out, k), nil
+}
+
+// PrecisionAtK computes P@k against multi-hot targets y (y[i][j] > 0 ⇔
+// label i is relevant for sample j): the fraction of the k predicted
+// labels per sample that are relevant, averaged over samples — the
+// standard extreme multi-label classification metric.
+func (m *Model) PrecisionAtK(x, y *tensor.Dense, k int) (float64, error) {
+	preds, err := m.PredictTopK(x, k)
+	if err != nil {
+		return 0, err
+	}
+	if y.Cols != len(preds) {
+		return 0, fmt.Errorf("%w: %d predictions, %d targets", ErrShape, len(preds), y.Cols)
+	}
+	total := 0.0
+	for j, top := range preds {
+		hit := 0
+		for _, i := range top {
+			if i < y.Rows && y.At(i, j) > 0 {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(top))
+	}
+	return total / float64(len(preds)), nil
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cryptonn/internal/tensor"
+)
+
+func TestTopKColsOrderAndTies(t *testing.T) {
+	out, _ := tensor.FromRows([][]float64{
+		{3, 5},
+		{7, 5},
+		{3, 1},
+		{9, 5},
+	})
+	got := TopKCols(out, 3)
+	want := [][]int{
+		{3, 1, 0}, // 9, 7, then the 3-vs-3 tie breaks to lower index
+		{0, 1, 3}, // three-way tie at 5 keeps index order
+	}
+	for j := range want {
+		if len(got[j]) != len(want[j]) {
+			t.Fatalf("column %d: %v, want %v", j, got[j], want[j])
+		}
+		for r := range want[j] {
+			if got[j][r] != want[j][r] {
+				t.Errorf("column %d: %v, want %v", j, got[j], want[j])
+				break
+			}
+		}
+	}
+	// k larger than the label count clamps.
+	if got := TopKCols(out, 10); len(got[0]) != out.Rows {
+		t.Errorf("clamped top-k returned %d labels, want %d", len(got[0]), out.Rows)
+	}
+}
+
+func TestPredictTopKMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewModel(6, MSE{}, NewDense(6, 8, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(6, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	top, err := m.PredictTopK(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range preds {
+		if top[j][0] != preds[j] {
+			t.Errorf("sample %d: top-1 %d, arg-max %d", j, top[j][0], preds[j])
+		}
+	}
+	if _, err := m.PredictTopK(x, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewModel(3, MSE{}, NewDense(3, 4, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(3, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	top, err := m.PredictTopK(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets agree with the predictions on exactly one of the two labels
+	// of sample 0 and both labels of sample 1: P@2 = (1/2 + 2/2) / 2.
+	y := tensor.NewDense(4, 2)
+	y.Set(top[0][0], 0, 1)
+	y.Set(top[1][0], 1, 1)
+	y.Set(top[1][1], 1, 1)
+	p, err := m.PrecisionAtK(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("P@2 = %g, want 0.75", p)
+	}
+	if _, err := m.PrecisionAtK(x, tensor.NewDense(4, 3), 2); err == nil {
+		t.Error("sample-count mismatch accepted")
+	}
+}

@@ -79,6 +79,10 @@ type engineShared struct {
 	keyOrder     []uint64 // insertion order of hashes, for FIFO eviction
 	hits, misses uint64
 
+	// sparse holds the sparsity observability counters (sparse.go),
+	// shared — like every cache — across WithSolver-derived views.
+	sparse sparseCounters
+
 	encPool sync.Pool // *encScratch
 }
 
@@ -200,6 +204,37 @@ func (e *Engine) FEBOPublic() (*febo.PublicKey, error) {
 type encScratch struct {
 	colBuf []int64
 	fe     feip.EncryptScratch
+	// Sparse-path buffers: the column's coordinate form and the identity
+	// support used for density-promoted columns.
+	idxBuf  []int
+	valBuf  []int64
+	fullIdx []int
+}
+
+// support extracts col's coordinate form into the scratch buffers; the
+// returned slices are valid until the next call on this scratch (the feip
+// layer copies what it keeps).
+func (sc *encScratch) support(col []int64) (idx []int, vals []int64) {
+	sc.idxBuf = sc.idxBuf[:0]
+	sc.valBuf = sc.valBuf[:0]
+	for i, v := range col {
+		if v != 0 {
+			sc.idxBuf = append(sc.idxBuf, i)
+			sc.valBuf = append(sc.valBuf, v)
+		}
+	}
+	return sc.idxBuf, sc.valBuf
+}
+
+// fullSupport returns the identity support [0, rows), cached per scratch.
+func (sc *encScratch) fullSupport(rows int) []int {
+	if len(sc.fullIdx) < rows {
+		sc.fullIdx = make([]int, rows)
+		for i := range sc.fullIdx {
+			sc.fullIdx[i] = i
+		}
+	}
+	return sc.fullIdx[:rows]
 }
 
 // encScratchSource adapts the engine's scratch pool to forEachChunk's

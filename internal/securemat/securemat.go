@@ -159,6 +159,12 @@ type EncryptOptions struct {
 	// DefaultParallelism. The fixed-base tables the workers share are
 	// immutable after Precompute, so any worker count is safe.
 	Parallelism int
+	// SparseThreshold is the per-column density at or below which
+	// Engine.EncryptSparse keeps a compact coordinate-form support; denser
+	// columns are padded to full width so their keys stay shareable. 0
+	// selects DefaultSparseThreshold; negative keeps every column compact.
+	// Ignored by the dense Encrypt path.
+	SparseThreshold float64
 }
 
 // ComputeOptions tunes the secure-computation step.
@@ -167,6 +173,16 @@ type ComputeOptions struct {
 	// engine's default, 1 forces the sequential path (the paper's non-"P"
 	// curves), negative values mean DefaultParallelism.
 	Parallelism int
+	// InputMagnitude is an optional upper bound on |X[i][j]| known to the
+	// caller (the fixed-point quantization range, a word-count cap). When
+	// positive, the sparse top-k head derives a per-column logit ceiling
+	// max_i Σ_{t∈supp}|W[i][t]|·InputMagnitude and starts the descending
+	// dlog scan at the first round that can contain it, skipping the empty
+	// ladder prefix (dlog.TopKMontBounded). The contract mirrors the
+	// solver bound's: an input whose magnitude actually exceeds it can be
+	// missing from the top-k ranking. Zero disables the ceiling; other
+	// compute paths ignore it.
+	InputMagnitude int64
 }
 
 // dotKeys derives one inner-product key per row of w, in one batched

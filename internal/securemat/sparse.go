@@ -1,0 +1,519 @@
+// Sparse secure matrices: coordinate-form encryption, support-masked keys,
+// and top-k decryption for extreme multi-label workloads.
+//
+// A bag-of-words batch (η in the tens of thousands, >95% zeros) pays the
+// dense pipeline's full η+1 exponentiations per column even though almost
+// every coordinate encrypts a zero. The sparse pipeline instead encrypts
+// only each column's support (feip.SparseCiphertext), derives
+// support-masked function keys (⟨w_i, x⟩ = ⟨w_i·1_supp, x⟩ since x
+// vanishes off-support), and — for wide output layers — solves the final
+// discrete logs only for the top-k logits per sample (dlog.TopKMont).
+//
+// The density router: columns at or below EncryptOptions.SparseThreshold
+// carry their true support; denser columns are padded to full width so
+// their masked keys collapse to the ordinary full-row keys, which every
+// promoted column then shares (one derivation per W row instead of one per
+// (row, column)). The threshold trades encryption work against key-request
+// amplification — see docs/SPARSE.md for the measurement behind the
+// default.
+
+package securemat
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/feip"
+)
+
+// DefaultSparseThreshold is the column density at or below which
+// Engine.EncryptSparse keeps a true (compact) support. Above it the column
+// is padded to full width: the encryption saving shrinks linearly while
+// the per-support key amplification cost stays, and at this point the
+// shared full-row keys win (measured in BenchmarkICDEndToEnd's density
+// sweep; see docs/SPARSE.md).
+const DefaultSparseThreshold = 0.25
+
+// SparseKeyService is an optional KeyService extension: derive the
+// inner-product key for a support-restricted weight vector without the
+// caller materializing the η-wide masked vector. The in-process authority
+// implements it; remote services fall back to dense masked IPKey requests.
+type SparseKeyService interface {
+	KeyService
+	// IPKeySparse derives sk = Σ_t vals[t]·s[idx[t]] mod q over the
+	// η-dimensional FEIP master secret: the function key for the weight
+	// vector that equals vals on idx and zero elsewhere.
+	IPKeySparse(eta int, idx []int, vals []int64) (*feip.FunctionKey, error)
+}
+
+// SparseEncryptedMatrix is the coordinate-form counterpart of
+// EncryptedMatrix: one sparse FEIP ciphertext per column, no row or
+// element forms (the sparse pipeline is dot-product– and top-k–oriented).
+type SparseEncryptedMatrix struct {
+	// Rows and Cols are the plaintext dimensions (Rows = η).
+	Rows, Cols int
+	// ColCts[j] encrypts column j of X in coordinate form.
+	ColCts []*feip.SparseCiphertext
+}
+
+// Nnz returns the total number of explicitly encrypted coordinates.
+func (m *SparseEncryptedMatrix) Nnz() int {
+	n := 0
+	for _, ct := range m.ColCts {
+		n += ct.Nnz()
+	}
+	return n
+}
+
+// Density returns the carried fraction of the full Rows×Cols volume.
+func (m *SparseEncryptedMatrix) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.Nnz()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// sparseCounters is the engine's sparsity observability state, updated
+// atomically by the sparse paths and snapshotted by SparseStats.
+type sparseCounters struct {
+	sparseColumns   atomic.Uint64 // columns carried in compact coordinate form
+	promotedColumns atomic.Uint64 // columns padded to full width by the router
+	skippedCoords   atomic.Uint64 // zero coordinates never encrypted
+	encryptedCoords atomic.Uint64 // coordinates actually encrypted (sparse path)
+	maskedKeys      atomic.Uint64 // support-masked function keys derived
+	topkSolved      atomic.Uint64 // dlogs recovered by top-k scans
+	topkSkipped     atomic.Uint64 // dlogs avoided by top-k scans
+	topkRounds      atomic.Uint64 // giant-step rounds executed by top-k scans
+}
+
+// SparseStats is a point-in-time snapshot of the engine's sparse-path
+// counters: how many columns took which route, how much encryption work
+// the support representation skipped, and what the top-k scans solved
+// versus avoided.
+type SparseStats struct {
+	SparseColumns   uint64
+	PromotedColumns uint64
+	SkippedCoords   uint64
+	EncryptedCoords uint64
+	MaskedKeys      uint64
+	TopKSolved      uint64
+	TopKSkipped     uint64
+	TopKRounds      uint64
+}
+
+// SparseStats snapshots the session's sparse-path counters.
+func (e *Engine) SparseStats() SparseStats {
+	c := &e.shared.sparse
+	return SparseStats{
+		SparseColumns:   c.sparseColumns.Load(),
+		PromotedColumns: c.promotedColumns.Load(),
+		SkippedCoords:   c.skippedCoords.Load(),
+		EncryptedCoords: c.encryptedCoords.Load(),
+		MaskedKeys:      c.maskedKeys.Load(),
+		TopKSolved:      c.topkSolved.Load(),
+		TopKSkipped:     c.topkSkipped.Load(),
+		TopKRounds:      c.topkRounds.Load(),
+	}
+}
+
+// WriteMetrics emits the sparse-path counters in Prometheus text format,
+// satisfying wire.MetricsSource structurally so a server can mount the
+// engine on its /metrics endpoint without securemat importing wire.
+func (e *Engine) WriteMetrics(w io.Writer) {
+	s := e.SparseStats()
+	hits, misses := e.DotKeyCacheStats()
+	emit := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	emit("cryptonn_securemat_sparse_columns_total", "Columns encrypted in compact coordinate form.", s.SparseColumns)
+	emit("cryptonn_securemat_promoted_columns_total", "Columns padded to full width by the density router.", s.PromotedColumns)
+	emit("cryptonn_securemat_skipped_coords_total", "Zero coordinates never encrypted by the sparse path.", s.SkippedCoords)
+	emit("cryptonn_securemat_encrypted_coords_total", "Coordinates encrypted by the sparse path.", s.EncryptedCoords)
+	emit("cryptonn_securemat_masked_keys_total", "Support-masked function keys derived.", s.MaskedKeys)
+	emit("cryptonn_securemat_topk_solved_total", "Discrete logs recovered by top-k scans.", s.TopKSolved)
+	emit("cryptonn_securemat_topk_skipped_total", "Discrete logs avoided by top-k scans.", s.TopKSkipped)
+	emit("cryptonn_securemat_topk_rounds_total", "Giant-step rounds executed by top-k scans.", s.TopKRounds)
+	emit("cryptonn_securemat_dotkey_cache_hits_total", "Dot-product key cache hits.", hits)
+	emit("cryptonn_securemat_dotkey_cache_misses_total", "Dot-product key cache misses.", misses)
+}
+
+// EncryptSparse encrypts X column-by-column in coordinate form, routing
+// each column by its density: at or below opts.SparseThreshold (0 selects
+// DefaultSparseThreshold, negative disables promotion entirely) the column
+// carries only its non-zero coordinates; above it the column is padded to
+// full width so its function keys stay support-independent and shared.
+// Only column-orientation dot products are supported on the result, so
+// opts.WithRows is rejected and opts.SkipElems is implied.
+func (e *Engine) EncryptSparse(x [][]int64, opts EncryptOptions) (*SparseEncryptedMatrix, error) {
+	rows, cols, err := Shape(x)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WithRows {
+		return nil, fmt.Errorf("%w: sparse encryption is column-oriented only", ErrShape)
+	}
+	thr := opts.SparseThreshold
+	if thr == 0 {
+		thr = DefaultSparseThreshold
+	} else if thr < 0 {
+		thr = 1 // density can never exceed 1: promotion disabled
+	}
+	workers := e.workers(opts.Parallelism)
+	mpk, err := e.FEIPPublic(rows)
+	if err != nil {
+		return nil, err
+	}
+	mpk.Precompute()
+	newScratch, release := e.encScratchSource()
+	defer release()
+	enc := &SparseEncryptedMatrix{Rows: rows, Cols: cols}
+	enc.ColCts = make([]*feip.SparseCiphertext, cols)
+	var nSparse, nPromoted, nEnc, nSkip uint64
+	counts := &e.shared.sparse
+	err = forEachChunk(cols, 1, workers, newScratch,
+		func(start, end int, sc *encScratch) error {
+			if cap(sc.colBuf) < rows {
+				sc.colBuf = make([]int64, rows)
+			}
+			colBuf := sc.colBuf[:rows]
+			for j := start; j < end; j++ {
+				nnz := 0
+				for i := 0; i < rows; i++ {
+					colBuf[i] = x[i][j]
+					if colBuf[i] != 0 {
+						nnz++
+					}
+				}
+				var idx []int
+				var vals []int64
+				if float64(nnz)/float64(rows) > thr {
+					idx, vals = sc.fullSupport(rows), colBuf
+					atomic.AddUint64(&nPromoted, 1)
+				} else {
+					idx, vals = sc.support(colBuf)
+					atomic.AddUint64(&nSparse, 1)
+					atomic.AddUint64(&nSkip, uint64(rows-nnz))
+				}
+				atomic.AddUint64(&nEnc, uint64(len(idx)))
+				ct, err := feip.EncryptSparseWithScratch(mpk, idx, vals, nil, &sc.fe)
+				if err != nil {
+					return fmt.Errorf("securemat: sparse-encrypting column %d: %w", j, err)
+				}
+				enc.ColCts[j] = ct
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	counts.sparseColumns.Add(nSparse)
+	counts.promotedColumns.Add(nPromoted)
+	counts.skippedCoords.Add(nSkip)
+	counts.encryptedCoords.Add(nEnc)
+	return enc, nil
+}
+
+// SparseDotKeys derives the support-masked keys for W against every column
+// of enc: keys[j][i] is the function key for row i of W masked to column
+// j's support. Columns sharing a support (all promoted columns do) share
+// one derivation. The SparseKeyService fast path sends coordinate-form
+// requests; other services receive ordinary IPKey requests over an η-wide
+// masked buffer that is reused across rows.
+func (e *Engine) SparseDotKeys(enc *SparseEncryptedMatrix, w [][]int64) ([][]*feip.FunctionKey, error) {
+	wRows, wCols, err := Shape(w)
+	if err != nil {
+		return nil, err
+	}
+	if wCols != enc.Rows {
+		return nil, fmt.Errorf("%w: W is %dx%d but encrypted X has %d rows", ErrShape, wRows, wCols, enc.Rows)
+	}
+	ks := e.shared.ks
+	sks, hasSparse := ks.(SparseKeyService)
+	var masked []int64 // dense-fallback scratch, zeroed after each use
+	if !hasSparse {
+		masked = make([]int64, enc.Rows)
+	}
+	colKeys := make([][]*feip.FunctionKey, enc.Cols)
+	bySupport := make(map[string][]*feip.FunctionKey)
+	ys := make([]int64, 0, enc.Rows)
+	var derived uint64
+	for j, ct := range enc.ColCts {
+		if ct == nil {
+			return nil, fmt.Errorf("%w: nil sparse ciphertext %d", ErrShape, j)
+		}
+		if ct.Eta != enc.Rows {
+			return nil, fmt.Errorf("%w: ciphertext %d has η=%d, want %d", ErrShape, j, ct.Eta, enc.Rows)
+		}
+		sig := supportSig(ct.Idx)
+		if keys, ok := bySupport[sig]; ok {
+			colKeys[j] = keys
+			continue
+		}
+		keys := make([]*feip.FunctionKey, wRows)
+		for i, row := range w {
+			ys = ys[:0]
+			for _, c := range ct.Idx {
+				ys = append(ys, row[c])
+			}
+			var fk *feip.FunctionKey
+			var err error
+			if hasSparse {
+				fk, err = sks.IPKeySparse(enc.Rows, ct.Idx, ys)
+			} else {
+				for t, c := range ct.Idx {
+					masked[c] = ys[t]
+				}
+				fk, err = ks.IPKey(masked)
+				for _, c := range ct.Idx {
+					masked[c] = 0
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("securemat: masked key for row %d, column %d: %w", i, j, err)
+			}
+			keys[i] = fk
+		}
+		derived += uint64(wRows)
+		bySupport[sig] = keys
+		colKeys[j] = keys
+	}
+	e.shared.sparse.maskedKeys.Add(derived)
+	return colKeys, nil
+}
+
+// supportSig packs a support into a map key for per-call deduplication.
+func supportSig(idx []int) string {
+	b := make([]byte, 0, len(idx)*3)
+	for _, i := range idx {
+		for u := uint(i); ; u >>= 7 {
+			if u < 0x80 {
+				b = append(b, byte(u))
+				break
+			}
+			b = append(b, byte(u)|0x80)
+		}
+	}
+	return string(b)
+}
+
+// SecureDotSparse computes Z = W·X over a sparse encrypted matrix with the
+// masked keys from SparseDotKeys, solving every output cell's discrete log
+// (the sparse analogue of SecureDot). Each column's numerator walk touches
+// only its nnz coordinates.
+func (e *Engine) SecureDotSparse(enc *SparseEncryptedMatrix, keys [][]*feip.FunctionKey, w [][]int64, opts ComputeOptions) ([][]int64, error) {
+	wRows, _, err := e.checkSparseDot(enc, keys, w)
+	if err != nil {
+		return nil, err
+	}
+	z := newMatrix(wRows, enc.Cols)
+	solver := e.solver
+	err = e.forEachSparseColumn(enc, keys, w, opts, func(j int, gammas []uint64) error {
+		kl := len(gammas) / wRows
+		for i := 0; i < wRows; i++ {
+			v, err := solver.LookupMont(gammas[i*kl : (i+1)*kl])
+			if err != nil {
+				return fmt.Errorf("securemat: cell (%d,%d): %w", i, j, err)
+			}
+			z[i][j] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// DotSparse derives the masked keys and computes the sparse secure product
+// in one call.
+func (e *Engine) DotSparse(enc *SparseEncryptedMatrix, w [][]int64, opts ComputeOptions) ([][]int64, error) {
+	keys, err := e.SparseDotKeys(enc, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.SecureDotSparse(enc, keys, w, opts)
+}
+
+// SecureDotTopK computes, for each sample (column) of the batch, the k
+// largest logits of W·X with their row indices — solving only those k
+// discrete logs per column instead of all wRows (dlog's descending
+// simultaneous scan; exactness argument in internal/dlog/topk.go). The
+// result is one descending []dlog.TopKHit per column. The engine's top-k
+// counters account every scan.
+func (e *Engine) SecureDotTopK(enc *SparseEncryptedMatrix, keys [][]*feip.FunctionKey, w [][]int64, k int, opts ComputeOptions) ([][]dlog.TopKHit, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("securemat: top-k count must be positive, got %d", k)
+	}
+	if _, _, err := e.checkSparseDot(enc, keys, w); err != nil {
+		return nil, err
+	}
+	out := make([][]dlog.TopKHit, enc.Cols)
+	counts := &e.shared.sparse
+	err := e.forEachSparseColumn(enc, keys, w, opts, func(j int, gammas []uint64) error {
+		var hits []dlog.TopKHit
+		var stats dlog.TopKStats
+		var err error
+		if opts.InputMagnitude > 0 {
+			ceiling := logitCeiling(w, enc.ColCts[j].Idx, opts.InputMagnitude, e.solver.Bound())
+			hits, stats, err = e.solver.TopKMontBounded(gammas, k, ceiling)
+		} else {
+			hits, stats, err = e.solver.TopKMont(gammas, k)
+		}
+		if err != nil {
+			return fmt.Errorf("securemat: top-%d of column %d: %w", k, j, err)
+		}
+		counts.topkSolved.Add(uint64(stats.Solved))
+		counts.topkSkipped.Add(uint64(stats.Skipped))
+		counts.topkRounds.Add(uint64(stats.Rounds))
+		out[j] = hits
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DotTopK derives the masked keys and extracts the per-sample top-k in one
+// call — the serving shape of the extreme multi-label head.
+func (e *Engine) DotTopK(enc *SparseEncryptedMatrix, w [][]int64, k int, opts ComputeOptions) ([][]dlog.TopKHit, error) {
+	keys, err := e.SparseDotKeys(enc, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.SecureDotTopK(enc, keys, w, k, opts)
+}
+
+// logitCeiling bounds any output cell of the column with support idx:
+// |⟨w_i, x⟩| ≤ Σ_{t∈supp}|w_i[t]|·mag. Sums are clamped at the solver
+// bound (which already caps every decryptable value), so the plaintext
+// walk cannot overflow and the ceiling never loosens past the bound.
+func logitCeiling(w [][]int64, idx []int, mag, bound int64) int64 {
+	limit := bound / mag
+	var worst int64
+	for _, row := range w {
+		var sum int64
+		for _, c := range idx {
+			v := row[c]
+			if v < 0 {
+				v = -v
+			}
+			sum += v
+			if sum >= limit || sum < 0 {
+				return bound
+			}
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst * mag
+}
+
+func (e *Engine) checkSparseDot(enc *SparseEncryptedMatrix, keys [][]*feip.FunctionKey, w [][]int64) (wRows, wCols int, err error) {
+	wRows, wCols, err = Shape(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	if wCols != enc.Rows {
+		return 0, 0, fmt.Errorf("%w: W is %dx%d but encrypted X has %d rows", ErrShape, wRows, wCols, enc.Rows)
+	}
+	if len(keys) != enc.Cols {
+		return 0, 0, fmt.Errorf("%w: %d key columns for %d encrypted columns", ErrShape, len(keys), enc.Cols)
+	}
+	for j, ks := range keys {
+		if len(ks) != wRows {
+			return 0, 0, fmt.Errorf("%w: %d keys for column %d, want %d", ErrShape, len(ks), j, wRows)
+		}
+	}
+	if e.solver == nil {
+		return 0, 0, ErrNoSolver
+	}
+	return wRows, wCols, nil
+}
+
+// forEachSparseColumn runs the Montgomery-domain decryption pipeline over
+// the columns of a sparse encrypted matrix: for column j it produces the
+// flat slab gammas[i·kl : (i+1)·kl] = g^{⟨w_i, x_j⟩} (Montgomery form) for
+// every row i of W, then hands the slab to sink. Column work parallelizes
+// across opts.Parallelism workers; each column pays one denominator table,
+// nnz-wide numerator ladders, and a single batched inversion — the same
+// pipeline shape as decryptDotBatched with the column as the natural chunk.
+func (e *Engine) forEachSparseColumn(enc *SparseEncryptedMatrix, keys [][]*feip.FunctionKey, w [][]int64, opts ComputeOptions, sink func(j int, gammas []uint64) error) error {
+	mpk, err := e.FEIPPublic(enc.Rows)
+	if err != nil {
+		return err
+	}
+	p := mpk.Params
+	mc := p.Mont()
+	kl := mc.Limbs()
+	wRows := len(w)
+	workers := min(max(e.workers(opts.Parallelism), 1), enc.Cols)
+	type colScratch struct {
+		ys      []int64 // gathered weight values on the column support
+		digits  [][]int16
+		nums    []uint64 // numerator positive halves, wRows elements
+		denNegs []uint64 // denominator negative halves
+		ts      []uint64 // (numNeg · denPos), batch-inverted in place
+		neg     []uint64
+		inv     []uint64
+		straus  []uint64
+	}
+	newScratch := func() *colScratch {
+		return &colScratch{
+			ys:      make([]int64, 0, enc.Rows),
+			digits:  make([][]int16, wRows),
+			nums:    make([]uint64, wRows*kl),
+			denNegs: make([]uint64, wRows*kl),
+			ts:      make([]uint64, wRows*kl),
+			neg:     make([]uint64, kl),
+		}
+	}
+	return forEachChunk(enc.Cols, 1, workers, newScratch,
+		func(start, end int, sc *colScratch) error {
+			for j := start; j < end; j++ {
+				ct := enc.ColCts[j]
+				// Denominators: one fixed-base table per column ct_0, one
+				// signed recoding per (row, column) since masked keys are
+				// support-specific.
+				tab, err := p.NewFixedBaseTableWindow(ct.Ct0, 0, denTableWindow)
+				if err != nil {
+					return fmt.Errorf("securemat: denominator table for column %d: %w", j, err)
+				}
+				for i := 0; i < wRows; i++ {
+					fk := keys[j][i]
+					if fk == nil || fk.K == nil {
+						return fmt.Errorf("%w: empty function key (%d,%d)", ErrShape, i, j)
+					}
+					sc.digits[i] = p.RecodeSigned(fk.K, denTableWindow, sc.digits[i])
+					den := sc.ts[i*kl : (i+1)*kl]
+					tab.PowRecoded(den, sc.denNegs[i*kl:(i+1)*kl], sc.digits[i])
+					// Numerator over the support only: gather w_i on idx.
+					sc.ys = sc.ys[:0]
+					for _, c := range ct.Idx {
+						sc.ys = append(sc.ys, w[i][c])
+					}
+					num := sc.nums[i*kl : (i+1)*kl]
+					sc.straus = p.MultiExpInt64MontParts(num, sc.neg, ct.Ct, sc.ys, sc.straus)
+					// Cell value = numPos·denNeg / (numNeg·denPos): fold the
+					// numerator's negative half into the to-invert term.
+					mc.MulMont(den, den, sc.neg)
+				}
+				var err2 error
+				if sc.inv, err2 = mc.BatchInvMont(sc.ts[:wRows*kl], sc.inv); err2 != nil {
+					return fmt.Errorf("securemat: batch inversion for column %d: %w", j, err2)
+				}
+				for i := 0; i < wRows; i++ {
+					gamma := sc.ts[i*kl : (i+1)*kl]
+					mc.MulMont(gamma, gamma, sc.nums[i*kl:(i+1)*kl])
+					mc.MulMont(gamma, gamma, sc.denNegs[i*kl:(i+1)*kl])
+				}
+				if err := sink(j, sc.ts[:wRows*kl]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}

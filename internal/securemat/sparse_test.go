@@ -1,0 +1,380 @@
+package securemat_test
+
+// The sparse pipeline end to end: coordinate-form encryption with density
+// routing, support-masked keys (sparse fast path AND the dense masked
+// fallback), full sparse decryption pinned against the plaintext product,
+// top-k extraction pinned against the full product, and the observability
+// counters behind /metrics. Runs under `make race` via the securemat
+// package test set.
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"cryptonn/internal/authority"
+	"cryptonn/internal/dlog"
+	"cryptonn/internal/febo"
+	"cryptonn/internal/feip"
+	"cryptonn/internal/securemat"
+)
+
+// sparseMatrix draws a rows×cols matrix with roughly the given fraction of
+// non-zero entries, values in [-10, 10] \ {0}.
+func sparseMatrix(rng *rand.Rand, rows, cols int, density float64) [][]int64 {
+	x := make([][]int64, rows)
+	for i := range x {
+		x[i] = make([]int64, cols)
+		for j := range x[i] {
+			if rng.Float64() < density {
+				v := rng.Int63n(21) - 10
+				if v == 0 {
+					v = 5
+				}
+				x[i][j] = v
+			}
+		}
+	}
+	return x
+}
+
+// maskedOnlyService hides the SparseKeyService extension of the wrapped
+// authority, forcing SparseDotKeys down the dense masked-vector fallback.
+type maskedOnlyService struct {
+	auth *authority.Authority
+}
+
+func (s maskedOnlyService) FEIPPublic(eta int) (*feip.MasterPublicKey, error) {
+	return s.auth.FEIPPublic(eta)
+}
+
+func (s maskedOnlyService) FEBOPublic() (*febo.PublicKey, error) { return s.auth.FEBOPublic() }
+
+func (s maskedOnlyService) IPKey(y []int64) (*feip.FunctionKey, error) { return s.auth.IPKey(y) }
+
+func (s maskedOnlyService) BOKey(cmt *big.Int, op febo.Op, y int64) (*febo.FunctionKey, error) {
+	return s.auth.BOKey(cmt, op, y)
+}
+
+// TestSecureDotSparseMatchesPlain pins the whole sparse pipeline against
+// the plaintext product across densities (0 is an all-zero matrix) on both
+// key-derivation paths: the authority's coordinate-form fast path and the
+// dense masked-vector fallback used when the service lacks IPKeySparse.
+func TestSecureDotSparseMatchesPlain(t *testing.T) {
+	const (
+		rows, cols = 40, 6
+		wRows      = 7
+	)
+	for _, fallback := range []bool{false, true} {
+		name := "sparse-key-service"
+		if fallback {
+			name = "masked-fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			auth, eng := newFixture(t, 1_000_000)
+			if fallback {
+				var err error
+				eng, err = securemat.NewEngine(maskedOnlyService{auth}, securemat.EngineOptions{Solver: eng.Solver()})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(31))
+			w := sparseMatrix(rng, wRows, rows, 0.8)
+			for _, density := range []float64{0, 0.05, 0.5, 1} {
+				x := sparseMatrix(rng, rows, cols, density)
+				enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{})
+				if err != nil {
+					t.Fatalf("density=%g: EncryptSparse: %v", density, err)
+				}
+				z, err := eng.DotSparse(enc, w, securemat.ComputeOptions{})
+				if err != nil {
+					t.Fatalf("density=%g: DotSparse: %v", density, err)
+				}
+				if want := plainDot(w, x); !matEqual(z, want) {
+					t.Fatalf("density=%g: sparse dot diverges from plaintext", density)
+				}
+			}
+		})
+	}
+}
+
+// TestEncryptSparseDensityRouting checks the router: low-density columns
+// keep their true support, high-density columns are padded to full width,
+// a negative threshold disables promotion, and the counters see all of it.
+func TestEncryptSparseDensityRouting(t *testing.T) {
+	auth, eng := newFixture(t, 1_000_000)
+	const rows, cols = 30, 4
+	rng := rand.New(rand.NewSource(8))
+	x := sparseMatrix(rng, rows, cols, 0.06)
+	for i := 0; i < rows; i++ {
+		x[i][0] = int64(i%9 + 1) // force column 0 fully dense
+	}
+	enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{SparseThreshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.ColCts[0].Nnz(); got != rows {
+		t.Errorf("promoted column carries %d coords, want full %d", got, rows)
+	}
+	for j := 1; j < cols; j++ {
+		if enc.ColCts[j].Nnz() >= rows/2 {
+			t.Errorf("column %d not compact: %d coords", j, enc.ColCts[j].Nnz())
+		}
+	}
+	st := eng.SparseStats()
+	if st.PromotedColumns != 1 || st.SparseColumns != cols-1 {
+		t.Errorf("router counters after mixed batch: %+v", st)
+	}
+	if st.EncryptedCoords == 0 || st.SkippedCoords == 0 {
+		t.Errorf("coordinate counters empty: %+v", st)
+	}
+	if st.EncryptedCoords+st.SkippedCoords != uint64(rows*cols) {
+		t.Errorf("encrypted(%d)+skipped(%d) != %d coords", st.EncryptedCoords, st.SkippedCoords, rows*cols)
+	}
+
+	// A negative threshold keeps even the fully dense column in true
+	// coordinate form: same nnz, but counted as sparse-routed.
+	eng2, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.EncryptSparse(x, securemat.EncryptOptions{SparseThreshold: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := eng2.SparseStats(); st2.PromotedColumns != 0 || st2.SparseColumns != cols {
+		t.Errorf("negative threshold still promoted: %+v", st2)
+	}
+
+	// The sparse form is column-oriented only.
+	if _, err := eng.EncryptSparse(x, securemat.EncryptOptions{WithRows: true}); !errors.Is(err, securemat.ErrShape) {
+		t.Errorf("EncryptSparse with WithRows: %v, want ErrShape", err)
+	}
+}
+
+// referenceTopK sorts one output column the way TopK promises: value
+// descending, index ascending on ties, trimmed to k.
+func referenceTopK(col []int64, k int) []dlog.TopKHit {
+	hits := make([]dlog.TopKHit, len(col))
+	for i, v := range col {
+		hits[i] = dlog.TopKHit{Index: i, Value: v}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Value != hits[b].Value {
+			return hits[a].Value > hits[b].Value
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	return hits[:k]
+}
+
+// TestSecureDotTopKMatchesFullProduct pins per-column top-k hits against
+// the full plaintext product and asserts the solved/skipped accounting —
+// the engine-level face of the "solves exactly k dlogs" criterion. The
+// label weights are spaced wider than one giant-step round so every label
+// resolves in its own round and the scan provably skips the losers.
+func TestSecureDotTopKMatchesFullProduct(t *testing.T) {
+	const (
+		rows, cols = 24, 3
+		labels     = 50
+		k          = 5
+	)
+	_, eng := newFixture(t, 1_000_000)
+	spacing := int64(eng.Solver().TableSize()) + 1
+	// x has a single nonzero per column (coordinate 0), so ⟨w_i, x_j⟩ is
+	// exactly w[i][0] — a ladder of distinct, round-separated logits.
+	x := make([][]int64, rows)
+	for i := range x {
+		x[i] = make([]int64, cols)
+	}
+	for j := 0; j < cols; j++ {
+		x[0][j] = 1
+	}
+	rng := rand.New(rand.NewSource(12))
+	w := sparseMatrix(rng, labels, rows, 0.7)
+	for i := 0; i < labels; i++ {
+		w[i][0] = int64(i) * spacing
+	}
+	enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := eng.DotTopK(enc, w, k, securemat.ComputeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainDot(w, x)
+	if len(hits) != cols {
+		t.Fatalf("%d hit columns, want %d", len(hits), cols)
+	}
+	for j := 0; j < cols; j++ {
+		col := make([]int64, labels)
+		for i := range col {
+			col[i] = want[i][j]
+		}
+		ref := referenceTopK(col, k)
+		if len(hits[j]) != k {
+			t.Fatalf("column %d: %d hits, want %d", j, len(hits[j]), k)
+		}
+		for r := 0; r < k; r++ {
+			if hits[j][r] != ref[r] {
+				t.Fatalf("column %d rank %d: got %+v, want %+v", j, r, hits[j][r], ref[r])
+			}
+		}
+	}
+	// The input-magnitude ceiling must not change the ranking, only the
+	// scan's starting round (|x| ≤ 1 here, so the ceiling is valid).
+	keys, err := eng.SparseDotKeys(enc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := eng.SecureDotTopK(enc, keys, w, k, securemat.ComputeOptions{InputMagnitude: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cols; j++ {
+		for r := 0; r < k; r++ {
+			if bounded[j][r] != hits[j][r] {
+				t.Fatalf("ceiling scan diverges at column %d rank %d: %+v vs %+v", j, r, bounded[j][r], hits[j][r])
+			}
+		}
+	}
+
+	st := eng.SparseStats()
+	// Round-separated logits: each scan resolves exactly k labels, twice
+	// (plain and ceiling passes).
+	if st.TopKSolved != uint64(2*k*cols) {
+		t.Errorf("TopKSolved = %d, want exactly %d", st.TopKSolved, 2*k*cols)
+	}
+	if st.TopKSolved+st.TopKSkipped != uint64(2*labels*cols) {
+		t.Errorf("solved(%d)+skipped(%d) != %d cells", st.TopKSolved, st.TopKSkipped, 2*labels*cols)
+	}
+	if st.TopKRounds == 0 {
+		t.Error("TopKRounds stayed zero across three scans")
+	}
+}
+
+// TestSparseKeyTrafficCompact asserts the two key-side wins: coordinate-
+// form requests account only nnz scalars (not η), and columns sharing a
+// support share one derivation.
+func TestSparseKeyTrafficCompact(t *testing.T) {
+	auth, eng := newFixture(t, 1_000_000)
+	const rows, wRows = 50, 3
+	rng := rand.New(rand.NewSource(44))
+	// Two columns with identical supports, one distinct.
+	x := make([][]int64, rows)
+	for i := range x {
+		x[i] = make([]int64, 3)
+	}
+	for _, i := range []int{3, 17, 42} {
+		x[i][0], x[i][1] = int64(i+1), int64(2*i+1)
+	}
+	x[9][2] = 7
+	w := sparseMatrix(rng, wRows, rows, 0.8)
+	enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth.ResetStats()
+	keys, err := eng.SparseDotKeys(enc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same support ⇒ literally the same *FunctionKey pointers.
+	for i := 0; i < wRows; i++ {
+		if keys[0][i] != keys[1][i] {
+			t.Errorf("row %d: columns with identical supports did not share a key", i)
+		}
+	}
+	st := auth.Stats()
+	if want := uint64(2 * wRows); st.IPKeys != want {
+		t.Errorf("authority issued %d keys, want %d (two distinct supports)", st.IPKeys, want)
+	}
+	if want := uint64(wRows * (3 + 1)); st.IPKeyScalars != want {
+		t.Errorf("key traffic %d scalars, want %d (nnz-proportional)", st.IPKeyScalars, want)
+	}
+	if got := eng.SparseStats().MaskedKeys; got != st.IPKeys {
+		t.Errorf("engine counted %d masked keys, authority issued %d", got, st.IPKeys)
+	}
+}
+
+// TestSparseEngineMetrics exercises the structural MetricsSource: every
+// sparse counter family must appear in Prometheus text format.
+func TestSparseEngineMetrics(t *testing.T) {
+	_, eng := newFixture(t, 1_000_000)
+	rng := rand.New(rand.NewSource(2))
+	x := sparseMatrix(rng, 20, 2, 0.1)
+	enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DotTopK(enc, sparseMatrix(rng, 8, 20, 0.5), 2, securemat.ComputeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	eng.WriteMetrics(&sb)
+	out := sb.String()
+	for _, fam := range []string{
+		"cryptonn_securemat_sparse_columns_total",
+		"cryptonn_securemat_promoted_columns_total",
+		"cryptonn_securemat_skipped_coords_total",
+		"cryptonn_securemat_encrypted_coords_total",
+		"cryptonn_securemat_masked_keys_total",
+		"cryptonn_securemat_topk_solved_total",
+		"cryptonn_securemat_topk_skipped_total",
+		"cryptonn_securemat_topk_rounds_total",
+		"cryptonn_securemat_dotkey_cache_hits_total",
+		"cryptonn_securemat_dotkey_cache_misses_total",
+	} {
+		if !strings.Contains(out, "\n"+fam+" ") {
+			t.Errorf("metrics output missing sample for %s", fam)
+		}
+		if !strings.Contains(out, "# TYPE "+fam+" counter") {
+			t.Errorf("metrics output missing TYPE line for %s", fam)
+		}
+	}
+}
+
+// TestSparseDotShapeErrors covers the validation surface of the sparse
+// dot and top-k entry points.
+func TestSparseDotShapeErrors(t *testing.T) {
+	auth, eng := newFixture(t, 1_000_000)
+	rng := rand.New(rand.NewSource(3))
+	x := sparseMatrix(rng, 10, 2, 0.2)
+	enc, err := eng.EncryptSparse(x, securemat.EncryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sparseMatrix(rng, 4, 10, 0.5)
+	keys, err := eng.SparseDotKeys(enc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badW := sparseMatrix(rng, 4, 9, 0.5)
+	if _, err := eng.SparseDotKeys(enc, badW); !errors.Is(err, securemat.ErrShape) {
+		t.Errorf("SparseDotKeys with mismatched W: %v, want ErrShape", err)
+	}
+	if _, err := eng.SecureDotSparse(enc, keys, badW, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
+		t.Errorf("mismatched W: %v, want ErrShape", err)
+	}
+	if _, err := eng.SecureDotTopK(enc, keys[:1], w, 2, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrShape) {
+		t.Errorf("short key set: %v, want ErrShape", err)
+	}
+	if _, err := eng.SecureDotTopK(enc, keys, w, 0, securemat.ComputeOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Encrypt-only sessions cannot decrypt.
+	encOnly, err := securemat.NewEngine(auth, securemat.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encOnly.SecureDotSparse(enc, keys, w, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrNoSolver) {
+		t.Errorf("solverless sparse dot: %v, want ErrNoSolver", err)
+	}
+	if _, err := encOnly.SecureDotTopK(enc, keys, w, 2, securemat.ComputeOptions{}); !errors.Is(err, securemat.ErrNoSolver) {
+		t.Errorf("solverless top-k: %v, want ErrNoSolver", err)
+	}
+}

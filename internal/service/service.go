@@ -316,6 +316,13 @@ func (s *Server) PredictionMetrics() wire.MetricsSource {
 	return serverMetrics{s}
 }
 
+// EngineMetrics returns the server's secure-matrix engine as a metrics
+// source: sparsity counters (columns routed compact vs promoted, skipped
+// coordinates, top-k dlog accounting) and dot-key cache hit rates.
+func (s *Server) EngineMetrics() wire.MetricsSource {
+	return s.engine
+}
+
 // serverMetrics defers the predictSrv lookup to scrape time, so a
 // /metrics endpoint can be mounted before serving starts.
 type serverMetrics struct{ s *Server }
