@@ -15,6 +15,10 @@ SERVE_BENCHTIME ?= 200x
 # sub-benchmark; a smaller fixed round count keeps the full sweep short
 # while still averaging thousands of requests per data point.
 WIRE_BENCHTIME ?= 20x
+# The sparse serving benchmark pays one dense full-solve per round at
+# the paper's 256-bit parameter (~0.3 s each); a small fixed round
+# count keeps the dense leg honest without dominating the suite.
+SPARSE_BENCHTIME ?= 10x
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
@@ -80,7 +84,9 @@ chaos:
 # solver (sequential + shared-table parallel + the top-k descending
 # scan), the securemat batched encrypt/decrypt pipelines, the
 # prediction-serving throughput engine (coalesced vs serial over
-# loopback TCP), the threshold-quorum key-derivation overhead vs a
+# loopback TCP), the sparse serving sweep (dense full-solve vs
+# coordinate-form full ranking vs top-k at the 256-bit parameter), the
+# threshold-quorum key-derivation overhead vs a
 # single authority, the paper's Fig. 3 element-wise pipeline, and the
 # end-to-end sparse multi-label (ICD) sweep.
 bench:
@@ -96,6 +102,8 @@ bench:
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkServeWire' \
 		-count $(COUNT) -benchtime $(WIRE_BENCHTIME) -timeout 30m ./internal/service/
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSparse' \
+		-count $(COUNT) -benchtime $(SPARSE_BENCHTIME) -timeout 30m ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkQuorumIPKeyBatch' \
 		-count $(COUNT) -benchtime $(SERVE_BENCHTIME) ./internal/wire/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) .

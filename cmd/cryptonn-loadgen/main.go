@@ -76,11 +76,22 @@ func run(args []string) error {
 	pipeline := fs.Int("pipeline", 1, "in-flight requests per connection (binary codec only)")
 	batchPool := fs.Int("batch-pool", 0, "distinct encrypted batches shared across clients (0 = min(clients, 8))")
 	sweep := fs.String("sweep", "", "comma-separated client counts to sweep (overrides -clients)")
+	topk := fs.Int("topk", 0, "drive coordinate-form top-k requests, k hits per sample (0: dense full-logit predictions)")
+	sparseDensity := fs.Float64("sparse-density", 0, "non-zero input fraction for top-k requests (0 with -topk: 0.01)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *clients < 1 || *requests < 1 || *samples < 1 || *pipeline < 1 {
 		return errors.New("-clients, -requests, -samples and -pipeline must be positive")
+	}
+	if *sparseDensity < 0 || *sparseDensity > 1 {
+		return errors.New("-sparse-density must be in [0, 1]")
+	}
+	if *sparseDensity > 0 && *topk < 1 {
+		return errors.New("-sparse-density drives the top-k path; set -topk too")
+	}
+	if *topk > 0 && *sparseDensity == 0 {
+		*sparseDensity = 0.01
 	}
 	var counts []int
 	if *sweep != "" {
@@ -124,24 +135,62 @@ func run(args []string) error {
 	if pool <= 0 {
 		pool = min(maxClients, 8)
 	}
-	fmt.Printf("encrypting %d batch(es) of %d sample(s)...\n", pool, *samples)
-	batches := make([]*core.EncryptedBatch, pool)
-	for c := range batches {
-		if batches[c], err = syntheticBatch(eng, *features, *classes, *samples, *seed+int64(c)); err != nil {
-			return err
+	// One requestFunc per pool slot; clients pick theirs round-robin.
+	reqs := make([]requestFunc, pool)
+	if *topk > 0 {
+		fmt.Printf("sparse-encrypting %d batch(es) of %d sample(s) at density %.4f (top-%d)...\n",
+			pool, *samples, *sparseDensity, *topk)
+		k := *topk
+		for c := range reqs {
+			sp, err := syntheticSparseBatch(eng, *features, *classes, *samples, *sparseDensity, *seed+int64(c))
+			if err != nil {
+				return err
+			}
+			reqs[c] = func(cc *wire.ClientConn) error {
+				hits, err := cc.PredictTopK(nil, sp, k, 0)
+				if err != nil {
+					return err
+				}
+				if len(hits) != sp.N {
+					return fmt.Errorf("%d top-k hit lists for %d samples", len(hits), sp.N)
+				}
+				return nil
+			}
+		}
+	} else {
+		fmt.Printf("encrypting %d batch(es) of %d sample(s)...\n", pool, *samples)
+		for c := range reqs {
+			enc, err := syntheticBatch(eng, *features, *classes, *samples, *seed+int64(c))
+			if err != nil {
+				return err
+			}
+			reqs[c] = func(cc *wire.ClientConn) error {
+				preds, err := cc.Predict(nil, enc, 0)
+				if err != nil {
+					return err
+				}
+				if len(preds) != enc.N {
+					return fmt.Errorf("%d predictions for %d samples", len(preds), enc.N)
+				}
+				return nil
+			}
 		}
 	}
 
 	for _, n := range counts {
-		if err := runOnce(*serverAddr, wire.Codec(*codec), n, *requests, *pipeline, *samples, batches, *maxBackoff); err != nil {
+		if err := runOnce(*serverAddr, wire.Codec(*codec), n, *requests, *pipeline, *samples, reqs, *maxBackoff); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// requestFunc issues one prediction (or top-k) request over a connection
+// and validates the response shape.
+type requestFunc func(cc *wire.ClientConn) error
+
 // runOnce drives one client-count measurement and prints its results.
-func runOnce(addr string, codec wire.Codec, clients, requests, pipeline, samples int, batches []*core.EncryptedBatch, maxBackoff time.Duration) error {
+func runOnce(addr string, codec wire.Codec, clients, requests, pipeline, samples int, reqs []requestFunc, maxBackoff time.Duration) error {
 	fmt.Printf("driving %d client(s) × %d request(s) × %d sample(s) against %s (codec %s, pipeline %d)\n",
 		clients, requests, samples, addr, codec, pipeline)
 	reports := make([]clientReport, clients)
@@ -151,7 +200,7 @@ func runOnce(addr string, codec wire.Codec, clients, requests, pipeline, samples
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reports[c] = drive(addr, codec, batches[c%len(batches)], requests, pipeline, maxBackoff)
+			reports[c] = drive(addr, codec, reqs[c%len(reqs)], requests, pipeline, maxBackoff)
 		}()
 	}
 	wg.Wait()
@@ -188,7 +237,7 @@ func dialLoad(addr string, codec wire.Codec) (*wire.ClientConn, error) {
 // drive issues prediction requests on one connection — back-to-back, or
 // `pipeline`-deep when multiplexing — backing off and retrying when the
 // server signals backpressure.
-func drive(addr string, codec wire.Codec, enc *core.EncryptedBatch, requests, pipeline int, maxBackoff time.Duration) clientReport {
+func drive(addr string, codec wire.Codec, req requestFunc, requests, pipeline int, maxBackoff time.Duration) clientReport {
 	var rep clientReport
 	cc, err := dialLoad(addr, codec)
 	if err != nil {
@@ -216,7 +265,7 @@ func drive(addr string, codec wire.Codec, enc *core.EncryptedBatch, requests, pi
 				backoff := time.Millisecond
 				for {
 					start := time.Now()
-					preds, err := cc.Predict(nil, enc, 0)
+					err := req(cc)
 					if errors.Is(err, wire.ErrBusy) {
 						mu.Lock()
 						rep.busyRetries++
@@ -224,9 +273,6 @@ func drive(addr string, codec wire.Codec, enc *core.EncryptedBatch, requests, pi
 						time.Sleep(backoff)
 						backoff = min(backoff*2, maxBackoff)
 						continue
-					}
-					if err == nil && len(preds) != enc.N {
-						err = fmt.Errorf("%d predictions for %d samples", len(preds), enc.N)
 					}
 					mu.Lock()
 					if err != nil {
@@ -269,4 +315,33 @@ func syntheticBatch(eng *securemat.Engine, features, classes, n int, seed int64)
 		return nil, err
 	}
 	return &core.EncryptedBatch{X: encX, Features: features, Classes: classes, N: n}, nil
+}
+
+// syntheticSparseBatch sparse-encrypts a deterministic (features × n)
+// input matrix where roughly `density` of each column is non-zero,
+// mimicking a bag-of-words workload. Only the support is encrypted and
+// shipped, so frames scale with nnz rather than the feature count.
+func syntheticSparseBatch(eng *securemat.Engine, features, classes, n int, density float64, seed int64) (*core.SparseBatch, error) {
+	codec := fixedpoint.Default()
+	nnz := max(1, int(float64(features)*density))
+	x := make([][]float64, features)
+	for i := range x {
+		x[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for t := 0; t < nnz; t++ {
+			// Deterministic pseudo-random support per column.
+			i := (t*2654435761 + j*40503 + int(seed)*97) % features
+			x[i][j] = float64((i*31+j*17+int(seed))%100+1) / 101
+		}
+	}
+	xi, err := codec.EncodeMat(x)
+	if err != nil {
+		return nil, err
+	}
+	encX, err := eng.EncryptSparse(xi, securemat.EncryptOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &core.SparseBatch{X: encX, Features: features, Classes: classes, N: n}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,13 +69,29 @@ func main() {
 	}
 }
 
+// parseBuckets parses the -sparse-buckets comma list.
+func parseBuckets(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -sparse-buckets entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("cryptonn-server", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7002", "listen address for client submissions")
 	authorityAddr := fs.String("authority", "127.0.0.1:7001", "authority address, or comma-separated cluster node list")
 	features := fs.Int("features", 784, "input feature count")
 	classes := fs.Int("classes", 10, "output classes")
-	hidden := fs.Int("hidden", 32, "hidden units in the first (secure) layer")
+	hidden := fs.Int("hidden", 32, "hidden units in the first (secure) layer (0: bias-free linear model, enables top-k serving)")
 	epochs := fs.Int("epochs", 2, "training epochs")
 	lr := fs.Float64("lr", 0.3, "SGD learning rate")
 	expect := fs.Int("expect", 1, "number of client submissions to wait for")
@@ -85,6 +102,7 @@ func run(args []string) error {
 	coalesceSamples := fs.Int("coalesce-samples", 0, "max samples per coalesced prediction evaluation (0 = default)")
 	coalesceDelay := fs.Duration("coalesce-delay", 0, "how long the first prediction request of a round waits for stragglers (0 = greedy)")
 	predictQueue := fs.Int("predict-queue", 0, "prediction dispatch queue bound; full queue rejects with a retryable error (0 = default)")
+	sparseBuckets := fs.String("sparse-buckets", "", "comma-separated support-padding size classes for coordinate-form key requests (empty: no padding)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty: disabled)")
 	savePath := fs.String("save", "", "write the trained model checkpoint to this file")
 	tableCache := fs.String("table-cache", "", "persist precomputed group tables in this directory (warm starts skip table derivation)")
@@ -112,23 +130,34 @@ func run(args []string) error {
 		}
 	}()
 
-	srv, err := service.New(keys, service.Config{
-		Features:    *features,
-		Classes:     *classes,
-		Hidden:      []int{*hidden},
-		Epochs:      *epochs,
-		LR:          *lr,
-		Expect:      *expect,
-		Parallelism: *par,
-		Seed:        *seed,
-		ComputeLoss: true,
+	buckets, err := parseBuckets(*sparseBuckets)
+	if err != nil {
+		return err
+	}
+	cfg := service.Config{
+		Features:      *features,
+		Classes:       *classes,
+		Epochs:        *epochs,
+		LR:            *lr,
+		Expect:        *expect,
+		Parallelism:   *par,
+		Seed:          *seed,
+		ComputeLoss:   true,
+		SparseBuckets: buckets,
 		Serving: wire.DispatcherOptions{
 			MaxCoalescedSamples: *coalesceSamples,
 			MaxDelay:            *coalesceDelay,
 			MaxQueue:            *predictQueue,
 		},
 		Logger: logger,
-	})
+	}
+	if *hidden == 0 {
+		cfg.Linear = true
+		logger.Printf("linear model: bias-free %dx%d scorer, top-k serving enabled", *classes, *features)
+	} else {
+		cfg.Hidden = []int{*hidden}
+	}
+	srv, err := service.New(keys, cfg)
 	if err != nil {
 		return err
 	}

@@ -83,6 +83,38 @@ func (c *Client) EncryptBatch(x, y *tensor.Dense) (*EncryptedBatch, error) {
 	}, nil
 }
 
+// SparseBatch is one prediction batch in coordinate form, the shape the
+// extreme multi-label serving path moves: each sample column carries only
+// its non-zero coordinates (feip.SparseCiphertext), and the server answers
+// with per-sample top-k (label, value) pairs instead of a full logit row.
+type SparseBatch struct {
+	// X holds the sparse encrypted input matrix (features × batch).
+	X *securemat.SparseEncryptedMatrix
+	// Features, Classes and N record the plaintext dimensions.
+	Features, Classes, N int
+}
+
+// EncryptSparseBatch encrypts a (features × batch) input matrix in
+// coordinate form for top-k prediction serving. The density router applies
+// per column (securemat.DefaultSparseThreshold), so accidentally dense
+// columns are promoted to full width rather than shipped as a giant
+// coordinate list. classes records the server-side label dimension the
+// client expects (used by geometry-compatible coalescing).
+func (c *Client) EncryptSparseBatch(x *tensor.Dense, classes int) (*SparseBatch, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("core: class count must be positive, got %d", classes)
+	}
+	xi, err := c.Codec.EncodeMat(x.Rows2D())
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding inputs: %w", err)
+	}
+	encX, err := c.Engine.EncryptSparse(xi, securemat.EncryptOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: sparse-encrypting inputs: %w", err)
+	}
+	return &SparseBatch{X: encX, Features: x.Rows, Classes: classes, N: x.Cols}, nil
+}
+
 // maskOneHot permutes the rows of a one-hot label matrix by the label map.
 func (c *Client) maskOneHot(y *tensor.Dense) (*tensor.Dense, error) {
 	if c.Labels == nil {

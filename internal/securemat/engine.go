@@ -17,6 +17,7 @@ package securemat
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"cryptonn/internal/dlog"
@@ -48,6 +49,17 @@ type EngineOptions struct {
 	// negative disables caching (every call derives fresh keys — used by
 	// the key-traffic measurements, which count authority requests).
 	DotKeyCache int
+	// SparseBuckets, when non-empty, turns on the support-hiding padding
+	// policy for sparse key derivation: every coordinate-form key request
+	// SparseDotKeys sends is first widened with zero-valued coordinates to
+	// the smallest bucket ≥ the column's nnz (or to full width when the
+	// support exceeds every bucket), so the authority — and any observer
+	// of the key-request wire — sees bucketed support sizes, never exact
+	// ones. Zero-valued coordinates leave the derived key numerically
+	// unchanged (sk = Σ vals·s[idx] and the pads contribute 0), so
+	// decryption is unaffected. Values are normalized (sorted, deduped);
+	// non-positive buckets are rejected.
+	SparseBuckets []int
 }
 
 // Engine is a session handle over a KeyService: it memoizes public keys,
@@ -83,6 +95,10 @@ type engineShared struct {
 	// shared — like every cache — across WithSolver-derived views.
 	sparse sparseCounters
 
+	// buckets is the normalized support-padding size-class ladder
+	// (EngineOptions.SparseBuckets); empty disables padding.
+	buckets []int
+
 	encPool sync.Pool // *encScratch
 }
 
@@ -106,16 +122,46 @@ func NewEngine(ks KeyService, opts EngineOptions) (*Engine, error) {
 	if cap < 0 {
 		cap = 0
 	}
+	buckets, err := normalizeBuckets(opts.SparseBuckets)
+	if err != nil {
+		return nil, err
+	}
 	return &Engine{
 		shared: &engineShared{
 			ks:       ks,
 			feipPKs:  make(map[int]*feip.MasterPublicKey),
 			keyCap:   cap,
 			keyCache: make(map[uint64][]*dotKeyEntry),
+			buckets:  buckets,
 		},
 		solver: opts.Solver,
 		par:    opts.Parallelism,
 	}, nil
+}
+
+// normalizeBuckets validates and canonicalizes a padding ladder: a copy,
+// ascending, duplicate-free. Non-positive bucket sizes are configuration
+// errors (a zero bucket can never hold a support).
+func normalizeBuckets(buckets []int) ([]int, error) {
+	if len(buckets) == 0 {
+		return nil, nil
+	}
+	out := make([]int, 0, len(buckets))
+	for _, b := range buckets {
+		if b <= 0 {
+			return nil, fmt.Errorf("securemat: sparse bucket size must be positive, got %d", b)
+		}
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w], nil
 }
 
 // Keys returns the session's underlying KeyService, for callers that need

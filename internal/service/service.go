@@ -29,6 +29,20 @@ type Config struct {
 	// Hidden lists the hidden-layer widths of the MLP (default: one
 	// layer of 32 units).
 	Hidden []int
+	// Linear selects a bias-free single-layer (linear softmax) model;
+	// Hidden must be empty. This is the model shape the coordinate-form
+	// top-k serving path requires: secure scoring computes pure inner
+	// products ⟨W_i, x⟩, so the served model carries no hidden layers and
+	// no bias (the bias accumulated during training is dropped when
+	// training completes — softmax is monotone, so W·X ranking is the
+	// model's ranking).
+	Linear bool
+	// SparseBuckets, when non-empty, enables the support-hiding padding
+	// policy for coordinate-form key requests: supports are widened with
+	// zero-valued coordinates to the smallest listed bucket before key
+	// derivation, so the authority observes bucketed nnz, never exact
+	// ones (see securemat.EngineOptions.SparseBuckets).
+	SparseBuckets []int
 	// Epochs is the number of passes over the collected batches
 	// (default 2, the paper's Table III setting).
 	Epochs int
@@ -67,7 +81,10 @@ func (c *Config) fillDefaults() error {
 	if c.Classes <= 0 {
 		return fmt.Errorf("service: classes must be positive, got %d", c.Classes)
 	}
-	if len(c.Hidden) == 0 {
+	if c.Linear && len(c.Hidden) > 0 {
+		return fmt.Errorf("service: linear model cannot have hidden layers, got %v", c.Hidden)
+	}
+	if len(c.Hidden) == 0 && !c.Linear {
 		c.Hidden = []int{32}
 	}
 	if c.Epochs == 0 {
@@ -126,6 +143,11 @@ type Server struct {
 	// Predict callers. It also guards the lazily built predictTrainer.
 	predictMu sync.Mutex
 	predictTr *core.Trainer
+	// Lazily built top-k serving state: the engine view whose solver
+	// covers the serving feed-forward bound, and the clamp-encoded
+	// first-layer weights it scores with.
+	topkEng *securemat.Engine
+	topkW   [][]int64
 
 	// predictSrv is the live prediction server, set while
 	// ServePredictions runs; PredictionMetrics exposes it for /metrics.
@@ -145,7 +167,10 @@ func New(keys securemat.KeyService, cfg Config) (*Server, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	engine, err := securemat.NewEngine(keys, securemat.EngineOptions{Parallelism: cfg.Parallelism})
+	engine, err := securemat.NewEngine(keys, securemat.EngineOptions{
+		Parallelism:   cfg.Parallelism,
+		SparseBuckets: cfg.SparseBuckets,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("service: building engine: %w", err)
 	}
@@ -251,6 +276,15 @@ func (s *Server) train(ctx context.Context, batches []*core.EncryptedBatch) (*Re
 		}
 	}
 	report.TrainTime = time.Since(start)
+	if s.cfg.Linear {
+		// The top-k serving path scores with pure inner products, so a
+		// linear serving model is bias-free: drop the bias the SGD steps
+		// accumulated (see Config.Linear).
+		layer0 := s.model.Layers[0].(*nn.DenseLayer)
+		for i := range layer0.B.Data {
+			layer0.B.Data[i] = 0
+		}
+	}
 	s.cfg.Logger.Printf("training finished in %s over %d batches",
 		report.TrainTime.Round(time.Millisecond), len(batches))
 	return report, nil
@@ -280,6 +314,94 @@ func (s *Server) Predict(enc *core.EncryptedBatch) ([]int, error) {
 	return res.MaskedPreds, nil
 }
 
+// PredictTopK runs the coordinate-form serving path: score a sparse
+// encrypted batch against the model's (linear) weight matrix and return
+// each sample's k largest logits as descending (label, value) pairs,
+// solving only those k discrete logs per sample. Values are in the
+// product fixed-point domain (Config.Codec.DecodeProduct recovers
+// floats). It requires Config.Linear — the secure scorer computes pure
+// inner products, so hidden layers and biases have no secure counterpart
+// here. Safe for concurrent use; like Predict, evaluations serialize on
+// the server's prediction lock.
+func (s *Server) PredictTopK(sp *core.SparseBatch, k int) ([][]dlog.TopKHit, error) {
+	if sp == nil || sp.X == nil {
+		return nil, errors.New("service: empty sparse batch")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("service: top-k count must be positive, got %d", k)
+	}
+	if sp.Features != s.cfg.Features {
+		return nil, fmt.Errorf("service: sparse batch has %d features, model expects %d", sp.Features, s.cfg.Features)
+	}
+	if sp.Classes != s.cfg.Classes {
+		return nil, fmt.Errorf("service: sparse batch has %d classes, model expects %d", sp.Classes, s.cfg.Classes)
+	}
+	if k > s.cfg.Classes {
+		k = s.cfg.Classes
+	}
+	s.predictMu.Lock()
+	defer s.predictMu.Unlock()
+	if s.topkW == nil {
+		if err := s.buildTopKServing(); err != nil {
+			return nil, err
+		}
+	}
+	// The logit ceiling |⟨W_i, x⟩| ≤ Σ_supp|W_i|·f holds because clients
+	// encode |x| ≤ 1 at the codec factor f; it lets the descending top-k
+	// scan skip the empty ladder prefix above the reachable range.
+	return s.topkEng.DotTopK(sp.X, s.topkW, k, securemat.ComputeOptions{
+		Parallelism:    s.cfg.Parallelism,
+		InputMagnitude: s.cfg.Codec.Factor(),
+	})
+}
+
+// buildTopKServing assembles the lazily built top-k serving state under
+// predictMu: validates the model shape, clamp-encodes the weights (the
+// exact transform the trainer applies before secure computation), and
+// builds an engine view whose solver bound covers the serving
+// feed-forward — ⟨W_i, x⟩ at |x| ≤ 1, |W| ≤ MaxWeight, like
+// newPredictTrainer's.
+func (s *Server) buildTopKServing() error {
+	if !s.cfg.Linear || len(s.model.Layers) != 1 {
+		return errors.New("service: top-k serving requires a linear model (Config.Linear)")
+	}
+	layer0, ok := s.model.Layers[0].(*nn.DenseLayer)
+	if !ok {
+		return errors.New("service: top-k serving requires a dense first layer")
+	}
+	for _, b := range layer0.B.Data {
+		if b != 0 {
+			return errors.New("service: top-k serving requires a bias-free model")
+		}
+	}
+	limit := s.cfg.MaxWeight
+	clamped := layer0.W.Apply(func(v float64) float64 {
+		if v > limit {
+			return limit
+		}
+		if v < -limit {
+			return -limit
+		}
+		return v
+	})
+	wInt, err := s.cfg.Codec.EncodeMat(clamped.Rows2D())
+	if err != nil {
+		return fmt.Errorf("service: encoding serving weights: %w", err)
+	}
+	mpk, err := s.engine.FEIPPublic(s.cfg.Features)
+	if err != nil {
+		return fmt.Errorf("service: fetching public key: %w", err)
+	}
+	bound := core.SolverBound(s.cfg.Codec, s.cfg.Features, 1, s.cfg.MaxWeight, 1)
+	solver, err := dlog.NewSolver(mpk.Params, bound)
+	if err != nil {
+		return fmt.Errorf("service: building dlog solver: %w", err)
+	}
+	s.topkEng = s.engine.WithSolver(solver)
+	s.topkW = wInt
+	return nil
+}
+
 // ServePredictions exposes the trained model as a prediction throughput
 // engine: it answers wire.RequestPrediction calls until the context is
 // cancelled, coalescing concurrent requests from any number of clients
@@ -288,7 +410,12 @@ func (s *Server) Predict(enc *core.EncryptedBatch) ([]int, error) {
 // after Run has completed; the predictions reflect the model's current
 // weights.
 func (s *Server) ServePredictions(ctx context.Context, l net.Listener) error {
-	ps, err := wire.NewCoalescingPredictionServer(s.Predict, s.cfg.Logger, s.cfg.Serving)
+	opts := s.cfg.Serving
+	// Top-k requests route through the same dispatcher; a non-linear
+	// server answers them with a per-request error rather than refusing
+	// the kind outright.
+	opts.TopK = s.PredictTopK
+	ps, err := wire.NewCoalescingPredictionServer(s.Predict, s.cfg.Logger, opts)
 	if err != nil {
 		return err
 	}

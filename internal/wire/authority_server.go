@@ -240,6 +240,13 @@ func (s *AuthorityServer) checkLimits(req *Request) error {
 		if len(req.Y) > s.maxEta {
 			return over("|y|", len(req.Y))
 		}
+	case KindIPKeySparse:
+		if req.Eta > s.maxEta {
+			return over("η", req.Eta)
+		}
+		if len(req.Idx) > s.maxEta {
+			return over("support size", len(req.Idx))
+		}
 	case KindIPKeyBatch, KindPartialIPKeyBatch:
 		if len(req.YBatch) > s.maxEta {
 			return over("batch size", len(req.YBatch))
@@ -282,6 +289,12 @@ func (s *AuthorityServer) dispatch(req *Request) *Response {
 		}
 	case KindIPKey:
 		fk, err := s.auth.IPKey(req.Y)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{K: fk.K}
+	case KindIPKeySparse:
+		fk, err := s.auth.IPKeySparse(req.Eta, req.Idx, req.Y)
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
@@ -398,7 +411,7 @@ func (s *AuthorityServer) dispatchNode(req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{KBatch: ks, NodeIndex: nd.Index(), ProofC: proof.C, ProofZ: proof.Z}
-	case KindIPKey, KindIPKeyBatch, KindBOKey, KindBOKeyBatch:
+	case KindIPKey, KindIPKeySparse, KindIPKeyBatch, KindBOKey, KindBOKeyBatch:
 		return &Response{Err: fmt.Sprintf("wire: cluster node holds only a key share; %s requires a T-quorum", req.Kind)}
 	default:
 		return &Response{Err: fmt.Sprintf("wire: authority node cannot serve %s", req.Kind)}

@@ -28,8 +28,23 @@ package wire
 //	  u8 flags (1=Y) | ctvec windows (N·outH·outW, eta=C·K·K) |
 //	  ctvec positions (N·C·K·K, eta=outH·outW) | [EncryptedMatrix Y]
 //
+//	sparse ciphertext vector section ("spctvec", coordinate form —
+//	supports may differ per ciphertext, so nnz is per-entry):
+//	  u32 count | u32 eta | u16 elemLen |
+//	  count × ( u32 nnz | ct0 [elemLen] |
+//	            nnz × ( u32 idx | ct [elemLen] ) )
+//	  indices are strictly increasing and < eta; nnz ≤ eta
+//
+//	SparseBatch (bfPredictTopK):
+//	  u32 k | u32 features | u32 classes | u32 n |
+//	  spctvec colCts (count=n, eta=features)
+//
 //	predictions (bfPreds):
 //	  u32 count | count × i32 class
+//
+//	top-k hits (bfTopK):
+//	  u32 nSamples | nSamples × ( u32 h |
+//	    h × ( u32 label | i64 value, two's complement ) )
 
 import (
 	"encoding/binary"
@@ -38,6 +53,7 @@ import (
 	"math/big"
 
 	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
 	"cryptonn/internal/febo"
 	"cryptonn/internal/feip"
 	"cryptonn/internal/securemat"
@@ -221,6 +237,127 @@ func readCtVec(c *binCursor, wantCount, wantEta int) ([]*feip.Ciphertext, error)
 		}
 		for j := range ct.Ct {
 			if ct.Ct[j], err = c.big(width); err != nil {
+				return nil, err
+			}
+		}
+		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// appendSparseCtVec writes a spctvec section for coordinate-form FEIP
+// ciphertexts sharing one dimension.
+func appendSparseCtVec(b []byte, cts []*feip.SparseCiphertext, eta int) ([]byte, error) {
+	width := 0
+	for _, ct := range cts {
+		if ct == nil || ct.Eta != eta || len(ct.Idx) != len(ct.Ct) || len(ct.Idx) > eta {
+			return nil, fmt.Errorf("%w: sparse ciphertext geometry mismatch", ErrBinaryEncoding)
+		}
+		var err error
+		if width, err = elemWidth(width, ct.Ct0); err != nil {
+			return nil, err
+		}
+		if width, err = elemWidth(width, ct.Ct...); err != nil {
+			return nil, err
+		}
+	}
+	width = max(width, 1)
+	var err error
+	if b, err = appendU32(b, len(cts)); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, eta); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(width))
+	for _, ct := range cts {
+		if b, err = appendU32(b, len(ct.Idx)); err != nil {
+			return nil, err
+		}
+		b = appendBig(b, ct.Ct0, width)
+		prev := -1
+		for t, idx := range ct.Idx {
+			if idx <= prev || idx >= eta {
+				return nil, fmt.Errorf("%w: support index %d out of order or range", ErrBinaryEncoding, idx)
+			}
+			prev = idx
+			if b, err = appendU32(b, idx); err != nil {
+				return nil, err
+			}
+			b = appendBig(b, ct.Ct[t], width)
+		}
+	}
+	return b, nil
+}
+
+// readSparseCtVec reads a spctvec section, requiring the declared shape
+// when wantCount/wantEta are non-negative. Supports are validated to the
+// canonical form feip.SparseCiphertext.Validate demands: strictly
+// increasing, in-range indices with nnz ≤ eta — a hostile frame fails here
+// with ErrBinaryEncoding instead of reaching the crypto layer.
+func readSparseCtVec(c *binCursor, wantCount, wantEta int) ([]*feip.SparseCiphertext, error) {
+	count, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	eta, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	width, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if wantCount >= 0 && count != wantCount {
+		return nil, fmt.Errorf("%w: %d sparse ciphertexts, want %d", ErrBinaryEncoding, count, wantCount)
+	}
+	if wantEta >= 0 && eta != wantEta {
+		return nil, fmt.Errorf("%w: sparse ciphertext dimension %d, want %d", ErrBinaryEncoding, eta, wantEta)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("%w: zero element width", ErrBinaryEncoding)
+	}
+	if eta < 1 || eta >= maxBinCount {
+		return nil, fmt.Errorf("%w: sparse dimension %d out of range", ErrBinaryEncoding, eta)
+	}
+	// Every entry costs at least its nnz word plus ct0, so a hostile count
+	// far beyond the body fails before the per-entry loop allocates.
+	if minNeed := count * (4 + width); count > 0 && (minNeed/count != 4+width || minNeed > len(c.b)-c.off) {
+		return nil, fmt.Errorf("%w: section larger than body", ErrBinaryEncoding)
+	}
+	cts := make([]*feip.SparseCiphertext, count)
+	for i := range cts {
+		nnz, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nnz > eta {
+			return nil, fmt.Errorf("%w: nnz %d exceeds dimension %d", ErrBinaryEncoding, nnz, eta)
+		}
+		// The pair list must fit the remaining body before allocation; the
+		// division re-check keeps a hostile nnz·(4+width) product exact
+		// (mulBounded discipline: nnz ≤ eta < 2^24 and width < 2^16, so the
+		// product cannot wrap, but the check is cheap and local).
+		need := nnz * (4 + width)
+		if nnz > 0 && (need/nnz != 4+width || need > len(c.b)-c.off-width) {
+			return nil, fmt.Errorf("%w: sparse pair list larger than body", ErrBinaryEncoding)
+		}
+		ct := &feip.SparseCiphertext{Eta: eta, Idx: make([]int, nnz), Ct: make([]*big.Int, nnz)}
+		if ct.Ct0, err = c.big(width); err != nil {
+			return nil, err
+		}
+		prev := -1
+		for t := 0; t < nnz; t++ {
+			idx, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			if idx <= prev || idx >= eta {
+				return nil, fmt.Errorf("%w: support index %d out of order or range at pair %d", ErrBinaryEncoding, idx, t)
+			}
+			prev = idx
+			ct.Idx[t] = idx
+			if ct.Ct[t], err = c.big(width); err != nil {
 				return nil, err
 			}
 		}
@@ -549,6 +686,132 @@ func decodeConvBatch(body []byte) (*core.EncryptedConvBatch, error) {
 		return nil, err
 	}
 	return enc, nil
+}
+
+// --- SparseBatch (bfPredictTopK) -------------------------------------------
+
+// appendSparseBatch writes the bfPredictTopK body: the requested k and the
+// coordinate-form batch.
+func appendSparseBatch(b []byte, k int, sp *core.SparseBatch) ([]byte, error) {
+	if sp == nil || sp.X == nil {
+		return nil, fmt.Errorf("%w: nil sparse batch", ErrBinaryEncoding)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: top-k count %d out of range", ErrBinaryEncoding, k)
+	}
+	if sp.X.Rows != sp.Features || sp.X.Cols != sp.N {
+		return nil, fmt.Errorf("%w: sparse matrix is %dx%d, batch claims %dx%d", ErrBinaryEncoding, sp.X.Rows, sp.X.Cols, sp.Features, sp.N)
+	}
+	var err error
+	if b, err = appendU32(b, k); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, sp.Features); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, sp.Classes); err != nil {
+		return nil, err
+	}
+	if b, err = appendU32(b, sp.N); err != nil {
+		return nil, err
+	}
+	if b, err = appendSparseCtVec(b, sp.X.ColCts, sp.Features); err != nil {
+		return nil, fmt.Errorf("wire: encoding sparse X: %w", err)
+	}
+	return b, nil
+}
+
+// decodeSparseBatch reads a bfPredictTopK body.
+func decodeSparseBatch(body []byte) (int, *core.SparseBatch, error) {
+	c := &binCursor{b: body}
+	k, err := c.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if k < 1 {
+		return 0, nil, fmt.Errorf("%w: top-k count %d out of range", ErrBinaryEncoding, k)
+	}
+	sp := &core.SparseBatch{}
+	if sp.Features, err = c.u32(); err != nil {
+		return 0, nil, err
+	}
+	if sp.Classes, err = c.u32(); err != nil {
+		return 0, nil, err
+	}
+	if sp.N, err = c.u32(); err != nil {
+		return 0, nil, err
+	}
+	cts, err := readSparseCtVec(c, sp.N, sp.Features)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: decoding sparse X: %w", err)
+	}
+	sp.X = &securemat.SparseEncryptedMatrix{Rows: sp.Features, Cols: sp.N, ColCts: cts}
+	if err := c.done(); err != nil {
+		return 0, nil, err
+	}
+	return k, sp, nil
+}
+
+// --- top-k hits (bfTopK) ---------------------------------------------------
+
+// appendTopKHits writes the bfTopK body: one descending hit list per
+// sample.
+func appendTopKHits(b []byte, hits [][]dlog.TopKHit) ([]byte, error) {
+	var err error
+	if b, err = appendU32(b, len(hits)); err != nil {
+		return nil, err
+	}
+	for _, hs := range hits {
+		if b, err = appendU32(b, len(hs)); err != nil {
+			return nil, err
+		}
+		for _, h := range hs {
+			if b, err = appendU32(b, h.Index); err != nil {
+				return nil, err
+			}
+			b = binary.BigEndian.AppendUint64(b, uint64(h.Value))
+		}
+	}
+	return b, nil
+}
+
+// decodeTopKHits reads a bfTopK body.
+func decodeTopKHits(body []byte) ([][]dlog.TopKHit, error) {
+	c := &binCursor{b: body}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each sample costs at least its length word.
+	if n*4 > len(c.b)-c.off {
+		return nil, fmt.Errorf("%w: top-k section larger than body", ErrBinaryEncoding)
+	}
+	hits := make([][]dlog.TopKHit, n)
+	for i := range hits {
+		h, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if need := h * 12; h > 0 && (need/h != 12 || need > len(c.b)-c.off) {
+			return nil, fmt.Errorf("%w: hit list larger than body", ErrBinaryEncoding)
+		}
+		hs := make([]dlog.TopKHit, h)
+		for t := range hs {
+			if hs[t].Index, err = c.u32(); err != nil {
+				return nil, err
+			}
+			s, err := c.take(8)
+			if err != nil {
+				return nil, err
+			}
+			hs[t].Value = int64(binary.BigEndian.Uint64(s))
+		}
+		hits[i] = hs
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return hits, nil
 }
 
 // --- predictions -----------------------------------------------------------

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
 )
 
 // Codec names a negotiated wire codec.
@@ -244,6 +245,50 @@ func (c *ClientConn) Predict(ctx context.Context, enc *core.EncryptedBatch, time
 		return nil, replyErr(rep, "prediction")
 	default:
 		return nil, fmt.Errorf("wire: unexpected frame type %#x for prediction", rep.ftype)
+	}
+}
+
+// PredictTopK submits one coordinate-form sparse batch and returns each
+// sample's k largest logits as descending (label, value) pairs. A nil
+// context and zero timeout block without bound.
+func (c *ClientConn) PredictTopK(ctx context.Context, sp *core.SparseBatch, k int, timeout time.Duration) ([][]dlog.TopKHit, error) {
+	if c.codec == CodecGob {
+		c.gmu.Lock()
+		defer c.gmu.Unlock()
+		return RequestTopKOpts(ctx, c.conn, sp, k, timeout)
+	}
+	if timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	id, ch, err := c.send(bfPredictTopK, func(b []byte) ([]byte, error) {
+		return appendSparseBatch(b, k, sp)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: sending top-k request: %w", err)
+	}
+	rep, err := c.await(ctx, id, ch)
+	if err != nil {
+		return nil, fmt.Errorf("wire: top-k exchange: %w", err)
+	}
+	switch rep.ftype {
+	case bfTopK:
+		hits, err := decodeTopKHits(rep.body)
+		if err != nil {
+			return nil, err
+		}
+		if len(hits) != sp.N {
+			return nil, fmt.Errorf("wire: %d top-k hit lists for %d samples", len(hits), sp.N)
+		}
+		return hits, nil
+	case bfErr:
+		return nil, replyErr(rep, "top-k prediction")
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %#x for top-k prediction", rep.ftype)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
 	"cryptonn/internal/feip"
 	"cryptonn/internal/securemat"
 )
@@ -66,7 +67,16 @@ type DispatcherOptions struct {
 	// Do fails fast with ErrBusy instead of adding unbounded latency.
 	// 0 selects DefaultMaxQueue.
 	MaxQueue int
+	// TopK, when non-nil, additionally serves coordinate-form top-k
+	// requests (Dispatcher.DoTopK). Sparse requests coalesce with each
+	// other — same geometry and same k — never with dense batches.
+	TopK PredictTopKFunc
 }
+
+// PredictTopKFunc evaluates one coordinate-form sparse batch and returns
+// each sample's k largest logits as descending (label, value) pairs;
+// service.Server.PredictTopK satisfies it.
+type PredictTopKFunc func(*core.SparseBatch, int) ([][]dlog.TopKHit, error)
 
 func (o *DispatcherOptions) fillDefaults() {
 	if o.MaxCoalescedSamples <= 0 {
@@ -94,6 +104,9 @@ type DispatcherStats struct {
 	// Panics counts evaluations that panicked and were recovered (each
 	// cost its requests an error, not the dispatch loop).
 	Panics uint64
+	// TopKRequests counts accepted top-k requests (also included in
+	// Requests); TopKSamples counts their samples.
+	TopKRequests, TopKSamples uint64
 	// QueueDepth is the instantaneous number of queued requests.
 	QueueDepth int
 	// P50 and P99 are request latency percentiles (enqueue → result
@@ -104,18 +117,30 @@ type DispatcherStats struct {
 // latWindow is the sliding-window size of the latency reservoir.
 const latWindow = 1024
 
-// pendingPredict is one enqueued request: its batch, the caller's
-// context, and the channel the result is delivered on (buffered, so the
-// dispatch loop never blocks on a departed caller).
+// pendingPredict is one enqueued request: its batch (dense enc or sparse
+// sp+k — exactly one is set), the caller's context, and the channel the
+// result is delivered on (buffered, so the dispatch loop never blocks on
+// a departed caller).
 type pendingPredict struct {
 	ctx   context.Context
 	enc   *core.EncryptedBatch
+	sp    *core.SparseBatch
+	k     int
 	start time.Time
 	res   chan predictResult
 }
 
+// n returns the request's sample count.
+func (p *pendingPredict) n() int {
+	if p.sp != nil {
+		return p.sp.N
+	}
+	return p.enc.N
+}
+
 type predictResult struct {
 	preds []int
+	hits  [][]dlog.TopKHit
 	err   error
 }
 
@@ -128,6 +153,7 @@ type predictResult struct {
 // the layers).
 type Dispatcher struct {
 	predict PredictFunc
+	topk    PredictTopKFunc
 	opts    DispatcherOptions
 
 	queue chan *pendingPredict
@@ -139,6 +165,8 @@ type Dispatcher struct {
 	requests     uint64
 	rejected     uint64
 	samples      uint64
+	topkRequests uint64
+	topkSamples  uint64
 	evals        uint64
 	panics       uint64
 	maxCoalesced int
@@ -155,6 +183,7 @@ func NewDispatcher(predict PredictFunc, opts DispatcherOptions) (*Dispatcher, er
 	opts.fillDefaults()
 	d := &Dispatcher{
 		predict: predict,
+		topk:    opts.TopK,
 		opts:    opts,
 		queue:   make(chan *pendingPredict, opts.MaxQueue),
 		done:    make(chan struct{}),
@@ -192,6 +221,40 @@ func (d *Dispatcher) Do(ctx context.Context, enc *core.EncryptedBatch) ([]int, e
 		return nil, err
 	}
 	p := &pendingPredict{ctx: ctx, enc: enc, start: time.Now(), res: make(chan predictResult, 1)}
+	r, err := d.submit(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return r.preds, r.err
+}
+
+// DoTopK submits one coordinate-form sparse batch and blocks until each
+// sample's k largest (label, value) pairs come back. It shares the queue,
+// backpressure and cancellation semantics of Do; sparse requests coalesce
+// with geometry- and k-compatible sparse peers.
+func (d *Dispatcher) DoTopK(ctx context.Context, sp *core.SparseBatch, k int) ([][]dlog.TopKHit, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d.topk == nil {
+		return nil, errors.New("wire: dispatcher has no top-k evaluator")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: top-k count must be positive, got %d", k)
+	}
+	if err := validateSparseBatch(sp); err != nil {
+		return nil, err
+	}
+	p := &pendingPredict{ctx: ctx, sp: sp, k: k, start: time.Now(), res: make(chan predictResult, 1)}
+	r, err := d.submit(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return r.hits, r.err
+}
+
+// submit enqueues one request and waits for its result or cancellation.
+func (d *Dispatcher) submit(ctx context.Context, p *pendingPredict) (predictResult, error) {
 	// Enqueue under the lock that Close takes before closing done: every
 	// request that makes it into the queue is therefore guaranteed a
 	// result — served, or failed with net.ErrClosed by the loop's
@@ -199,26 +262,30 @@ func (d *Dispatcher) Do(ctx context.Context, enc *core.EncryptedBatch) ([]int, e
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return nil, net.ErrClosed
+		return predictResult{}, net.ErrClosed
 	}
 	select {
 	case d.queue <- p:
 		d.requests++
-		d.samples += uint64(enc.N)
+		d.samples += uint64(p.n())
+		if p.sp != nil {
+			d.topkRequests++
+			d.topkSamples += uint64(p.n())
+		}
 		d.mu.Unlock()
 	default:
 		d.rejected++
 		d.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d requests pending)", ErrBusy, d.opts.MaxQueue)
+		return predictResult{}, fmt.Errorf("%w (%d requests pending)", ErrBusy, d.opts.MaxQueue)
 	}
 	select {
 	case r := <-p.res:
-		return r.preds, r.err
+		return r, nil
 	case <-ctx.Done():
 		// The dispatch loop drops cancelled requests at merge time; if
 		// this one was already merged, its result lands in the buffered
 		// channel and is discarded.
-		return nil, ctx.Err()
+		return predictResult{}, ctx.Err()
 	}
 }
 
@@ -230,6 +297,8 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Requests:     d.requests,
 		Rejected:     d.rejected,
 		Samples:      d.samples,
+		TopKRequests: d.topkRequests,
+		TopKSamples:  d.topkSamples,
 		Evals:        d.evals,
 		Panics:       d.panics,
 		MaxCoalesced: d.maxCoalesced,
@@ -259,11 +328,32 @@ func validatePredictBatch(enc *core.EncryptedBatch) error {
 	return nil
 }
 
-// coalescable reports whether two batches can share an evaluation: same
-// model input geometry, so their column ciphertexts concatenate into one
-// well-formed encrypted matrix.
-func coalescable(a, b *core.EncryptedBatch) bool {
-	return a.Features == b.Features && a.Classes == b.Classes && a.X.Rows == b.X.Rows
+// validateSparseBatch checks the invariants sparse merging relies on.
+func validateSparseBatch(sp *core.SparseBatch) error {
+	switch {
+	case sp == nil || sp.N <= 0 || sp.X == nil:
+		return errors.New("wire: empty sparse prediction batch")
+	case sp.X.Cols != sp.N || len(sp.X.ColCts) != sp.N:
+		return fmt.Errorf("wire: sparse batch claims %d samples but carries %d column ciphertexts", sp.N, len(sp.X.ColCts))
+	case sp.X.Rows != sp.Features:
+		return fmt.Errorf("wire: sparse batch claims %d features but ciphertext matrix has %d rows", sp.Features, sp.X.Rows)
+	}
+	return nil
+}
+
+// coalescable reports whether two requests can share an evaluation: same
+// request kind and model input geometry (and, for top-k requests, the
+// same k), so their column ciphertexts concatenate into one well-formed
+// encrypted matrix whose per-sample results demultiplex cleanly.
+func coalescable(a, b *pendingPredict) bool {
+	if (a.sp != nil) != (b.sp != nil) {
+		return false
+	}
+	if a.sp != nil {
+		return a.sp.Features == b.sp.Features && a.sp.Classes == b.sp.Classes &&
+			a.sp.X.Rows == b.sp.X.Rows && a.k == b.k
+	}
+	return a.enc.Features == b.enc.Features && a.enc.Classes == b.enc.Classes && a.enc.X.Rows == b.enc.X.Rows
 }
 
 // run is the dispatch loop: collect a merge round, evaluate it, repeat.
@@ -286,7 +376,7 @@ func (d *Dispatcher) run() {
 			}
 		}
 		group := []*pendingPredict{first}
-		samples := first.enc.N
+		samples := first.n()
 		var timerC <-chan time.Time
 		var timer *time.Timer
 		if d.opts.MaxDelay > 0 {
@@ -335,11 +425,11 @@ func (d *Dispatcher) run() {
 // admit adds q to the round unless it is incompatible or would overflow
 // the sample cap; then it is returned to be held for the next round.
 func (d *Dispatcher) admit(group *[]*pendingPredict, samples *int, q *pendingPredict) (*pendingPredict, bool) {
-	if !coalescable((*group)[0].enc, q.enc) || *samples+q.enc.N > d.opts.MaxCoalescedSamples {
+	if !coalescable((*group)[0], q) || *samples+q.n() > d.opts.MaxCoalescedSamples {
 		return q, false
 	}
 	*group = append(*group, q)
-	*samples += q.enc.N
+	*samples += q.n()
 	return nil, true
 }
 
@@ -373,9 +463,13 @@ func (d *Dispatcher) evaluate(group []*pendingPredict) {
 			continue
 		}
 		live = append(live, p)
-		total += p.enc.N
+		total += p.n()
 	}
 	if len(live) == 0 {
+		return
+	}
+	if live[0].sp != nil {
+		d.evaluateTopK(live, total)
 		return
 	}
 	enc := live[0].enc
@@ -407,6 +501,40 @@ func (d *Dispatcher) evaluate(group []*pendingPredict) {
 	}
 }
 
+// evaluateTopK runs one sparse merge round: merge, evaluate once through
+// the top-k function, demultiplex hit lists. As on the dense path, a
+// failed merged evaluation retries each request alone so one bad batch
+// fails only its own caller.
+func (d *Dispatcher) evaluateTopK(live []*pendingPredict, total int) {
+	sp := live[0].sp
+	if len(live) > 1 {
+		sp = mergeSparseBatches(live, total)
+	}
+	hits, err := d.safeTopK(sp, live[0].k)
+	if err == nil && len(hits) != total {
+		err = fmt.Errorf("wire: %d top-k hit lists for %d coalesced samples", len(hits), total)
+	}
+	d.mu.Lock()
+	d.evals++
+	d.maxCoalesced = max(d.maxCoalesced, total)
+	d.mu.Unlock()
+	if err != nil && len(live) > 1 {
+		for _, p := range live {
+			d.deliver(p, d.topkOne(p))
+		}
+		return
+	}
+	off := 0
+	for _, p := range live {
+		if err != nil {
+			p.res <- predictResult{err: err}
+			continue
+		}
+		d.deliver(p, predictResult{hits: hits[off : off+p.sp.N : off+p.sp.N]})
+		off += p.sp.N
+	}
+}
+
 // safePredict calls the prediction function with a panic barrier: the
 // dispatch loop runs evaluations on its own goroutine, so an unrecovered
 // panic would kill prediction serving for every client, not just the
@@ -423,6 +551,20 @@ func (d *Dispatcher) safePredict(enc *core.EncryptedBatch) (preds []int, err err
 	return d.predict(enc)
 }
 
+// safeTopK calls the top-k function under the same panic barrier as
+// safePredict.
+func (d *Dispatcher) safeTopK(sp *core.SparseBatch, k int) (hits [][]dlog.TopKHit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.mu.Lock()
+			d.panics++
+			d.mu.Unlock()
+			hits, err = nil, fmt.Errorf("wire: top-k prediction panicked: %v", r)
+		}
+	}()
+	return d.topk(sp, k)
+}
+
 // predictOne evaluates a single request (the failed-merge fallback path).
 func (d *Dispatcher) predictOne(p *pendingPredict) predictResult {
 	preds, err := d.safePredict(p.enc)
@@ -436,6 +578,22 @@ func (d *Dispatcher) predictOne(p *pendingPredict) predictResult {
 		return predictResult{err: err}
 	}
 	return predictResult{preds: preds}
+}
+
+// topkOne evaluates a single sparse request (the failed-merge fallback
+// path).
+func (d *Dispatcher) topkOne(p *pendingPredict) predictResult {
+	hits, err := d.safeTopK(p.sp, p.k)
+	if err == nil && len(hits) != p.sp.N {
+		err = fmt.Errorf("wire: %d top-k hit lists for %d samples", len(hits), p.sp.N)
+	}
+	d.mu.Lock()
+	d.evals++
+	d.mu.Unlock()
+	if err != nil {
+		return predictResult{err: err}
+	}
+	return predictResult{hits: hits}
 }
 
 // deliver hands a result to its caller, recording serve latency for
@@ -466,6 +624,22 @@ func mergeBatches(group []*pendingPredict, total int) *core.EncryptedBatch {
 	}
 	return &core.EncryptedBatch{
 		X:        &securemat.EncryptedMatrix{Rows: first.X.Rows, Cols: total, ColCts: cols},
+		Features: first.Features,
+		Classes:  first.Classes,
+		N:        total,
+	}
+}
+
+// mergeSparseBatches concatenates the column ciphertexts of a sparse
+// merge round; every column keeps its own support and ct0.
+func mergeSparseBatches(group []*pendingPredict, total int) *core.SparseBatch {
+	first := group[0].sp
+	cols := make([]*feip.SparseCiphertext, 0, total)
+	for _, p := range group {
+		cols = append(cols, p.sp.X.ColCts...)
+	}
+	return &core.SparseBatch{
+		X:        &securemat.SparseEncryptedMatrix{Rows: first.X.Rows, Cols: total, ColCts: cols},
 		Features: first.Features,
 		Classes:  first.Classes,
 		N:        total,

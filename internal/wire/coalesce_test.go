@@ -20,9 +20,10 @@ import (
 	"cryptonn/internal/securemat"
 )
 
-// evalRecord is one fake evaluation's observed geometry.
+// evalRecord is one fake evaluation's observed geometry. k is 0 for
+// dense full-logit evaluations and the requested hit count for top-k.
 type evalRecord struct {
-	rows, n int
+	rows, n, k int
 }
 
 // fakeBackend fabricates prediction batches and answers them by the id

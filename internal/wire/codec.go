@@ -60,14 +60,16 @@ const (
 	bfGobRequest  = 0x01
 	bfGobResponse = 0x02
 	// Hot request bodies (binenc.go layouts).
-	bfPredict    = 0x10 // EncryptedBatch
-	bfSubmit     = 0x11 // EncryptedBatch
-	bfSubmitConv = 0x12 // EncryptedConvBatch
-	bfDone       = 0x13 // empty
+	bfPredict     = 0x10 // EncryptedBatch
+	bfSubmit      = 0x11 // EncryptedBatch
+	bfSubmitConv  = 0x12 // EncryptedConvBatch
+	bfDone        = 0x13 // empty
+	bfPredictTopK = 0x14 // u32 k + coordinate-form SparseBatch
 	// Hot response bodies.
 	bfPreds = 0x20 // u32 count + count×i32 classes
 	bfAck   = 0x21 // empty
 	bfErr   = 0x22 // u8 flags (bit0 retryable) + UTF-8 message
+	bfTopK  = 0x23 // per-sample (u32 label, i64 value) hit lists
 )
 
 // binHeaderLen is the fixed binary frame header: u32 body length,

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden frame files")
@@ -79,15 +80,25 @@ type goldenMessages struct {
 	submitBatch  *core.EncryptedBatch
 	convBatch    *core.EncryptedConvBatch
 	preds        []int
+	sparseBatch  *core.SparseBatch
+	topk         [][]dlog.TopKHit
 }
 
 func newGoldenMessages() goldenMessages {
 	rng := rand.New(rand.NewSource(42))
+	// New messages draw from the shared rng strictly after the existing
+	// ones — inserting a draw earlier would silently re-roll every later
+	// fixture and show up as a spurious golden mismatch.
 	return goldenMessages{
 		predictBatch: synthBatch(rng, 3, 4, 2, false),
 		submitBatch:  synthBatch(rng, 3, 4, 2, true),
 		convBatch:    synthConvBatch(rng),
 		preds:        []int{3, 0, 2},
+		sparseBatch:  synthSparseBatch(rng, 6, 4, 2, 3),
+		topk: [][]dlog.TopKHit{
+			{{Index: 3, Value: 123456}, {Index: 0, Value: -7}},
+			{{Index: 1, Value: 1 << 40}},
+		},
 	}
 }
 
@@ -121,6 +132,12 @@ func binaryGoldens(t *testing.T, m goldenMessages) map[string][]byte {
 		"preds_binary.bin": binFrame(t, bfPreds, 7, func(b []byte) ([]byte, error) {
 			return appendPreds(b, m.preds)
 		}),
+		"predicttopk_binary.bin": binFrame(t, bfPredictTopK, 12, func(b []byte) ([]byte, error) {
+			return appendSparseBatch(b, 2, m.sparseBatch)
+		}),
+		"topk_binary.bin": binFrame(t, bfTopK, 12, func(b []byte) ([]byte, error) {
+			return appendTopKHits(b, m.topk)
+		}),
 		"err_binary.bin": append([]byte(nil), errConn.Bytes()...),
 	}
 }
@@ -140,14 +157,20 @@ func gobGoldens(t *testing.T, m goldenMessages) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sparsePayload, err := encodePayload(m.sparseBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string][]byte{
-		"predict_gob.bin":    gobFrame(t, &Request{Kind: KindPredict, Payload: predictPayload}),
-		"submit_gob.bin":     gobFrame(t, &Request{Kind: KindSubmitBatch, Payload: submitPayload}),
-		"submitconv_gob.bin": gobFrame(t, &Request{Kind: KindSubmitConvBatch, Payload: convPayload}),
-		"done_gob.bin":       gobFrame(t, &Request{Kind: KindDone}),
-		"ack_gob.bin":        gobFrame(t, &Response{}),
-		"preds_gob.bin":      gobFrame(t, &Response{Preds: m.preds}),
-		"err_gob.bin":        gobFrame(t, &Response{Err: "prediction queue full", Retryable: true}),
+		"predict_gob.bin":     gobFrame(t, &Request{Kind: KindPredict, Payload: predictPayload}),
+		"submit_gob.bin":      gobFrame(t, &Request{Kind: KindSubmitBatch, Payload: submitPayload}),
+		"submitconv_gob.bin":  gobFrame(t, &Request{Kind: KindSubmitConvBatch, Payload: convPayload}),
+		"done_gob.bin":        gobFrame(t, &Request{Kind: KindDone}),
+		"ack_gob.bin":         gobFrame(t, &Response{}),
+		"preds_gob.bin":       gobFrame(t, &Response{Preds: m.preds}),
+		"err_gob.bin":         gobFrame(t, &Response{Err: "prediction queue full", Retryable: true}),
+		"predicttopk_gob.bin": gobFrame(t, &Request{Kind: KindPredictTopK, Payload: sparsePayload, TopK: 2}),
+		"topk_gob.bin":        gobFrame(t, &Response{TopK: m.topk}),
 	}
 }
 
@@ -245,6 +268,20 @@ func TestGoldenFramesDecodeBinary(t *testing.T) {
 				return nil, err
 			}
 			return appendPreds(nil, preds)
+		},
+		"predicttopk_binary.bin": func(body []byte) ([]byte, error) {
+			k, sp, err := decodeSparseBatch(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendSparseBatch(nil, k, sp)
+		},
+		"topk_binary.bin": func(body []byte) ([]byte, error) {
+			hits, err := decodeTopKHits(body)
+			if err != nil {
+				return nil, err
+			}
+			return appendTopKHits(nil, hits)
 		},
 		"err_binary.bin": func(body []byte) ([]byte, error) {
 			msg, retryable, err := decodeErrBody(body)
@@ -366,5 +403,33 @@ func TestGoldenFramesDecodeGob(t *testing.T) {
 	}
 	if resp.Err != "prediction queue full" || !resp.Retryable {
 		t.Errorf("err_gob.bin decoded to %+v", resp)
+	}
+
+	req = Request{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "predicttopk_gob.bin")), &req); err != nil {
+		t.Fatalf("predicttopk_gob.bin: %v", err)
+	}
+	var sp core.SparseBatch
+	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&sp); err != nil {
+		t.Fatalf("predicttopk_gob.bin payload: %v", err)
+	}
+	gotSparse, err := appendSparseBatch(nil, 2, &sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSparse, err := appendSparseBatch(nil, 2, m.sparseBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindPredictTopK || req.TopK != 2 || !bytes.Equal(gotSparse, wantSparse) {
+		t.Errorf("predicttopk_gob.bin decoded to kind %v k %d or wrong batch", req.Kind, req.TopK)
+	}
+
+	resp = Response{}
+	if err := ReadMsg(bytes.NewReader(readGolden(t, "topk_gob.bin")), &resp); err != nil {
+		t.Fatalf("topk_gob.bin: %v", err)
+	}
+	if !reflect.DeepEqual(resp.TopK, m.topk) {
+		t.Errorf("topk_gob.bin decoded hits %v, want %v", resp.TopK, m.topk)
 	}
 }

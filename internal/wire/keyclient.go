@@ -206,6 +206,22 @@ func (c *RemoteKeyService) IPKey(y []int64) (*feip.FunctionKey, error) {
 	return &feip.FunctionKey{K: resp.K}, nil
 }
 
+// IPKeySparse implements securemat.SparseKeyService: it requests the key
+// for an η-dimensional vector given in coordinate form, shipping only the
+// support instead of η scalars. The support the authority observes is
+// whatever the caller sends — the engine's padding policy (if enabled)
+// has already widened it to a size-class bucket by the time it gets here.
+func (c *RemoteKeyService) IPKeySparse(eta int, idx []int, vals []int64) (*feip.FunctionKey, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindIPKeySparse, Eta: eta, Idx: idx, Y: vals})
+	if err != nil {
+		return nil, err
+	}
+	if resp.K == nil {
+		return nil, errors.New("wire: empty sparse IP key in response")
+	}
+	return &feip.FunctionKey{K: resp.K}, nil
+}
+
 // IPKeyBatch implements securemat.BatchKeyService: it requests the keys
 // for every weight vector in one round trip — the whole first-layer key
 // traffic of a training iteration (k×n scalars up, k keys down, §IV-B2)
@@ -269,6 +285,7 @@ func (c *RemoteKeyService) BOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) (
 
 // Interface compliance check.
 var _ securemat.KeyService = (*RemoteKeyService)(nil)
+var _ securemat.SparseKeyService = (*RemoteKeyService)(nil)
 
 // KeyServicePool fans key requests out over several authority
 // connections, so the parallelized secure computation (many goroutines
@@ -344,6 +361,13 @@ func (p *KeyServicePool) IPKey(y []int64) (*feip.FunctionKey, error) {
 	return c.IPKey(y)
 }
 
+// IPKeySparse implements securemat.SparseKeyService.
+func (p *KeyServicePool) IPKeySparse(eta int, idx []int, vals []int64) (*feip.FunctionKey, error) {
+	c, release := p.acquire()
+	defer release()
+	return c.IPKeySparse(eta, idx, vals)
+}
+
 // IPKeyBatch implements securemat.BatchKeyService.
 func (p *KeyServicePool) IPKeyBatch(ys [][]int64) ([]*feip.FunctionKey, error) {
 	c, release := p.acquire()
@@ -367,7 +391,8 @@ func (p *KeyServicePool) BOKeyBatch(cmts []*big.Int, op febo.Op, ys []int64) ([]
 
 // Interface compliance checks.
 var (
-	_ securemat.KeyService      = (*KeyServicePool)(nil)
-	_ securemat.BatchKeyService = (*KeyServicePool)(nil)
-	_ securemat.BatchKeyService = (*RemoteKeyService)(nil)
+	_ securemat.KeyService       = (*KeyServicePool)(nil)
+	_ securemat.BatchKeyService  = (*KeyServicePool)(nil)
+	_ securemat.SparseKeyService = (*KeyServicePool)(nil)
+	_ securemat.BatchKeyService  = (*RemoteKeyService)(nil)
 )

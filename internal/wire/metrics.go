@@ -63,6 +63,12 @@ func (s *PredictionServer) WriteMetrics(w io.Writer) {
 	metricFamily(w, "cryptonn_predict_samples_total", "counter",
 		"Encrypted samples evaluated.",
 		fmt.Sprintf(" %d", st.Samples))
+	metricFamily(w, "cryptonn_predict_topk_requests_total", "counter",
+		"Coordinate-form top-k prediction requests accepted into the dispatch queue.",
+		fmt.Sprintf(" %d", st.TopKRequests))
+	metricFamily(w, "cryptonn_predict_topk_samples_total", "counter",
+		"Encrypted samples across accepted top-k prediction requests.",
+		fmt.Sprintf(" %d", st.TopKSamples))
 	metricFamily(w, "cryptonn_predict_evals_total", "counter",
 		"Engine evaluations (coalesced rounds).",
 		fmt.Sprintf(" %d", st.Evals))

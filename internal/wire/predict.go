@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cryptonn/internal/core"
+	"cryptonn/internal/dlog"
 )
 
 // PredictFunc evaluates one encrypted batch and returns per-sample
@@ -83,6 +84,55 @@ func RequestPredictionOpts(ctx context.Context, conn net.Conn, enc *core.Encrypt
 		return nil, fmt.Errorf("wire: %d predictions for %d samples", len(resp.Preds), enc.N)
 	}
 	return resp.Preds, nil
+}
+
+// RequestTopKOpts submits one coordinate-form sparse batch over the
+// legacy gob protocol and returns each sample's k largest (label, value)
+// pairs, with an exchange deadline (zero for none) and optional context
+// cancellation (nil for none).
+func RequestTopKOpts(ctx context.Context, conn net.Conn, sp *core.SparseBatch, k int, timeout time.Duration) ([][]dlog.TopKHit, error) {
+	payload, err := encodePayload(sp)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding sparse prediction batch: %w", err)
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("wire: arming prediction deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // disarm is best-effort
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wire: top-k exchange: %w", err)
+		}
+		stop := context.AfterFunc(ctx, func() {
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	wrapIO := func(err error) error {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("wire: top-k exchange: %w", ctx.Err())
+		}
+		return err
+	}
+	if err := WriteMsg(conn, &Request{Kind: KindPredictTopK, Payload: payload, TopK: k}); err != nil {
+		return nil, wrapIO(fmt.Errorf("wire: sending top-k request: %w", err))
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		return nil, wrapIO(fmt.Errorf("wire: reading top-k response: %w", err))
+	}
+	if resp.Err != "" {
+		if resp.Retryable {
+			return nil, fmt.Errorf("%w: server rejected top-k prediction: %s", ErrBusy, resp.Err)
+		}
+		return nil, fmt.Errorf("wire: server rejected top-k prediction: %s", resp.Err)
+	}
+	if len(resp.TopK) != sp.N {
+		return nil, fmt.Errorf("wire: %d top-k hit lists for %d samples", len(resp.TopK), sp.N)
+	}
+	return resp.TopK, nil
 }
 
 // PredictionServer answers KindPredict requests with a PredictFunc.
@@ -301,6 +351,32 @@ func (s *PredictionServer) handleBinary(conn net.Conn) {
 					s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), werr)
 				}
 			}(id, enc)
+		case bfPredictTopK:
+			k, sp, err := decodeSparseBatch(body)
+			if err != nil {
+				if werr := bc.writeErr(id, fmt.Sprintf("decoding sparse prediction batch: %v", err), false); werr != nil {
+					s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), werr)
+					return
+				}
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(id uint64, k int, sp *core.SparseBatch) {
+				defer func() { <-sem; wg.Done() }()
+				hits, err := s.evaluateTopK(sp, k)
+				var werr error
+				if err != nil {
+					werr = bc.writeErr(id, fmt.Sprintf("top-k prediction failed: %v", err), errors.Is(err, ErrBusy))
+				} else {
+					werr = bc.writeFrame(bfTopK, id, func(b []byte) ([]byte, error) {
+						return appendTopKHits(b, hits)
+					})
+				}
+				if werr != nil && !errors.Is(werr, net.ErrClosed) {
+					s.log.Printf("prediction server: write to %s: %v", conn.RemoteAddr(), werr)
+				}
+			}(id, k, sp)
 		case bfGobRequest:
 			var req Request
 			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
@@ -340,21 +416,33 @@ func (s *PredictionServer) answer(req *Request) (resp *Response) {
 			resp = &Response{Err: "prediction failed: internal error"}
 		}
 	}()
-	if req.Kind != KindPredict {
+	switch req.Kind {
+	case KindPredict:
+		var enc core.EncryptedBatch
+		if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&enc); err != nil {
+			return &Response{Err: fmt.Sprintf("decoding prediction batch: %v", err)}
+		}
+		if enc.N <= 0 || enc.X == nil {
+			return &Response{Err: "empty prediction batch"}
+		}
+		preds, err := s.evaluate(&enc)
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("prediction failed: %v", err), Retryable: errors.Is(err, ErrBusy)}
+		}
+		return &Response{Preds: preds}
+	case KindPredictTopK:
+		var sp core.SparseBatch
+		if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&sp); err != nil {
+			return &Response{Err: fmt.Sprintf("decoding sparse prediction batch: %v", err)}
+		}
+		hits, err := s.evaluateTopK(&sp, req.TopK)
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("top-k prediction failed: %v", err), Retryable: errors.Is(err, ErrBusy)}
+		}
+		return &Response{TopK: hits}
+	default:
 		return &Response{Err: fmt.Sprintf("prediction server cannot serve %s", req.Kind)}
 	}
-	var enc core.EncryptedBatch
-	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&enc); err != nil {
-		return &Response{Err: fmt.Sprintf("decoding prediction batch: %v", err)}
-	}
-	if enc.N <= 0 || enc.X == nil {
-		return &Response{Err: "empty prediction batch"}
-	}
-	preds, err := s.evaluate(&enc)
-	if err != nil {
-		return &Response{Err: fmt.Sprintf("prediction failed: %v", err), Retryable: errors.Is(err, ErrBusy)}
-	}
-	return &Response{Preds: preds}
 }
 
 // evaluate runs one decoded batch through the dispatcher (or the direct
@@ -380,4 +468,21 @@ func (s *PredictionServer) evaluate(enc *core.EncryptedBatch) (preds []int, err 
 		return s.dispatcher.Do(context.Background(), enc)
 	}
 	return s.predict(enc)
+}
+
+// evaluateTopK runs one decoded sparse batch through the dispatcher with
+// panic containment — shared by the gob and binary paths. Top-k serving
+// requires the coalescing dispatcher (DispatcherOptions.TopK).
+func (s *PredictionServer) evaluateTopK(sp *core.SparseBatch, k int) (hits [][]dlog.TopKHit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.log.Printf("prediction server: panic evaluating sparse batch: %v\n%s", r, debug.Stack())
+			hits, err = nil, errors.New("internal error")
+		}
+	}()
+	if s.dispatcher == nil {
+		return nil, errors.New("server does not serve top-k predictions")
+	}
+	return s.dispatcher.DoTopK(context.Background(), sp, k)
 }

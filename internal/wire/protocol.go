@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/big"
 
+	"cryptonn/internal/dlog"
 	"cryptonn/internal/febo"
 	"cryptonn/internal/group"
 )
@@ -38,6 +39,8 @@ const (
 	KindClusterInfo
 	KindPartialIPKeyBatch
 	KindPartialBOKeyBatch
+	KindPredictTopK
+	KindIPKeySparse
 )
 
 // String names the kind for errors and logs.
@@ -69,6 +72,10 @@ func (k MsgKind) String() string {
 		return "partial-ip-key-batch"
 	case KindPartialBOKeyBatch:
 		return "partial-bo-key-batch"
+	case KindPredictTopK:
+		return "predict-topk"
+	case KindIPKeySparse:
+		return "ip-key-sparse"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -80,8 +87,16 @@ type Request struct {
 	Kind MsgKind
 	// Eta is the FEIP dimension (KindFEIPPublic).
 	Eta int
-	// Y is the weight vector (KindIPKey).
+	// Y is the weight vector (KindIPKey), or the support values of a
+	// coordinate-form key request (KindIPKeySparse, paired with Idx).
 	Y []int64
+	// Idx carries the sorted support indices of a coordinate-form key
+	// request (KindIPKeySparse): the requested key is for the η-dimensional
+	// vector equal to Y on Idx and zero elsewhere. Eta carries η.
+	Idx []int
+	// TopK is the number of (label, value) pairs requested per sample
+	// (KindPredictTopK).
+	TopK int
 	// YBatch carries several weight vectors in one frame
 	// (KindIPKeyBatch) — one round trip for a whole weight matrix
 	// instead of one per row.
@@ -125,6 +140,9 @@ type Response struct {
 	// Preds carries per-sample predicted (label-mapped) classes for a
 	// KindPredict request.
 	Preds []int
+	// TopK carries, per sample of a KindPredictTopK request, the k largest
+	// logits as descending (label index, fixed-point value) pairs.
+	TopK [][]dlog.TopKHit
 	// NodeIndex, Threshold and Nodes identify the answering threshold
 	// cluster node (KindClusterInfo and partial-key responses).
 	NodeIndex int64

@@ -110,6 +110,57 @@ for metric in \
     fi
 done
 
+echo "== sparse leg: linear server with support padding, top-k loadgen"
+# A second server in the bias-free linear configuration (-hidden 0)
+# with the support-hiding padding policy on: the loadgen drives
+# coordinate-form top-k requests, and the scrape must show the top-k
+# request counters and the padding counters advancing — those names are
+# the operational API for the sparse serving path.
+SPTRAIN=127.0.0.1:$((PORT_BASE + 6))
+SPPREDICT=127.0.0.1:$((PORT_BASE + 7))
+SPMETRICS=127.0.0.1:$((PORT_BASE + 8))
+"$workdir/cryptonn-server" \
+    -listen "$SPTRAIN" -authority "$AUTH" \
+    -features 784 -classes 10 -hidden 0 \
+    -epochs 1 -expect 1 -par 2 -seed 3 \
+    -sparse-buckets 8,16 \
+    -predict-listen "$SPPREDICT" -metrics-addr "$SPMETRICS" \
+    2>"$workdir/sparse-server.log" &
+pids+=($!)
+wait_listening "$SPTRAIN" 150
+
+"$workdir/cryptonn-client" \
+    -authority "$AUTH" -server "$SPTRAIN" \
+    -samples 16 -batch 16 -seed 5
+wait_listening "$SPPREDICT" 1500
+
+"$workdir/cryptonn-loadgen" \
+    -authority "$AUTH" -server "$SPPREDICT" \
+    -features 784 -classes 10 \
+    -topk 3 -sparse-density 0.01 \
+    -clients 4 -requests 3 -samples 1 \
+    | tee "$workdir/sparse-loadgen.txt"
+if ! grep -E "^clients=4 served [1-9][0-9]* samples .* [1-9][0-9.]* samples/sec" "$workdir/sparse-loadgen.txt" >/dev/null; then
+    echo "loadgen-smoke: no non-zero throughput line for the sparse leg" >&2
+    exit 1
+fi
+
+echo "== scraping $SPMETRICS/metrics for sparse counters"
+curl -fsS "http://$SPMETRICS/metrics" | tee "$workdir/sparse-metrics.txt" >/dev/null
+for metric in \
+    'cryptonn_predict_topk_requests_total [1-9]' \
+    'cryptonn_predict_topk_samples_total [1-9]' \
+    'cryptonn_securemat_padded_supports_total [1-9]' \
+    'cryptonn_securemat_pad_coords_total [1-9]' \
+    'cryptonn_predict_panics_total 0'; do
+    if ! grep -E "^$metric" "$workdir/sparse-metrics.txt" >/dev/null; then
+        echo "loadgen-smoke: sparse /metrics missing or zero: $metric" >&2
+        echo "--- scrape ---" >&2
+        cat "$workdir/sparse-metrics.txt" >&2
+        exit 1
+    fi
+done
+
 echo "== cold-start: two server boots against one -table-cache directory"
 # The first boot derives every precomputed group table and writes the
 # cache; the second must boot from disk — its stats line has to show
